@@ -1,0 +1,65 @@
+// Command joinbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	joinbench -list
+//	joinbench -experiment fig4a -scale 0.5
+//	joinbench -experiment all  -scale 0.25
+//
+// Each experiment prints the same rows/series the paper's corresponding
+// table or figure reports (dataset × algorithm × running time, or a
+// parameter sweep). Scale rescales the synthetic dataset shapes; see
+// DESIGN.md for the dataset substitution rationale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "", "experiment id (e.g. fig4a), or 'all'")
+		scale = flag.Float64("scale", 0.5, "dataset scale factor")
+		list  = flag.Bool("list", false, "list available experiments")
+		csv   = flag.Bool("csv", false, "emit CSV rows instead of tables")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-8s %s\n", id, experiments.Title(id))
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	if *csv {
+		fmt.Println("experiment,dataset,series,param,seconds,extra")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			res.RenderCSV(os.Stdout)
+			continue
+		}
+		res.Render(os.Stdout)
+		fmt.Printf("-- %s completed in %v (scale %g)\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
+	}
+}

@@ -1,0 +1,99 @@
+// Command mmcalib calibrates and reports the matrix-multiplication cost
+// model of Section 5: machine constants, the M̂(p,p,p,co) probe table, and
+// the Figure-3 scalability series.
+//
+// Usage:
+//
+//	mmcalib                 # constants + small probe table
+//	mmcalib -fig 3a         # single-core scalability series
+//	mmcalib -fig 3b         # multi-core construction/multiply split
+//	mmcalib -table -p 512,1024 -cores 1,2,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/matrix"
+	"repro/internal/optimizer"
+)
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate: 3a or 3b")
+		tab   = flag.Bool("table", false, "measure the M̂ probe table")
+		ps    = flag.String("p", "256,512,1024", "probe dimensions for -table")
+		cos   = flag.String("cores", "1,2,4", "core counts for -table")
+		scale = flag.Float64("scale", 0.25, "dimension scale for -fig")
+	)
+	flag.Parse()
+
+	switch *fig {
+	case "3a", "3b":
+		res, err := experiments.Run("fig"+*fig, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmcalib:", err)
+			os.Exit(1)
+		}
+		res.Render(os.Stdout)
+		return
+	case "":
+	default:
+		fmt.Fprintln(os.Stderr, "mmcalib: unknown figure", *fig)
+		os.Exit(1)
+	}
+
+	ts, tm, ti := optimizer.CalibrateConstants()
+	fmt.Printf("machine constants (Table 1):\n")
+	fmt.Printf("  Ts (sequential access)   %8.3f ns\n", ts)
+	fmt.Printf("  Tm (32-byte allocation)  %8.3f ns\n", tm)
+	fmt.Printf("  TI (random access+insert)%8.3f ns\n", ti)
+
+	cm := matrix.DefaultCostModel()
+	fmt.Printf("\nkernel throughput:\n")
+	fmt.Printf("  AND+POPCNT  %.2e word-ops/s\n", cm.WordOpsPerSec)
+	fmt.Printf("  construction %.2e cells/s\n", cm.CellOpsPerSec)
+
+	if *tab {
+		pv, err := parseInts(*ps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmcalib:", err)
+			os.Exit(1)
+		}
+		cv, err := parseInts(*cos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmcalib:", err)
+			os.Exit(1)
+		}
+		t := matrix.BuildTable(pv, cv)
+		fmt.Printf("\nM̂ probe table:\n%-8s", "p\\cores")
+		for _, c := range cv {
+			fmt.Printf("%12d", c)
+		}
+		fmt.Println()
+		for _, p := range pv {
+			fmt.Printf("%-8d", p)
+			for _, c := range cv {
+				fmt.Printf("%12v", t.Entries[[2]int{p, c}].Round(10))
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Setsimilarity: overlap set similarity joins (Section 4).
+//
+// Finds all pairs of sets sharing at least c elements on a dense
+// Jokes-shaped dataset, comparing the three algorithms of the paper's
+// evaluation — SizeAware, SizeAware++ and the matrix-multiplication join —
+// and demonstrating the ordered variant, where MMJoin's exact counts make
+// ranking free.
+//
+// Run with: go run ./examples/setsimilarity
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/ssj"
+)
+
+func main() {
+	r, err := dataset.ByName("Jokes", 0.35)
+	if err != nil {
+		panic(err)
+	}
+	st := r.Stats()
+	fmt.Printf("sets: %d, domain: %d, avg set size: %.0f\n", st.NumSets, st.DomainSize, st.AvgSetSize)
+
+	const c = 3
+	fmt.Printf("\nunordered SSJ with overlap c=%d:\n", c)
+
+	start := time.Now()
+	mm := ssj.MMJoin(r, c, ssj.Options{})
+	fmt.Printf("  MMJoin       %6d pairs in %v\n", len(mm), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	pp := ssj.SizeAwarePP(r, c, ssj.PPOptions{Heavy: true, Light: true, Prefix: true})
+	fmt.Printf("  SizeAware++  %6d pairs in %v\n", len(pp), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	sa := ssj.SizeAware(r, c, ssj.Options{})
+	fmt.Printf("  SizeAware    %6d pairs in %v\n", len(sa), time.Since(start).Round(time.Millisecond))
+
+	if len(mm) != len(pp) || len(mm) != len(sa) {
+		panic("algorithms disagree")
+	}
+
+	// Ordered: enumerate in decreasing overlap. MMJoin already has counts.
+	fmt.Printf("\nordered SSJ, top 5 most similar set pairs:\n")
+	ordered := ssj.MMJoinOrdered(r, c, ssj.Options{})
+	for i, sp := range ordered {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  sets %4d and %4d share %d elements\n", sp.A, sp.B, sp.Overlap)
+	}
+
+	// Sweep c as in Figure 5: higher thresholds shrink the output.
+	fmt.Printf("\noutput size vs c:\n")
+	for _, ci := range []int{2, 3, 4, 5, 6} {
+		fmt.Printf("  c=%d: %d pairs\n", ci, len(ssj.MMJoin(r, ci, ssj.Options{})))
+	}
+}

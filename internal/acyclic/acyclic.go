@@ -1,0 +1,112 @@
+// Package acyclic extends the join-project engine beyond star queries, in
+// the direction the paper's conclusion proposes: "extend our techniques to
+// arbitrary acyclic queries with projections ... building a query plan that
+// decomposes the join into multiple subqueries and evaluates in the optimal
+// way".
+//
+// Two acyclic shapes are supported, both evaluated by composing the
+// output-sensitive 2-path and star primitives of internal/joinproject:
+//
+//   - Path queries P_k(x0, xk) = R1(x0,x1), R2(x1,x2), ..., Rk(x_{k-1},xk),
+//     projected onto the endpoints. Adjacent relations are folded with the
+//     2-path algorithm (each fold is a projection, so intermediates stay
+//     output-sensitive rather than growing like the full join), either
+//     left-deep or by balanced halving (bushy), mirroring a query plan's
+//     choice of join order.
+//
+//   - Snowflake queries: a star whose arms are chains. Each arm is folded
+//     into a (center, leaf) view with PathProject, then the arm views are
+//     combined with the Section-3.2 star algorithm.
+//
+// Every intermediate is itself deduplicated, which is exactly the reason
+// pushing projections through the plan wins over materializing the full
+// acyclic join.
+package acyclic
+
+import (
+	"fmt"
+
+	"repro/internal/joinproject"
+	"repro/internal/relation"
+)
+
+// Order selects the fold order for path queries.
+type Order int
+
+const (
+	// OrderAuto picks bushy for k ≥ 4 relations and left-deep otherwise.
+	OrderAuto Order = iota
+	// OrderLeftDeep folds relations left to right.
+	OrderLeftDeep
+	// OrderBushy recursively folds halves — the balanced plan, whose
+	// intermediates depend only on log-many compositions.
+	OrderBushy
+)
+
+// Options configures acyclic evaluation.
+type Options struct {
+	// Join options forwarded to every 2-path / star composition.
+	Join joinproject.Options
+	// Order selects the fold order for chains.
+	Order Order
+}
+
+// PathProject evaluates π_{x0,xk}(R1(x0,x1) ⋈ ... ⋈ Rk(x_{k-1},x_k)).
+// Relations are oriented head→tail: Ri's first column joins R(i−1)'s second.
+func PathProject(rels []*relation.Relation, opt Options) ([][2]int32, error) {
+	switch len(rels) {
+	case 0:
+		return nil, fmt.Errorf("acyclic: empty path query")
+	case 1:
+		out := make([][2]int32, 0, rels[0].Size())
+		for _, p := range rels[0].Pairs() {
+			out = append(out, [2]int32{p.X, p.Y})
+		}
+		return out, nil
+	}
+	v := foldPath(rels, opt)
+	out := make([][2]int32, 0, v.Size())
+	for _, p := range v.Pairs() {
+		out = append(out, [2]int32{p.X, p.Y})
+	}
+	return out, nil
+}
+
+// foldPath reduces the chain to a single (head, tail) relation.
+func foldPath(rels []*relation.Relation, opt Options) *relation.Relation {
+	if len(rels) == 1 {
+		return rels[0]
+	}
+	order := opt.Order
+	if order == OrderAuto {
+		if len(rels) >= 4 {
+			order = OrderBushy
+		} else {
+			order = OrderLeftDeep
+		}
+	}
+	if order == OrderBushy {
+		mid := len(rels) / 2
+		left := foldPath(rels[:mid], opt)
+		right := foldPath(rels[mid:], opt)
+		return compose(left, right, opt.Join)
+	}
+	acc := rels[0]
+	for _, next := range rels[1:] {
+		acc = compose(acc, next, opt.Join)
+	}
+	return acc
+}
+
+// compose computes V(a, c) = π_{a,c}(L(a, b) ⋈ R(b, c)) with the 2-path
+// algorithm. Algorithm 1 joins the second columns of both operands, so the
+// right-hand relation is swapped into (c, b) orientation first; the output
+// pairs are then (L.x, R.Swap().x) = (a, c) as required.
+func compose(l, r *relation.Relation, jopt joinproject.Options) *relation.Relation {
+	pairs := joinproject.TwoPathMM(l, r.Swap(), jopt)
+	ps := make([]relation.Pair, len(pairs))
+	for i, p := range pairs {
+		ps[i] = relation.Pair{X: p[0], Y: p[1]}
+	}
+	return relation.FromPairs(l.Name()+"∘"+r.Name(), ps)
+}

@@ -1,0 +1,257 @@
+package acyclic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/joinproject"
+	"repro/internal/relation"
+)
+
+func randomRel(rng *rand.Rand, name string, n, xdom, ydom int) *relation.Relation {
+	ps := make([]relation.Pair, n)
+	for i := range ps {
+		ps[i] = relation.Pair{X: int32(rng.Intn(xdom)), Y: int32(rng.Intn(ydom))}
+	}
+	return relation.FromPairs(name, ps)
+}
+
+// brutePath enumerates the projected path query by explicit nested joins.
+func brutePath(rels []*relation.Relation) map[[2]int32]bool {
+	// frontier: head value → set of reachable current values.
+	frontier := map[int32]map[int32]bool{}
+	for _, p := range rels[0].Pairs() {
+		if frontier[p.X] == nil {
+			frontier[p.X] = map[int32]bool{}
+		}
+		frontier[p.X][p.Y] = true
+	}
+	for _, r := range rels[1:] {
+		next := map[int32]map[int32]bool{}
+		for head, mids := range frontier {
+			for mid := range mids {
+				for _, tail := range r.ByX().Lookup(mid) {
+					if next[head] == nil {
+						next[head] = map[int32]bool{}
+					}
+					next[head][tail] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	out := map[[2]int32]bool{}
+	for head, tails := range frontier {
+		for tail := range tails {
+			out[[2]int32{head, tail}] = true
+		}
+	}
+	return out
+}
+
+func checkPath(t *testing.T, got [][2]int32, want map[[2]int32]bool, label string) {
+	t.Helper()
+	seen := map[[2]int32]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("%s: duplicate %v", label, p)
+		}
+		seen[p] = true
+		if !want[p] {
+			t.Fatalf("%s: spurious %v", label, p)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(seen), len(want))
+	}
+}
+
+func chain(rng *rand.Rand, k, n, dom int) []*relation.Relation {
+	rels := make([]*relation.Relation, k)
+	for i := range rels {
+		rels[i] = randomRel(rng, "R", n, dom, dom)
+	}
+	return rels
+}
+
+func TestPathProjectTwoHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	rels := chain(rng, 2, 300, 30)
+	want := brutePath(rels)
+	for _, ord := range []Order{OrderLeftDeep, OrderBushy, OrderAuto} {
+		got, err := PathProject(rels, Options{Order: ord})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPath(t, got, want, "2-hop")
+	}
+}
+
+func TestPathProjectLongChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for _, k := range []int{3, 4, 5, 6} {
+		rels := chain(rng, k, 200, 20)
+		want := brutePath(rels)
+		left, err := PathProject(rels, Options{Order: OrderLeftDeep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPath(t, left, want, "left-deep")
+		bushy, err := PathProject(rels, Options{Order: OrderBushy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPath(t, bushy, want, "bushy")
+	}
+}
+
+func TestPathProjectSingleRelation(t *testing.T) {
+	r := relation.FromPairs("R", []relation.Pair{{X: 1, Y: 2}, {X: 3, Y: 4}})
+	got, err := PathProject([]*relation.Relation{r}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("single relation path = %v", got)
+	}
+}
+
+func TestPathProjectEmpty(t *testing.T) {
+	if _, err := PathProject(nil, Options{}); err == nil {
+		t.Fatal("expected error for empty chain")
+	}
+}
+
+func TestPathProjectDisconnected(t *testing.T) {
+	r1 := relation.FromPairs("R1", []relation.Pair{{X: 1, Y: 10}})
+	r2 := relation.FromPairs("R2", []relation.Pair{{X: 99, Y: 5}})
+	got, err := PathProject([]*relation.Relation{r1, r2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("disconnected chain = %v", got)
+	}
+}
+
+func TestSnowflake(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	// Three arms: lengths 1, 2, 2.
+	arms := [][]*relation.Relation{
+		{randomRel(rng, "A1", 150, 15, 15)},
+		{randomRel(rng, "B1", 150, 15, 15), randomRel(rng, "B2", 150, 15, 15)},
+		{randomRel(rng, "C1", 150, 15, 15), randomRel(rng, "C2", 150, 15, 15)},
+	}
+	got, err := SnowflakeProject(arms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: fold arms by brute force, then brute-force star join.
+	views := make([]map[[2]int32]bool, len(arms)) // (center, leaf)
+	for i, arm := range arms {
+		views[i] = brutePath(arm)
+	}
+	want := map[[3]int32]bool{}
+	for p1 := range views[0] {
+		for p2 := range views[1] {
+			if p2[0] != p1[0] {
+				continue
+			}
+			for p3 := range views[2] {
+				if p3[0] == p1[0] {
+					want[[3]int32{p1[1], p2[1], p3[1]}] = true
+				}
+			}
+		}
+	}
+	seen := map[[3]int32]bool{}
+	for _, tp := range got {
+		key := [3]int32{tp[0], tp[1], tp[2]}
+		if seen[key] {
+			t.Fatalf("duplicate snowflake tuple %v", key)
+		}
+		seen[key] = true
+		if !want[key] {
+			t.Fatalf("spurious snowflake tuple %v", key)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("snowflake: %d tuples, want %d", len(seen), len(want))
+	}
+}
+
+func TestSnowflakeOneArm(t *testing.T) {
+	r := relation.FromPairs("R", []relation.Pair{{X: 1, Y: 5}, {X: 1, Y: 6}, {X: 2, Y: 5}})
+	got, err := SnowflakeProject([][]*relation.Relation{{r}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct leaves of the arm view: {5, 6}.
+	if len(got) != 2 {
+		t.Fatalf("one-armed snowflake = %v", got)
+	}
+}
+
+func TestSnowflakeErrors(t *testing.T) {
+	if _, err := SnowflakeProject(nil, Options{}); err == nil {
+		t.Fatal("no arms should error")
+	}
+	if _, err := SnowflakeProject([][]*relation.Relation{{}}, Options{}); err == nil {
+		t.Fatal("empty arm should error")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	// 1 → 10 → 20 → 30; 2 → 11 (dead end).
+	r1 := relation.FromPairs("R1", []relation.Pair{{X: 1, Y: 10}, {X: 2, Y: 11}})
+	r2 := relation.FromPairs("R2", []relation.Pair{{X: 10, Y: 20}})
+	r3 := relation.FromPairs("R3", []relation.Pair{{X: 20, Y: 30}})
+	rels := []*relation.Relation{r1, r2, r3}
+	ok, err := Reachable(rels, 1, 30, Options{})
+	if err != nil || !ok {
+		t.Fatalf("1 should reach 30 (err=%v)", err)
+	}
+	ok, _ = Reachable(rels, 2, 30, Options{})
+	if ok {
+		t.Fatal("2 should not reach 30")
+	}
+	ok, _ = Reachable([]*relation.Relation{r1}, 1, 10, Options{})
+	if !ok {
+		t.Fatal("single-hop reachability failed")
+	}
+	if _, err := Reachable(nil, 1, 2, Options{}); err == nil {
+		t.Fatal("empty chain should error")
+	}
+}
+
+// Property: left-deep and bushy plans agree with brute force for random
+// chains and random thresholds.
+func TestQuickPathOrdersAgree(t *testing.T) {
+	f := func(seed int64, d uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		rels := chain(rng, k, 1+rng.Intn(120), 2+rng.Intn(14))
+		want := brutePath(rels)
+		opt := Options{Join: joinproject.Options{Delta1: 1 + int(d%8), Delta2: 1 + int(d%8), Workers: 2}}
+		for _, ord := range []Order{OrderLeftDeep, OrderBushy} {
+			opt.Order = ord
+			got, err := PathProject(rels, opt)
+			if err != nil {
+				return false
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for _, p := range got {
+				if !want[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package bitset provides fixed-size, 64-bit packed bit vectors.
+//
+// Bitsets are the low-level substrate for two performance-critical parts of
+// the system: the bit-packed boolean matrix product in internal/matrix (the
+// pure-Go stand-in for a vectorized GEMM) and the word-level set
+// intersections of the EmptyHeaded-like baseline in internal/baseline.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Bitset is a fixed-capacity bit vector. The zero value is an empty bitset
+// of capacity zero; use New to create one with a given capacity.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a bitset able to hold n bits, all initially zero.
+func New(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromWords wraps an existing word slice as a bitset of capacity n.
+// The slice is used directly, not copied; it must have length ≥ ceil(n/64).
+func FromWords(words []uint64, n int) *Bitset {
+	return &Bitset{words: words, n: n}
+}
+
+// Len returns the capacity of the bitset in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Words exposes the backing word slice. Callers must not change its length.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Set sets bit i to 1. It panics if i is out of range.
+func (b *Bitset) Set(i int) {
+	b.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0. It panics if i is out of range.
+func (b *Bitset) Clear(i int) {
+	b.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is set. It panics if i is out of range.
+func (b *Bitset) Test(i int) bool {
+	return b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Reset zeroes every bit, keeping capacity.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCount returns |b ∩ o| without materializing the intersection.
+// The two bitsets may have different capacities; the shorter prefix is used.
+func (b *Bitset) AndCount(o *Bitset) int {
+	wa, wb := b.words, o.words
+	if len(wb) < len(wa) {
+		wa, wb = wb, wa
+	}
+	c := 0
+	// Unrolled by 4: this loop is the inner kernel of the boolean matrix
+	// product, so the constant factor matters.
+	i := 0
+	for ; i+4 <= len(wa); i += 4 {
+		c += bits.OnesCount64(wa[i]&wb[i]) +
+			bits.OnesCount64(wa[i+1]&wb[i+1]) +
+			bits.OnesCount64(wa[i+2]&wb[i+2]) +
+			bits.OnesCount64(wa[i+3]&wb[i+3])
+	}
+	for ; i < len(wa); i++ {
+		c += bits.OnesCount64(wa[i] & wb[i])
+	}
+	return c
+}
+
+// Intersects reports whether b and o share any set bit. It short-circuits on
+// the first non-zero word, which makes it cheaper than AndCount when only a
+// boolean answer is needed (the BSI and 2-path dedup paths).
+func (b *Bitset) Intersects(o *Bitset) bool {
+	wa, wb := b.words, o.words
+	if len(wb) < len(wa) {
+		wa, wb = wb, wa
+	}
+	for i, w := range wa {
+		if w&wb[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// InPlaceUnion sets b = b ∪ o. Capacities must satisfy o.Len() ≤ b.Len().
+func (b *Bitset) InPlaceUnion(o *Bitset) {
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+}
+
+// InPlaceIntersect sets b = b ∩ o.
+func (b *Bitset) InPlaceIntersect(o *Bitset) {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] &= o.words[i]
+	}
+	for i := n; i < len(b.words); i++ {
+		b.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy of b.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(wi*wordBits + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// ToSlice returns the indexes of all set bits in ascending order.
+func (b *Bitset) ToSlice() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (b *Bitset) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := b.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
+// Equal reports whether b and o contain exactly the same set bits.
+// Capacities may differ; trailing bits beyond the shorter capacity must be
+// zero for the sets to be equal.
+func (b *Bitset) Equal(o *Bitset) bool {
+	wa, wb := b.words, o.words
+	if len(wa) > len(wb) {
+		wa, wb = wb, wa
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			return false
+		}
+	}
+	for _, w := range wb[len(wa):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,265 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(130)
+	for i := 0; i < 130; i += 3 {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", b.Count())
+	}
+	if b.Len() != 130 {
+		t.Fatalf("Len after Reset = %d, want 130", b.Len())
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	var b Bitset
+	if b.Count() != 0 || b.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	if b.NextSet(0) != -1 {
+		t.Fatal("NextSet on empty should be -1")
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	b := New(-5)
+	if b.Len() != 0 {
+		t.Fatalf("New(-5).Len() = %d, want 0", b.Len())
+	}
+}
+
+func TestAndCountAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		a, b := New(n), New(n)
+		ref := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+				ref[i] = true
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				if ref[i] {
+					ref[i] = true
+				}
+			} else {
+				delete(ref, i)
+			}
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			if a.Test(i) && b.Test(i) {
+				want++
+			}
+		}
+		if got := a.AndCount(b); got != want {
+			t.Fatalf("trial %d: AndCount = %d, want %d", trial, got, want)
+		}
+		if got := a.Intersects(b); got != (want > 0) {
+			t.Fatalf("trial %d: Intersects = %v, want %v", trial, got, want > 0)
+		}
+	}
+}
+
+func TestAndCountDifferentLengths(t *testing.T) {
+	a := New(64)
+	b := New(1000)
+	a.Set(3)
+	a.Set(63)
+	b.Set(3)
+	b.Set(999)
+	if got := a.AndCount(b); got != 1 {
+		t.Fatalf("AndCount across lengths = %d, want 1", got)
+	}
+	if got := b.AndCount(a); got != 1 {
+		t.Fatalf("AndCount reversed = %d, want 1", got)
+	}
+}
+
+func TestForEachAndToSlice(t *testing.T) {
+	b := New(300)
+	want := []int{0, 5, 64, 100, 255, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.ToSlice()
+	if len(got) != len(want) {
+		t.Fatalf("ToSlice len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ToSlice[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := New(256)
+	b.Set(10)
+	b.Set(70)
+	b.Set(255)
+	cases := []struct{ from, want int }{
+		{0, 10}, {10, 10}, {11, 70}, {70, 70}, {71, 255}, {255, 255}, {-3, 10},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	b2 := New(256)
+	if got := b2.NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	a.Set(100)
+	b.Set(1)
+	b.Set(50)
+	u := a.Clone()
+	u.InPlaceUnion(b)
+	for _, i := range []int{1, 50, 100} {
+		if !u.Test(i) {
+			t.Fatalf("union missing bit %d", i)
+		}
+	}
+	x := a.Clone()
+	x.InPlaceIntersect(b)
+	if !x.Test(1) || x.Count() != 1 {
+		t.Fatalf("intersection wrong: count=%d", x.Count())
+	}
+}
+
+func TestIntersectShorterOther(t *testing.T) {
+	a := New(256)
+	a.Set(200)
+	a.Set(5)
+	b := New(64)
+	b.Set(5)
+	a.InPlaceIntersect(b)
+	if !a.Test(5) || a.Count() != 1 {
+		t.Fatalf("intersect with shorter: bit 200 should be cleared, count=%d", a.Count())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(100), New(164)
+	for _, i := range []int{3, 64, 99} {
+		a.Set(i)
+		b.Set(i)
+	}
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	b.Set(150)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal (extra high bit)")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Set(1)
+	c := a.Clone()
+	c.Set(2)
+	if a.Test(2) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+// Property: for random bit patterns, Count(a ∩ b) computed by AndCount
+// matches counting the materialized InPlaceIntersect result.
+func TestQuickAndCountMatchesMaterialized(t *testing.T) {
+	f := func(wa, wb []uint64) bool {
+		n := len(wa)
+		if len(wb) < n {
+			n = len(wb)
+		}
+		if n == 0 {
+			return true
+		}
+		a := FromWords(append([]uint64(nil), wa[:n]...), n*64)
+		b := FromWords(append([]uint64(nil), wb[:n]...), n*64)
+		cnt := a.AndCount(b)
+		m := a.Clone()
+		m.InPlaceIntersect(b)
+		return cnt == m.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and contains both operands.
+func TestQuickUnionLaws(t *testing.T) {
+	f := func(wa, wb [4]uint64) bool {
+		a := FromWords(wa[:], 256)
+		b := FromWords(wb[:], 256)
+		u1 := a.Clone()
+		u1.InPlaceUnion(b)
+		u2 := b.Clone()
+		u2.InPlaceUnion(a)
+		if !u1.Equal(u2) {
+			return false
+		}
+		x := a.Clone()
+		x.InPlaceIntersect(u1)
+		return x.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndCount4096(b *testing.B) {
+	x, y := New(4096), New(4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4096; i++ {
+		if rng.Intn(3) == 0 {
+			x.Set(i)
+		}
+		if rng.Intn(3) == 0 {
+			y.Set(i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndCount(y)
+	}
+}

@@ -1,0 +1,130 @@
+package bsi
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/relation"
+)
+
+// AnswerBatchAYZ answers a batch with the AYZ-style algorithm Section 3.3
+// describes explicitly: a single degree threshold Δ splits the work —
+// values with degree below Δ are handled by the standard join, while the
+// residual heavy values are packed into rectangular matrices of dimensions
+// (C/Δ) × (N/Δ) and (N/Δ) × (C/Δ), whose product is intersected with the
+// query relation T. delta ≤ 0 selects the paper's Δ = C^{1/3}.
+func AnswerBatchAYZ(r, s *relation.Relation, batch []Query, delta int) []bool {
+	if len(batch) == 0 {
+		return nil
+	}
+	if delta <= 0 {
+		delta = int(math.Cbrt(float64(len(batch))))
+		if delta < 1 {
+			delta = 1
+		}
+	}
+	// Filter to the batch constants (T's attribute domains).
+	as := make([]int32, 0, len(batch))
+	bs := make([]int32, 0, len(batch))
+	for _, q := range batch {
+		as = append(as, q.A)
+		bs = append(bs, q.B)
+	}
+	rf := r.RestrictXSet(as)
+	sf := s.RestrictXSet(bs)
+
+	answered := make(map[[2]int32]bool, len(batch))
+	inT := make(map[[2]int32]struct{}, len(batch))
+	for _, q := range batch {
+		inT[[2]int32{q.A, q.B}] = struct{}{}
+	}
+
+	// Heavy y values: degree above Δ in both filtered relations.
+	ry, sy := rf.ByY(), sf.ByY()
+	heavyY := map[int32]int{} // y → column id
+	for i := 0; i < sy.NumKeys(); i++ {
+		y := sy.Key(i)
+		if sy.Degree(i) > delta && len(ry.Lookup(y)) > delta {
+			heavyY[y] = len(heavyY)
+		}
+	}
+
+	// Standard join over the light y values: enumerate R_y × S_y and keep
+	// the pairs that appear in T.
+	for i := 0; i < ry.NumKeys(); i++ {
+		y := ry.Key(i)
+		if _, heavy := heavyY[y]; heavy {
+			continue
+		}
+		zl := sy.Lookup(y)
+		if len(zl) == 0 {
+			continue
+		}
+		for _, a := range ry.List(i) {
+			for _, b := range zl {
+				key := [2]int32{a, b}
+				if _, ok := inT[key]; ok {
+					answered[key] = true
+				}
+			}
+		}
+	}
+
+	// Matrix part: pack the batch endpoints' heavy-y incidence as bit rows
+	// and evaluate the residual queries with short-circuit row intersection
+	// (the boolean product restricted to T).
+	out := make([]bool, len(batch))
+	if len(heavyY) > 0 {
+		aRows, aIdx := packHeavyRows(rf, heavyY)
+		bRows, bIdx := packHeavyRows(sf, heavyY)
+		for i, q := range batch {
+			key := [2]int32{q.A, q.B}
+			if answered[key] {
+				out[i] = true
+				continue
+			}
+			ai, aok := aIdx[q.A]
+			bi, bok := bIdx[q.B]
+			if aok && bok && aRows.Row(ai).Intersects(bRows.Row(bi)) {
+				out[i] = true
+				answered[key] = true
+			}
+		}
+		return out
+	}
+	for i, q := range batch {
+		out[i] = answered[[2]int32{q.A, q.B}]
+	}
+	return out
+}
+
+// packHeavyRows builds one bit row per x value of rel that touches at least
+// one heavy y column.
+func packHeavyRows(rel *relation.Relation, heavyY map[int32]int) (*matrix.BitMatrix, map[int32]int) {
+	ix := rel.ByX()
+	idx := make(map[int32]int)
+	type rowFill struct {
+		x    int32
+		cols []int
+	}
+	var fills []rowFill
+	for i := 0; i < ix.NumKeys(); i++ {
+		var cols []int
+		for _, y := range ix.List(i) {
+			if c, ok := heavyY[y]; ok {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) > 0 {
+			idx[ix.Key(i)] = len(fills)
+			fills = append(fills, rowFill{ix.Key(i), cols})
+		}
+	}
+	m := matrix.NewBitMatrix(len(fills), len(heavyY))
+	for r, f := range fills {
+		for _, c := range f.cols {
+			m.Set(r, c)
+		}
+	}
+	return m, idx
+}

@@ -1,0 +1,26 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/relation"
+)
+
+// Build a compressed co-occurrence view and query it without materializing
+// the join result.
+func ExampleBuild() {
+	// Authors × papers.
+	r := relation.FromPairs("authorship", []relation.Pair{
+		{X: 1, Y: 100}, {X: 2, Y: 100}, // authors 1,2 co-wrote paper 100
+		{X: 2, Y: 101}, {X: 3, Y: 101}, // authors 2,3 co-wrote paper 101
+	})
+	view := compress.Build(r, r, compress.Options{Delta1: 1, Delta2: 1})
+	fmt.Println("1-2 co-authored:", view.Contains(1, 2))
+	fmt.Println("1-3 co-authored:", view.Contains(1, 3))
+	fmt.Println("distinct pairs:", view.Count())
+	// Output:
+	// 1-2 co-authored: true
+	// 1-3 co-authored: false
+	// distinct pairs: 7
+}

@@ -1,0 +1,337 @@
+// Package core provides the public engine of the library: a façade that
+// ties together the optimizer, the join-project algorithms and the
+// application-level joins (set similarity, set containment, boolean set
+// intersection) behind one configuration surface.
+//
+// The engine mirrors the paper's system design: every query first runs
+// through the Section-5 cost-based optimizer, which either falls back to a
+// plain worst-case optimal join (sparse inputs, |OUT⋈| ≤ 20N) or picks the
+// degree thresholds for the matrix-multiplication algorithm of Section 3.
+// Callers can override the choice per engine via options.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/acyclic"
+	"repro/internal/bsi"
+	"repro/internal/compress"
+	"repro/internal/joinproject"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+	"repro/internal/scj"
+	"repro/internal/ssj"
+)
+
+// Strategy selects how the engine plans join-project queries.
+type Strategy int
+
+const (
+	// Auto lets the cost-based optimizer choose (the default).
+	Auto Strategy = iota
+	// ForceMM always runs Algorithm 1 with matrix multiplication.
+	ForceMM
+	// ForceWCOJ always runs the plain worst-case optimal join + dedup.
+	ForceWCOJ
+	// ForceNonMM always runs the combinatorial Lemma-2 algorithm.
+	ForceNonMM
+)
+
+// String names the strategy for plan reporting.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case ForceMM:
+		return "mm"
+	case ForceWCOJ:
+		return "wcoj"
+	case ForceNonMM:
+		return "nonmm"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Config collects the engine knobs. The zero value is a sensible default:
+// automatic planning on all cores.
+type Config struct {
+	Strategy       Strategy
+	Workers        int
+	Delta1, Delta2 int // explicit threshold overrides (0 = planner's choice)
+	// SketchBudget > 0 lets the planner refine its output-size estimate
+	// with a one-pass HyperLogLog over the full join whenever
+	// |OUT⋈| ≤ SketchBudget (the Section-9 refinement).
+	SketchBudget int64
+}
+
+// Option mutates the engine configuration.
+type Option func(*Config)
+
+// WithWorkers bounds the engine's parallelism.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithStrategy pins the planning strategy.
+func WithStrategy(s Strategy) Option { return func(c *Config) { c.Strategy = s } }
+
+// WithThresholds pins the degree thresholds Δ1, Δ2.
+func WithThresholds(d1, d2 int) Option {
+	return func(c *Config) { c.Delta1, c.Delta2 = d1, d2 }
+}
+
+// WithSketchRefinement enables sketch-refined output estimation in the
+// planner for instances whose full join has at most budget tuples.
+func WithSketchRefinement(budget int64) Option {
+	return func(c *Config) { c.SketchBudget = budget }
+}
+
+// Engine evaluates join-project queries and their applications.
+type Engine struct {
+	cfg Config
+	opt *optimizer.Optimizer
+}
+
+// NewEngine builds an engine; calibration of the optimizer's machine
+// constants happens once per process.
+func NewEngine(opts ...Option) *Engine {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Engine{cfg: cfg, opt: optimizer.New()}
+}
+
+// Plan describes how a query was (or would be) evaluated.
+type Plan struct {
+	Strategy       string
+	Delta1, Delta2 int
+	EstOut         int64
+	OutJoin        int64
+}
+
+// String renders the plan as a one-line EXPLAIN.
+func (p Plan) String() string {
+	switch p.Strategy {
+	case "mm":
+		return fmt.Sprintf("plan=mm Δ1=%d Δ2=%d est|OUT|=%d |OUT⋈|=%d",
+			p.Delta1, p.Delta2, p.EstOut, p.OutJoin)
+	case "wcoj":
+		return fmt.Sprintf("plan=wcoj |OUT⋈|=%d (≤ %d·N fallback)", p.OutJoin, optimizer.WCOJFallbackFactor)
+	default:
+		return fmt.Sprintf("plan=%s Δ1=%d Δ2=%d", p.Strategy, p.Delta1, p.Delta2)
+	}
+}
+
+// planTwoPath resolves the strategy and thresholds for one 2-path instance.
+func (e *Engine) planTwoPath(r, s *relation.Relation) Plan {
+	p := Plan{Strategy: e.cfg.Strategy.String(), Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2}
+	switch e.cfg.Strategy {
+	case Auto:
+		var dec optimizer.Decision
+		if e.cfg.SketchBudget > 0 {
+			dec = e.opt.ChooseWithSketch(r, s, e.cfg.Workers, e.cfg.SketchBudget)
+		} else {
+			dec = e.opt.Choose(r, s, e.cfg.Workers)
+		}
+		p.EstOut, p.OutJoin = dec.EstOut, dec.OutJoin
+		if dec.UseWCOJ {
+			p.Strategy = "wcoj"
+		} else {
+			p.Strategy = "mm"
+			if p.Delta1 == 0 {
+				p.Delta1 = dec.Delta1
+			}
+			if p.Delta2 == 0 {
+				p.Delta2 = dec.Delta2
+			}
+		}
+	case ForceWCOJ:
+		p.Strategy = "wcoj"
+	case ForceMM:
+		p.Strategy = "mm"
+	case ForceNonMM:
+		p.Strategy = "nonmm"
+	}
+	return p
+}
+
+// wcojThreshold returns thresholds that classify every value as light,
+// turning Algorithm 1 into the plain WCOJ + constant-time-dedup plan.
+func wcojThreshold(r, s *relation.Relation) int {
+	n := r.Size()
+	if s.Size() > n {
+		n = s.Size()
+	}
+	return n + 1
+}
+
+// JoinProject evaluates π_{x,z}(R(x,y) ⋈ S(z,y)) and returns the distinct
+// pairs along with the chosen plan.
+func (e *Engine) JoinProject(r, s *relation.Relation) ([][2]int32, Plan) {
+	p := e.planTwoPath(r, s)
+	opt := joinproject.Options{Delta1: p.Delta1, Delta2: p.Delta2, Workers: e.cfg.Workers}
+	switch p.Strategy {
+	case "wcoj":
+		t := wcojThreshold(r, s)
+		opt.Delta1, opt.Delta2 = t, t
+		return joinproject.TwoPathMM(r, s, opt), p
+	case "nonmm":
+		return joinproject.TwoPathNonMM(r, s, opt), p
+	default:
+		return joinproject.TwoPathMM(r, s, opt), p
+	}
+}
+
+// JoinProjectCounts evaluates the counting variant: every output pair with
+// its exact witness count.
+func (e *Engine) JoinProjectCounts(r, s *relation.Relation) ([]joinproject.PairCount, Plan) {
+	p := e.planTwoPath(r, s)
+	opt := joinproject.Options{Delta1: p.Delta1, Delta2: p.Delta2, Workers: e.cfg.Workers}
+	switch p.Strategy {
+	case "wcoj":
+		t := wcojThreshold(r, s)
+		opt.Delta1, opt.Delta2 = t, t
+		return joinproject.TwoPathMMCounts(r, s, opt), p
+	case "nonmm":
+		return joinproject.TwoPathNonMMCounts(r, s, opt), p
+	default:
+		return joinproject.TwoPathMMCounts(r, s, opt), p
+	}
+}
+
+// JoinProjectVisit streams every distinct output pair with its witness
+// count to visit, without materializing the result. visit may be invoked
+// concurrently when the engine is parallel; it must be safe for concurrent
+// use. Returns the chosen plan.
+func (e *Engine) JoinProjectVisit(r, s *relation.Relation, visit func(x, z, count int32)) Plan {
+	p := e.planTwoPath(r, s)
+	opt := joinproject.Options{Delta1: p.Delta1, Delta2: p.Delta2, Workers: e.cfg.Workers}
+	if p.Strategy == "wcoj" {
+		t := wcojThreshold(r, s)
+		opt.Delta1, opt.Delta2 = t, t
+	}
+	joinproject.TwoPathMMVisit(r, s, opt, visit)
+	return p
+}
+
+// StarJoin evaluates the projected star query over k relations.
+func (e *Engine) StarJoin(rels []*relation.Relation) ([][]int32, Plan) {
+	p := Plan{Strategy: e.cfg.Strategy.String(), Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2}
+	opt := joinproject.Options{Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2, Workers: e.cfg.Workers}
+	switch e.cfg.Strategy {
+	case Auto:
+		dec := e.opt.ChooseStar(rels, e.cfg.Workers)
+		p.EstOut, p.OutJoin = dec.EstOut, dec.OutJoin
+		if dec.UseWCOJ {
+			p.Strategy = "wcoj"
+			return joinproject.StarNonMM(rels, opt), p
+		}
+		p.Strategy = "mm"
+		if opt.Delta1 == 0 {
+			opt.Delta1 = dec.Delta1
+		}
+		if opt.Delta2 == 0 {
+			opt.Delta2 = dec.Delta2
+		}
+		p.Delta1, p.Delta2 = opt.Delta1, opt.Delta2
+		return joinproject.StarMM(rels, opt), p
+	case ForceWCOJ, ForceNonMM:
+		p.Strategy = "nonmm"
+		return joinproject.StarNonMM(rels, opt), p
+	default:
+		p.Strategy = "mm"
+		return joinproject.StarMM(rels, opt), p
+	}
+}
+
+// SimilarSets returns all set pairs with overlap at least c, using the
+// engine's planning strategy (MMJoin under Auto/ForceMM, SizeAware++ when
+// the caller forces the combinatorial path).
+func (e *Engine) SimilarSets(r *relation.Relation, c int) []ssj.Pair {
+	opt := ssj.Options{Workers: e.cfg.Workers, Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2}
+	if e.cfg.Strategy == ForceWCOJ || e.cfg.Strategy == ForceNonMM {
+		return ssj.SizeAware(r, c, opt)
+	}
+	return ssj.MMJoin(r, c, opt)
+}
+
+// SimilarSetsOrdered returns similar pairs in decreasing overlap order.
+func (e *Engine) SimilarSetsOrdered(r *relation.Relation, c int) []ssj.ScoredPair {
+	opt := ssj.Options{Workers: e.cfg.Workers, Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2}
+	return ssj.MMJoinOrdered(r, c, opt)
+}
+
+// ContainedSets returns every containment pair (sub ⊆ sup).
+func (e *Engine) ContainedSets(r *relation.Relation) []scj.Pair {
+	opt := scj.Options{Workers: e.cfg.Workers, Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2}
+	if e.cfg.Strategy == ForceWCOJ || e.cfg.Strategy == ForceNonMM {
+		return scj.PRETTI(r, opt)
+	}
+	return scj.MMJoin(r, opt)
+}
+
+// IntersectBatch answers a batch of boolean set-intersection queries.
+func (e *Engine) IntersectBatch(r, s *relation.Relation, queries []bsi.Query) []bool {
+	return bsi.AnswerBatch(r, s, queries, bsi.Options{
+		UseMM:   e.cfg.Strategy != ForceWCOJ && e.cfg.Strategy != ForceNonMM,
+		Workers: e.cfg.Workers,
+	})
+}
+
+// GroupByCount evaluates γ_{x; COUNT(DISTINCT z), COUNT(*)}(R ⋈ S)
+// output-sensitively, never materializing the join.
+func (e *Engine) GroupByCount(r, s *relation.Relation) []joinproject.GroupCount {
+	return joinproject.TwoPathGroupBy(r, s, joinproject.Options{
+		Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2, Workers: e.cfg.Workers,
+	})
+}
+
+// TopSimilarSets returns the k most similar set pairs with overlap ≥ c,
+// keeping only a bounded heap while streaming the counting join.
+func (e *Engine) TopSimilarSets(r *relation.Relation, c, k int) []ssj.ScoredPair {
+	return ssj.TopK(r, c, k, ssj.Options{
+		Workers: e.cfg.Workers, Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2,
+	})
+}
+
+// KWaySimilarSets returns all k-tuples of distinct sets whose common
+// intersection has size at least c, via the counting star join.
+func (e *Engine) KWaySimilarSets(r *relation.Relation, k, c int) []ssj.Tuple {
+	return ssj.KWaySimilar(r, k, c, ssj.Options{
+		Workers: e.cfg.Workers, Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2,
+	})
+}
+
+// CompressView builds the compressed (factorized) representation of
+// π_{x,z}(R ⋈ S): light pairs stored explicitly, heavy pairs kept as the
+// two bit-matrix factors. See internal/compress.
+func (e *Engine) CompressView(r, s *relation.Relation) *compress.View {
+	return compress.Build(r, s, compress.Options{
+		Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2, Workers: e.cfg.Workers,
+	})
+}
+
+// PathProject evaluates an endpoint-projected chain query
+// π_{x0,xk}(R1(x0,x1) ⋈ ... ⋈ Rk(x_{k-1},xk)) by composing 2-path
+// join-projects (the acyclic-queries extension).
+func (e *Engine) PathProject(rels []*relation.Relation) ([][2]int32, error) {
+	return acyclic.PathProject(rels, acyclic.Options{
+		Join: joinproject.Options{Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2, Workers: e.cfg.Workers},
+	})
+}
+
+// SnowflakeProject evaluates a star query whose arms are chains, projected
+// onto the arm leaves.
+func (e *Engine) SnowflakeProject(arms [][]*relation.Relation) ([][]int32, error) {
+	return acyclic.SnowflakeProject(arms, acyclic.Options{
+		Join: joinproject.Options{Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2, Workers: e.cfg.Workers},
+	})
+}
+
+// Optimizer exposes the engine's calibrated optimizer (for inspection and
+// the benchmark harness).
+func (e *Engine) Optimizer() *optimizer.Optimizer { return e.opt }
+
+// Explain returns the plan the engine would choose without running the
+// query.
+func (e *Engine) Explain(r, s *relation.Relation) Plan { return e.planTwoPath(r, s) }

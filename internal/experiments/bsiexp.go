@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bsi"
+)
+
+func init() {
+	register("fig6b", "BSI average delay vs batch size, Jokes (Figure 6b)", func(s float64) Result { return runBSI("Jokes", s) })
+	register("fig6c", "BSI average delay vs batch size, Words (Figure 6c)", func(s float64) Result { return runBSI("Words", s) })
+	register("fig6d", "BSI average delay vs batch size, Image (Figure 6d)", func(s float64) Result { return runBSI("Image", s) })
+}
+
+// bsiRate is the paper's arrival rate: 1000 queries per second.
+const bsiRate = 1000.0
+
+// bsiBatchSizes mirrors the Figure 6 x-axis (500–1900 for Jokes/Words,
+// larger for Image).
+var bsiBatchSizes = []int{500, 700, 900, 1100, 1300, 1500, 1700, 1900}
+
+func runBSI(name string, scale float64) Result {
+	var res Result
+	r := getDataset(name, scale)
+	const batches = 3
+	for _, c := range bsiBatchSizes {
+		for _, series := range []struct {
+			label string
+			useMM bool
+		}{{"MMJoin", true}, {"Non-MMJoin", false}} {
+			d := bsi.SimulateDelay(r, r, bsiRate, c, batches, bsi.Options{UseMM: series.useMM, Workers: 1}, 42)
+			res.Rows = append(res.Rows, Row{
+				Dataset: name,
+				Series:  series.label,
+				Param:   fmt.Sprintf("C=%d", c),
+				Seconds: d.AvgDelay.Seconds(),
+				Extra:   fmt.Sprintf("compute=%.4fs units=%d", d.ComputeTime.Seconds(), d.UnitsNeeded),
+			})
+		}
+	}
+	return res
+}

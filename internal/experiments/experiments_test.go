@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIDsComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be registered.
+	want := []string{
+		"table2", "fig3a", "fig3b",
+		"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig4g",
+		"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h",
+		"fig6a", "fig6b", "fig6c", "fig6d",
+		"fig7a", "fig7b", "fig7c", "fig7d",
+		"fig8",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registered %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", 1); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	res, err := Run("table2", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("table2 rows = %d, want 6", len(res.Rows))
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "RoadNet") {
+		t.Fatal("render missing dataset name")
+	}
+}
+
+// Tiny-scale smoke runs of every experiment family: correctness of the
+// measured kernels is covered by package tests; here we assert the harness
+// produces the right series structure.
+func TestSmokeFig4a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	res, err := Run("fig4a", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]int{}
+	for _, row := range res.Rows {
+		series[row.Series]++
+	}
+	for _, s := range []string{"MMJoin", "Non-MMJoin", "Postgres", "MySQL", "EmptyHeaded", "SystemX"} {
+		if series[s] != 6 {
+			t.Errorf("series %s has %d rows, want 6", s, series[s])
+		}
+	}
+	// Output sizes must agree across engines per dataset.
+	outs := map[string]map[string]bool{}
+	for _, row := range res.Rows {
+		if outs[row.Dataset] == nil {
+			outs[row.Dataset] = map[string]bool{}
+		}
+		outs[row.Dataset][row.Extra[:strings.Index(row.Extra+" ", " ")]] = true
+	}
+	for ds, set := range outs {
+		if len(set) != 1 {
+			t.Errorf("dataset %s: engines disagree on |OUT|: %v", ds, set)
+		}
+	}
+}
+
+func TestSmokeFig5aAndFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	res, err := Run("fig5a", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3*len(ssjOverlaps) {
+		t.Fatalf("fig5a rows = %d, want %d", len(res.Rows), 3*len(ssjOverlaps))
+	}
+	res, err = Run("fig8", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("fig8 rows = %d, want 4", len(res.Rows))
+	}
+	if res.Rows[0].Series != "NO-OP" {
+		t.Fatalf("fig8 first series = %s, want NO-OP", res.Rows[0].Series)
+	}
+}
+
+func TestSmokeFig6b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	res, err := Run("fig6b", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*len(bsiBatchSizes) {
+		t.Fatalf("fig6b rows = %d, want %d", len(res.Rows), 2*len(bsiBatchSizes))
+	}
+	for _, row := range res.Rows {
+		if row.Seconds <= 0 {
+			t.Fatalf("non-positive delay in %+v", row)
+		}
+	}
+}
+
+func TestSmokeFig7aAndFig4c(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	res, err := Run("fig4c", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, row := range res.Rows {
+		counts[row.Series]++
+	}
+	for _, s := range []string{"MMJoin", "PIEJoin", "PRETTI", "LIMIT+"} {
+		if counts[s] != 6 {
+			t.Errorf("fig4c series %s rows = %d, want 6", s, counts[s])
+		}
+	}
+	res, err = Run("fig7a", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*len(appCores) {
+		t.Fatalf("fig7a rows = %d, want %d", len(res.Rows), 2*len(appCores))
+	}
+}
+
+func TestSmokeStar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	res, err := Run("fig4b", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("fig4b rows = %d, want 12", len(res.Rows))
+	}
+}
+
+func TestStarSampleRespectsBudget(t *testing.T) {
+	r := getDataset("Jokes", 0.3)
+	s := starSample(r, 100000)
+	if s.Size() == 0 {
+		t.Fatal("sample emptied the relation")
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+)
+
+func init() {
+	register("table2", "Dataset characteristics (Table 2)", runTable2)
+	register("fig3a", "Matrix multiplication: single-core scalability vs dimension (Figure 3a)", runFig3a)
+	register("fig3b", "Matrix multiplication: multi-core scalability, construction vs multiply (Figure 3b)", runFig3b)
+}
+
+func runTable2(scale float64) Result {
+	var res Result
+	for _, name := range dataset.Names() {
+		r := getDataset(name, scale)
+		s := r.Stats()
+		res.Rows = append(res.Rows, Row{
+			Dataset: name,
+			Series:  "stats",
+			Param:   fmt.Sprintf("scale=%g", scale),
+			Seconds: 0,
+			Extra:   s.String(),
+		})
+	}
+	return res
+}
+
+// fig3aDims mirrors the paper's 1000–10000 sweep, scaled to the bit-packed
+// kernel (dimensions are multiplied by scale but kept ≥ 256).
+var fig3aDims = []int{1000, 2000, 4000, 6000, 8000, 10000}
+
+func scaledDim(d int, scale float64) int {
+	v := int(float64(d) * scale)
+	if v < 256 {
+		v = 256
+	}
+	return v
+}
+
+func randomSquare(rng *rand.Rand, n int, density float64) *matrix.BitMatrix {
+	m := matrix.NewBitMatrix(n, n)
+	step := int(1 / density)
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := rng.Intn(step); j < n; j += 1 + rng.Intn(2*step) {
+			m.Set(i, j)
+		}
+	}
+	return m
+}
+
+func runFig3a(scale float64) Result {
+	var res Result
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range fig3aDims {
+		n := scaledDim(d, scale)
+		a := randomSquare(rng, n, 0.3)
+		b := randomSquare(rng, n, 0.3)
+		secs := timeIt(func() { _ = matrix.MulBitCount(a, b, 1) })
+		res.Rows = append(res.Rows, Row{
+			Dataset: "synthetic",
+			Series:  "MatrixMultiplication",
+			Param:   fmt.Sprintf("n=%d", n),
+			Seconds: secs,
+		})
+	}
+	return res
+}
+
+func runFig3b(scale float64) Result {
+	var res Result
+	rng := rand.New(rand.NewSource(8))
+	n := scaledDim(20000, scale/2)
+	for _, co := range []int{1, 2, 3, 4, 5} {
+		var a, b *matrix.BitMatrix
+		construct := timeIt(func() {
+			a = randomSquare(rng, n, 0.3)
+			b = randomSquare(rng, n, 0.3)
+		})
+		var mul float64
+		start := time.Now()
+		_ = matrix.MulBitCount(a, b, co)
+		mul = time.Since(start).Seconds()
+		res.Rows = append(res.Rows, Row{
+			Dataset: "synthetic",
+			Series:  "construction",
+			Param:   fmt.Sprintf("cores=%d", co),
+			Seconds: construct,
+			Extra:   fmt.Sprintf("n=%d", n),
+		})
+		res.Rows = append(res.Rows, Row{
+			Dataset: "synthetic",
+			Series:  "multiplication",
+			Param:   fmt.Sprintf("cores=%d", co),
+			Seconds: mul,
+			Extra:   fmt.Sprintf("n=%d", n),
+		})
+	}
+	return res
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/scj"
+)
+
+func init() {
+	register("fig4c", "Set containment join, single core (Figure 4c)", runFig4c)
+	register("fig7a", "SCJ parallel, Jokes (Figure 7a)", func(s float64) Result { return runSCJParallel("Jokes", s) })
+	register("fig7b", "SCJ parallel, Words (Figure 7b)", func(s float64) Result { return runSCJParallel("Words", s) })
+	register("fig7c", "SCJ parallel, Protein (Figure 7c)", func(s float64) Result { return runSCJParallel("Protein", s) })
+	register("fig7d", "SCJ parallel, Image (Figure 7d)", func(s float64) Result { return runSCJParallel("Image", s) })
+}
+
+func runFig4c(scale float64) Result {
+	var res Result
+	for _, name := range dataset.Names() {
+		r := getDataset(name, scale)
+		var n int
+		secs := timeIt(func() { n = len(scj.MMJoin(r, scj.Options{Workers: 1})) })
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "MMJoin", Param: "1core",
+			Seconds: secs, Extra: fmt.Sprintf("|SCJ|=%d", n)})
+		secs = timeIt(func() { n = len(scj.PIEJoin(r, scj.Options{Workers: 1})) })
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "PIEJoin", Param: "1core",
+			Seconds: secs, Extra: fmt.Sprintf("|SCJ|=%d", n)})
+		secs = timeIt(func() { n = len(scj.PRETTI(r, scj.Options{})) })
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "PRETTI", Param: "1core",
+			Seconds: secs, Extra: fmt.Sprintf("|SCJ|=%d", n)})
+		secs = timeIt(func() { n = len(scj.LimitPlus(r, scj.Options{Limit: 2})) })
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "LIMIT+", Param: "1core",
+			Seconds: secs, Extra: fmt.Sprintf("|SCJ|=%d", n)})
+	}
+	return res
+}
+
+func runSCJParallel(name string, scale float64) Result {
+	var res Result
+	r := getDataset(name, scale)
+	for _, co := range appCores {
+		param := fmt.Sprintf("cores=%d", co)
+		secs := timeIt(func() { _ = scj.MMJoin(r, scj.Options{Workers: co}) })
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "MMJoin", Param: param, Seconds: secs})
+		secs = timeIt(func() { _ = scj.PIEJoin(r, scj.Options{Workers: co}) })
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "PIEJoin", Param: param, Seconds: secs})
+	}
+	return res
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/ssj"
+)
+
+func init() {
+	register("fig5a", "Unordered SSJ vs overlap c, DBLP (Figure 5a)", func(s float64) Result { return runSSJOverlap("DBLP", s, false) })
+	register("fig5b", "Unordered SSJ vs overlap c, Jokes (Figure 5b)", func(s float64) Result { return runSSJOverlap("Jokes", s, false) })
+	register("fig5c", "Unordered SSJ vs overlap c, Image (Figure 5c)", func(s float64) Result { return runSSJOverlap("Image", s, false) })
+	register("fig5d", "Unordered SSJ c=2 parallel, DBLP (Figure 5d)", func(s float64) Result { return runSSJParallel("DBLP", s) })
+	register("fig5e", "Ordered SSJ vs overlap c, DBLP (Figure 5e)", func(s float64) Result { return runSSJOverlap("DBLP", s, true) })
+	register("fig5f", "Ordered SSJ vs overlap c, Jokes (Figure 5f)", func(s float64) Result { return runSSJOverlap("Jokes", s, true) })
+	register("fig5g", "Unordered SSJ c=2 parallel, Jokes (Figure 5g)", func(s float64) Result { return runSSJParallel("Jokes", s) })
+	register("fig5h", "Unordered SSJ c=2 parallel, Image (Figure 5h)", func(s float64) Result { return runSSJParallel("Image", s) })
+	register("fig6a", "Ordered SSJ vs overlap c, Image (Figure 6a)", func(s float64) Result { return runSSJOverlap("Image", s, true) })
+	register("fig8", "SizeAware++ optimization ablation, Words (Figure 8)", runFig8)
+}
+
+var ssjOverlaps = []int{2, 3, 4, 5, 6}
+
+// ssjDataset shrinks Words for the SizeAware baseline, whose light phase is
+// slowest on that shape at full scale (which is the paper's point; we keep
+// it measurable). The other shapes run at the harness scale.
+func ssjDataset(name string, scale float64) *relation.Relation {
+	if name == "Words" {
+		return getDataset(name, scale*0.5)
+	}
+	return getDataset(name, scale)
+}
+
+func runSSJOverlap(name string, scale float64, ordered bool) Result {
+	var res Result
+	r := ssjDataset(name, scale)
+	mode := "unordered"
+	if ordered {
+		mode = "ordered"
+	}
+	for _, c := range ssjOverlaps {
+		param := fmt.Sprintf("c=%d", c)
+		var n int
+		secs := timeIt(func() {
+			if ordered {
+				n = len(ssj.MMJoinOrdered(r, c, ssj.Options{Workers: 1}))
+			} else {
+				n = len(ssj.MMJoin(r, c, ssj.Options{Workers: 1}))
+			}
+		})
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "MMJoin", Param: param,
+			Seconds: secs, Extra: fmt.Sprintf("%s |OUT|=%d", mode, n)})
+
+		secs = timeIt(func() {
+			pairs := ssj.SizeAwarePP(r, c, ssj.PPOptions{Options: ssj.Options{Workers: 1}, Heavy: true, Prefix: true})
+			if ordered {
+				_ = ssj.OrderPairs(r, pairs)
+			}
+			n = len(pairs)
+		})
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "SizeAware++", Param: param,
+			Seconds: secs, Extra: fmt.Sprintf("%s |OUT|=%d", mode, n)})
+
+		secs = timeIt(func() {
+			pairs := ssj.SizeAware(r, c, ssj.Options{Workers: 1})
+			if ordered {
+				_ = ssj.OrderPairs(r, pairs)
+			}
+			n = len(pairs)
+		})
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "SizeAware", Param: param,
+			Seconds: secs, Extra: fmt.Sprintf("%s |OUT|=%d", mode, n)})
+	}
+	return res
+}
+
+func runSSJParallel(name string, scale float64) Result {
+	var res Result
+	r := ssjDataset(name, scale)
+	const c = 2
+	for _, co := range appCores {
+		param := fmt.Sprintf("cores=%d", co)
+		secs := timeIt(func() { _ = ssj.MMJoin(r, c, ssj.Options{Workers: co}) })
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "MMJoin", Param: param, Seconds: secs})
+		secs = timeIt(func() {
+			_ = ssj.SizeAwarePP(r, c, ssj.PPOptions{Options: ssj.Options{Workers: co}, Heavy: true, Light: true})
+		})
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "SizeAware++", Param: param, Seconds: secs})
+		secs = timeIt(func() { _ = ssj.SizeAware(r, c, ssj.Options{Workers: co}) })
+		res.Rows = append(res.Rows, Row{Dataset: name, Series: "SizeAware", Param: param, Seconds: secs})
+	}
+	return res
+}
+
+// runFig8 reproduces the ablation: running time of each optimization level
+// as a percentage of the NO-OP (plain SizeAware) time.
+func runFig8(scale float64) Result {
+	var res Result
+	r := ssjDataset("Words", scale)
+	const c = 2
+	configs := []struct {
+		name string
+		opt  ssj.PPOptions
+	}{
+		{"NO-OP", ssj.PPOptions{}},
+		{"Light", ssj.PPOptions{Light: true}},
+		{"Heavy", ssj.PPOptions{Light: true, Heavy: true}},
+		{"Prefix", ssj.PPOptions{Light: true, Heavy: true, Prefix: true}},
+	}
+	var base float64
+	for i, cfg := range configs {
+		var n int
+		secs := timeIt(func() { n = len(ssj.SizeAwarePP(r, c, cfg.opt)) })
+		if i == 0 {
+			base = secs
+		}
+		pct := 100.0
+		if base > 0 {
+			pct = 100 * secs / base
+		}
+		res.Rows = append(res.Rows, Row{Dataset: "Words", Series: cfg.name, Param: fmt.Sprintf("c=%d", c),
+			Seconds: secs, Extra: fmt.Sprintf("%.1f%% of NO-OP |OUT|=%d", pct, n)})
+	}
+	return res
+}

@@ -1,0 +1,451 @@
+package joinproject
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/matrix"
+	"repro/internal/par"
+	"repro/internal/relation"
+)
+
+// tupleSet is a striped-lock set of fixed-width byte keys, used for global
+// deduplication of projected star tuples across parallel workers.
+type tupleSet struct {
+	seed   maphash.Seed
+	shards [64]tupleShard
+}
+
+type tupleShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+func newTupleSet() *tupleSet {
+	ts := &tupleSet{seed: maphash.MakeSeed()}
+	for i := range ts.shards {
+		ts.shards[i].m = make(map[string]struct{})
+	}
+	return ts
+}
+
+// insert adds key and reports whether it was new.
+func (ts *tupleSet) insert(key []byte) bool {
+	h := maphash.Bytes(ts.seed, key)
+	sh := &ts.shards[h&63]
+	sh.mu.Lock()
+	_, ok := sh.m[string(key)]
+	if !ok {
+		sh.m[string(key)] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !ok
+}
+
+func (ts *tupleSet) size() int {
+	n := 0
+	for i := range ts.shards {
+		n += len(ts.shards[i].m)
+	}
+	return n
+}
+
+func packTuple(key []byte, xs []int32) []byte {
+	key = key[:0]
+	for _, v := range xs {
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return key
+}
+
+// starCtx precomputes the per-relation degree information for Q★k.
+type starCtx struct {
+	rels   []*relation.Relation
+	k      int
+	d1, d2 int
+	ys     []int32
+	// yHeavyCount[i] = number of relations in which ys[i] has degree > Δ1.
+	yHeavyCount []int8
+}
+
+func newStarCtx(rels []*relation.Relation, d1, d2 int) *starCtx {
+	c := &starCtx{rels: rels, k: len(rels), d1: d1, d2: d2}
+	c.ys = relation.CommonYs(rels...)
+	c.yHeavyCount = make([]int8, len(c.ys))
+	for i, y := range c.ys {
+		for _, r := range rels {
+			if len(r.ByY().Lookup(y)) > d1 {
+				c.yHeavyCount[i]++
+			}
+		}
+	}
+	return c
+}
+
+// heavyX reports whether value x is heavy (degree > Δ2) in relation j.
+func (c *starCtx) heavyX(j int, x int32) bool {
+	return len(c.rels[j].ByX().Lookup(x)) > c.d2
+}
+
+// enumerateLight visits every projected tuple that has a witness with at
+// least one non-all-heavy tuple — steps (1) and (2) of the Section-3.2
+// algorithm. emit receives a reused buffer.
+func (c *starCtx) enumerateLight(workers int, emit func(worker int, xs []int32)) {
+	par.ForChunks(len(c.ys), workers, func(lo, hi int) {
+		worker := lo // unique per chunk
+		xs := make([]int32, c.k)
+		lists := make([][]int32, c.k)
+		lightPart := make([][]int32, c.k)
+		heavyPart := make([][]int32, c.k)
+		lightBuf := make([][]int32, c.k)
+		heavyBuf := make([][]int32, c.k)
+		for i := lo; i < hi; i++ {
+			y := c.ys[i]
+			ok := true
+			for j, r := range c.rels {
+				lists[j] = r.ByY().Lookup(y)
+				if len(lists[j]) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if c.yHeavyCount[i] < 2 {
+				// No tuple at this y can be all-heavy (Rj⁺ needs a heavy y
+				// in some other relation), so enumerate the full product.
+				crossEmit(lists, xs, 0, func() { emit(worker, xs) })
+				continue
+			}
+			// Split each list into light and heavy x values; enumerate all
+			// combinations except heavy×heavy×...×heavy, which the matrix
+			// step covers.
+			for j := range c.rels {
+				lightBuf[j] = lightBuf[j][:0]
+				heavyBuf[j] = heavyBuf[j][:0]
+				for _, x := range lists[j] {
+					if c.heavyX(j, x) {
+						heavyBuf[j] = append(heavyBuf[j], x)
+					} else {
+						lightBuf[j] = append(lightBuf[j], x)
+					}
+				}
+				lightPart[j] = lightBuf[j]
+				heavyPart[j] = heavyBuf[j]
+			}
+			// First-light-position decomposition: position p takes heavy
+			// values before p, light at p, anything after p. Each
+			// not-all-heavy combination is produced exactly once.
+			for p := 0; p < c.k; p++ {
+				if len(lightPart[p]) == 0 {
+					continue
+				}
+				crossSegmented(heavyPart, lightPart, lists, xs, 0, p, func() { emit(worker, xs) })
+			}
+		}
+	})
+}
+
+func crossEmit(lists [][]int32, xs []int32, depth int, f func()) {
+	if depth == len(lists) {
+		f()
+		return
+	}
+	for _, v := range lists[depth] {
+		xs[depth] = v
+		crossEmit(lists, xs, depth+1, f)
+	}
+}
+
+// crossSegmented enumerates heavy[0..p-1] × light[p] × full[p+1..k-1].
+func crossSegmented(heavy, light, full [][]int32, xs []int32, depth, p int, f func()) {
+	if depth == len(full) {
+		f()
+		return
+	}
+	var seg []int32
+	switch {
+	case depth < p:
+		seg = heavy[depth]
+	case depth == p:
+		seg = light[depth]
+	default:
+		seg = full[depth]
+	}
+	if len(seg) == 0 {
+		return
+	}
+	for _, v := range seg {
+		xs[depth] = v
+		crossSegmented(heavy, light, full, xs, depth+1, p, f)
+	}
+}
+
+// buildGroupMatrix materializes the Section-3.2 matrix for relations
+// [jlo, jhi): rows are distinct tuples of heavy x values co-occurring under
+// some eligible heavy y, columns are those y values.
+func (c *starCtx) buildGroupMatrix(jlo, jhi int, yCols map[int32]int) (rows [][]int32, bm *matrix.BitMatrix) {
+	rowID := make(map[string]int)
+	type cell struct{ row, col int }
+	var cells []cell
+	xs := make([]int32, jhi-jlo)
+	heavyLists := make([][]int32, jhi-jlo)
+	var key []byte
+	for y, col := range yCols {
+		ok := true
+		for j := jlo; j < jhi; j++ {
+			list := c.rels[j].ByY().Lookup(y)
+			var hv []int32
+			for _, x := range list {
+				if c.heavyX(j, x) {
+					hv = append(hv, x)
+				}
+			}
+			if len(hv) == 0 {
+				ok = false
+				break
+			}
+			heavyLists[j-jlo] = hv
+		}
+		if !ok {
+			continue
+		}
+		crossEmit(heavyLists, xs, 0, func() {
+			key = packTuple(key, xs)
+			id, seen := rowID[string(key)]
+			if !seen {
+				id = len(rows)
+				rowID[string(key)] = id
+				cp := make([]int32, len(xs))
+				copy(cp, xs)
+				rows = append(rows, cp)
+			}
+			cells = append(cells, cell{id, col})
+		})
+	}
+	bm = matrix.NewBitMatrix(len(rows), len(yCols))
+	for _, cl := range cells {
+		bm.Set(cl.row, cl.col)
+	}
+	return rows, bm
+}
+
+// runStar evaluates Q★k with the MM (useMM=true) or combinatorial strategy
+// and streams each distinct projected tuple to emit (called from multiple
+// goroutines; the tuple slice is owned by the callee).
+func (c *starCtx) runStar(workers int, useMM bool, emit func(xs []int32)) {
+	dedup := newTupleSet()
+	keyed := func(worker int, xs []int32) {
+		// Per-worker key buffers via closure-local pool.
+		key := packTuple(make([]byte, 0, 4*c.k), xs)
+		if dedup.insert(key) {
+			cp := make([]int32, len(xs))
+			copy(cp, xs)
+			emit(cp)
+		}
+	}
+	if !useMM {
+		// Combinatorial baseline: enumerate the full join and deduplicate.
+		par.ForChunks(len(c.ys), workers, func(lo, hi int) {
+			xs := make([]int32, c.k)
+			lists := make([][]int32, c.k)
+			for i := lo; i < hi; i++ {
+				y := c.ys[i]
+				ok := true
+				for j, r := range c.rels {
+					lists[j] = r.ByY().Lookup(y)
+					if len(lists[j]) == 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					crossEmit(lists, xs, 0, func() { keyed(lo, xs) })
+				}
+			}
+		})
+		return
+	}
+	// Step 1+2: everything with a light component.
+	c.enumerateLight(workers, keyed)
+	// Step 3: all-heavy tuples via the grouped matrix product V × Wᵀ.
+	yCols := make(map[int32]int)
+	for i, y := range c.ys {
+		if c.yHeavyCount[i] >= 2 {
+			yCols[y] = len(yCols)
+		}
+	}
+	if len(yCols) == 0 {
+		return
+	}
+	g := (c.k + 1) / 2
+	rowsA, va := c.buildGroupMatrix(0, g, yCols)
+	if len(rowsA) == 0 {
+		return
+	}
+	rowsB, wb := c.buildGroupMatrix(g, c.k, yCols)
+	if len(rowsB) == 0 {
+		return
+	}
+	matrix.ForEachRowProduct(va, wb, workers, func(i int, counts []int32) {
+		xs := make([]int32, c.k)
+		for j, n := range counts {
+			if n == 0 {
+				continue
+			}
+			copy(xs, rowsA[i])
+			copy(xs[g:], rowsB[j])
+			keyed(i, xs)
+		}
+	})
+}
+
+// StarMM evaluates the projected star query π_{x1..xk}(R1 ⋈ ... ⋈ Rk) with
+// the Section-3.2 algorithm and returns the distinct output tuples.
+func StarMM(rels []*relation.Relation, opt Options) [][]int32 {
+	if len(rels) == 0 {
+		return nil
+	}
+	if opt.Delta1 <= 0 || opt.Delta2 <= 0 {
+		d1, d2 := HeuristicStarThresholds(rels, len(rels))
+		if opt.Delta1 <= 0 {
+			opt.Delta1 = d1
+		}
+		if opt.Delta2 <= 0 {
+			opt.Delta2 = d2
+		}
+	}
+	c := newStarCtx(rels, opt.Delta1, opt.Delta2)
+	var mu sync.Mutex
+	var out [][]int32
+	c.runStar(opt.Workers, true, func(xs []int32) {
+		mu.Lock()
+		out = append(out, xs)
+		mu.Unlock()
+	})
+	return out
+}
+
+// StarNonMM is the combinatorial baseline: full WCOJ enumeration of the star
+// join followed by deduplication (the plan Lemma 2 underlies, without the
+// matrix step).
+func StarNonMM(rels []*relation.Relation, opt Options) [][]int32 {
+	if len(rels) == 0 {
+		return nil
+	}
+	if opt.Delta1 <= 0 || opt.Delta2 <= 0 {
+		opt.Delta1, opt.Delta2 = 1, 1
+	}
+	c := newStarCtx(rels, opt.Delta1, opt.Delta2)
+	var mu sync.Mutex
+	var out [][]int32
+	c.runStar(opt.Workers, false, func(xs []int32) {
+		mu.Lock()
+		out = append(out, xs)
+		mu.Unlock()
+	})
+	return out
+}
+
+// TupleCount is one projected star tuple with its witness count
+// |{y : (xs[i], y) ∈ Ri ∀i}|.
+type TupleCount struct {
+	Xs    []int32
+	Count int32
+}
+
+// StarMMCounts evaluates the star query with exact witness counts: the
+// light categories contribute one witness per enumerated (y, tuple)
+// combination, and the grouped matrix product contributes the count of
+// shared heavy-eligible y values — the same witness-space partition
+// argument as the 2-path counting variant.
+func StarMMCounts(rels []*relation.Relation, opt Options) []TupleCount {
+	if len(rels) == 0 {
+		return nil
+	}
+	if opt.Delta1 <= 0 || opt.Delta2 <= 0 {
+		d1, d2 := HeuristicStarThresholds(rels, len(rels))
+		if opt.Delta1 <= 0 {
+			opt.Delta1 = d1
+		}
+		if opt.Delta2 <= 0 {
+			opt.Delta2 = d2
+		}
+	}
+	c := newStarCtx(rels, opt.Delta1, opt.Delta2)
+	counts := make(map[string]int32)
+	var mu sync.Mutex
+	add := func(key []byte, n int32) {
+		mu.Lock()
+		counts[string(key)] += n
+		mu.Unlock()
+	}
+	// Light categories: every enumerated combination is one witness.
+	c.enumerateLight(opt.Workers, func(_ int, xs []int32) {
+		add(packTuple(make([]byte, 0, 4*c.k), xs), 1)
+	})
+	// All-heavy witnesses via the grouped matrix product.
+	yCols := make(map[int32]int)
+	for i, y := range c.ys {
+		if c.yHeavyCount[i] >= 2 {
+			yCols[y] = len(yCols)
+		}
+	}
+	if len(yCols) > 0 {
+		g := (c.k + 1) / 2
+		rowsA, va := c.buildGroupMatrix(0, g, yCols)
+		if len(rowsA) > 0 {
+			rowsB, wb := c.buildGroupMatrix(g, c.k, yCols)
+			if len(rowsB) > 0 {
+				matrix.ForEachRowProduct(va, wb, opt.Workers, func(i int, cnts []int32) {
+					xs := make([]int32, c.k)
+					for j, n := range cnts {
+						if n == 0 {
+							continue
+						}
+						copy(xs, rowsA[i])
+						copy(xs[g:], rowsB[j])
+						add(packTuple(make([]byte, 0, 4*c.k), xs), n)
+					}
+				})
+			}
+		}
+	}
+	out := make([]TupleCount, 0, len(counts))
+	for key, n := range counts {
+		xs := make([]int32, c.k)
+		for i := range xs {
+			b := []byte(key[4*i : 4*i+4])
+			xs[i] = int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+		}
+		out = append(out, TupleCount{Xs: xs, Count: n})
+	}
+	return out
+}
+
+// StarMMSize returns the number of distinct projected star tuples without
+// collecting them.
+func StarMMSize(rels []*relation.Relation, opt Options) int64 {
+	if len(rels) == 0 {
+		return 0
+	}
+	if opt.Delta1 <= 0 || opt.Delta2 <= 0 {
+		d1, d2 := HeuristicStarThresholds(rels, len(rels))
+		if opt.Delta1 <= 0 {
+			opt.Delta1 = d1
+		}
+		if opt.Delta2 <= 0 {
+			opt.Delta2 = d2
+		}
+	}
+	c := newStarCtx(rels, opt.Delta1, opt.Delta2)
+	var n int64
+	var mu sync.Mutex
+	c.runStar(opt.Workers, true, func(xs []int32) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	return n
+}

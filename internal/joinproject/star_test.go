@@ -1,0 +1,293 @@
+package joinproject
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/wcoj"
+)
+
+func tuplesToSet(ts [][]int32) map[string]bool {
+	set := make(map[string]bool, len(ts))
+	for _, xs := range ts {
+		set[string(packTuple(nil, xs))] = true
+	}
+	return set
+}
+
+func checkTuplesEqual(t *testing.T, got, want [][]int32, label string) {
+	t.Helper()
+	gs, ws := tuplesToSet(got), tuplesToSet(want)
+	if len(gs) != len(got) {
+		t.Fatalf("%s: duplicates in output (%d tuples, %d distinct)", label, len(got), len(gs))
+	}
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: %d tuples, want %d", label, len(gs), len(ws))
+	}
+	for k := range ws {
+		if !gs[k] {
+			t.Fatalf("%s: missing tuple", label)
+		}
+	}
+}
+
+func TestStarSmall(t *testing.T) {
+	r := rel("R", [2]int32{1, 10}, [2]int32{2, 10})
+	s := rel("S", [2]int32{5, 10})
+	u := rel("U", [2]int32{7, 10}, [2]int32{8, 10})
+	want := wcoj.ProjectStar([]*relation.Relation{r, s, u})
+	got := StarMM([]*relation.Relation{r, s, u}, Options{Delta1: 1, Delta2: 1})
+	checkTuplesEqual(t, got, want, "star small")
+}
+
+func TestStarThresholdSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rels := []*relation.Relation{
+		skewedRel(rng, "R1", 200, 12, 10),
+		skewedRel(rng, "R2", 200, 12, 10),
+		skewedRel(rng, "R3", 200, 12, 10),
+	}
+	want := wcoj.ProjectStar(rels)
+	for _, d1 := range []int{1, 2, 6, 100} {
+		for _, d2 := range []int{1, 3, 100} {
+			got := StarMM(rels, Options{Delta1: d1, Delta2: d2, Workers: 1})
+			checkTuplesEqual(t, got, want, "star sweep")
+			gotN := StarNonMM(rels, Options{Delta1: d1, Delta2: d2, Workers: 1})
+			checkTuplesEqual(t, gotN, want, "star nonmm sweep")
+		}
+	}
+}
+
+func TestStarParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	rels := []*relation.Relation{
+		skewedRel(rng, "R1", 400, 20, 14),
+		skewedRel(rng, "R2", 400, 20, 14),
+		skewedRel(rng, "R3", 400, 20, 14),
+	}
+	want := wcoj.ProjectStar(rels)
+	for _, w := range []int{2, 6} {
+		got := StarMM(rels, Options{Delta1: 2, Delta2: 2, Workers: w})
+		checkTuplesEqual(t, got, want, "star parallel")
+	}
+}
+
+// TestPaperExample3 mirrors Example 3: a 4-way star whose variables are
+// grouped as (x,z) and (p,q) for the matrix step.
+func TestPaperExample3(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	rels := []*relation.Relation{
+		skewedRel(rng, "R", 150, 8, 6),
+		skewedRel(rng, "S", 150, 8, 6),
+		skewedRel(rng, "T", 150, 8, 6),
+		skewedRel(rng, "U", 150, 8, 6),
+	}
+	want := wcoj.ProjectStar(rels)
+	got := StarMM(rels, Options{Delta1: 2, Delta2: 2})
+	checkTuplesEqual(t, got, want, "example 3 star-4")
+	if n := StarMMSize(rels, Options{Delta1: 2, Delta2: 2}); n != int64(len(want)) {
+		t.Fatalf("StarMMSize = %d, want %d", n, len(want))
+	}
+}
+
+func TestStarTwoRelationsMatchesTwoPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	r := skewedRel(rng, "R", 300, 25, 15)
+	s := skewedRel(rng, "S", 300, 25, 15)
+	want := TwoPathMM(r, s, Options{Delta1: 2, Delta2: 2})
+	got := StarMM([]*relation.Relation{r, s}, Options{Delta1: 2, Delta2: 2})
+	wantTuples := make([][]int32, len(want))
+	for i, p := range want {
+		wantTuples[i] = []int32{p[0], p[1]}
+	}
+	checkTuplesEqual(t, got, wantTuples, "star k=2 vs 2-path")
+}
+
+func TestStarEmpty(t *testing.T) {
+	if got := StarMM(nil, Options{}); got != nil {
+		t.Fatalf("StarMM(nil) = %v", got)
+	}
+	empty := rel("E")
+	r := rel("R", [2]int32{1, 1})
+	if got := StarMM([]*relation.Relation{r, empty, r}, Options{Delta1: 1, Delta2: 1}); len(got) != 0 {
+		t.Fatalf("star with empty relation = %v", got)
+	}
+}
+
+func TestStarDefaultThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	rels := []*relation.Relation{
+		skewedRel(rng, "R1", 250, 15, 12),
+		skewedRel(rng, "R2", 250, 15, 12),
+		skewedRel(rng, "R3", 250, 15, 12),
+	}
+	want := wcoj.ProjectStar(rels)
+	got := StarMM(rels, Options{})
+	checkTuplesEqual(t, got, want, "star defaults")
+	d1, d2 := HeuristicStarThresholds(rels, 3)
+	if d1 < 1 || d2 < 1 {
+		t.Fatalf("star thresholds (%d, %d) below 1", d1, d2)
+	}
+}
+
+// Property: StarMM equals the WCOJ oracle for random 3-star instances and
+// random thresholds.
+func TestQuickStarMatchesOracle(t *testing.T) {
+	f := func(seed int64, d1raw, d2raw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rels := []*relation.Relation{
+			skewedRel(rng, "R1", 1+rng.Intn(120), 1+rng.Intn(10), 1+rng.Intn(8)),
+			skewedRel(rng, "R2", 1+rng.Intn(120), 1+rng.Intn(10), 1+rng.Intn(8)),
+			skewedRel(rng, "R3", 1+rng.Intn(120), 1+rng.Intn(10), 1+rng.Intn(8)),
+		}
+		opt := Options{Delta1: 1 + int(d1raw%8), Delta2: 1 + int(d2raw%8), Workers: 2}
+		want := tuplesToSet(wcoj.ProjectStar(rels))
+		got := tuplesToSet(StarMM(rels, opt))
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteStarCounts enumerates witness counts for projected star tuples.
+func bruteStarCounts(rels []*relation.Relation) map[string]int32 {
+	out := map[string]int32{}
+	k := len(rels)
+	var rec func(depth int, y int32, xs []int32)
+	rec = func(depth int, y int32, xs []int32) {
+		if depth == k {
+			out[string(packTuple(nil, xs))]++
+			return
+		}
+		for _, x := range rels[depth].ByY().Lookup(y) {
+			xs[depth] = x
+			rec(depth+1, y, xs)
+		}
+	}
+	xs := make([]int32, k)
+	for _, y := range relation.CommonYs(rels...) {
+		rec(0, y, xs)
+	}
+	return out
+}
+
+func TestStarMMCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 5; trial++ {
+		rels := []*relation.Relation{
+			skewedRel(rng, "R1", 120, 10, 8),
+			skewedRel(rng, "R2", 120, 10, 8),
+			skewedRel(rng, "R3", 120, 10, 8),
+		}
+		want := bruteStarCounts(rels)
+		for _, d := range []int{1, 3, 100} {
+			got := StarMMCounts(rels, Options{Delta1: d, Delta2: d, Workers: 2})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d d=%d: %d tuples, want %d", trial, d, len(got), len(want))
+			}
+			for _, tc := range got {
+				key := string(packTuple(nil, tc.Xs))
+				if want[key] != tc.Count {
+					t.Fatalf("trial %d d=%d: tuple %v count %d, want %d", trial, d, tc.Xs, tc.Count, want[key])
+				}
+			}
+		}
+	}
+}
+
+func TestStarMMCountsFourWay(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	rels := []*relation.Relation{
+		skewedRel(rng, "R1", 80, 7, 6),
+		skewedRel(rng, "R2", 80, 7, 6),
+		skewedRel(rng, "R3", 80, 7, 6),
+		skewedRel(rng, "R4", 80, 7, 6),
+	}
+	want := bruteStarCounts(rels)
+	got := StarMMCounts(rels, Options{Delta1: 2, Delta2: 2})
+	if len(got) != len(want) {
+		t.Fatalf("%d tuples, want %d", len(got), len(want))
+	}
+	for _, tc := range got {
+		if want[string(packTuple(nil, tc.Xs))] != tc.Count {
+			t.Fatalf("tuple %v count %d wrong", tc.Xs, tc.Count)
+		}
+	}
+}
+
+func TestTupleSet(t *testing.T) {
+	ts := newTupleSet()
+	if !ts.insert([]byte("abcd")) {
+		t.Fatal("first insert should be new")
+	}
+	if ts.insert([]byte("abcd")) {
+		t.Fatal("second insert should not be new")
+	}
+	if !ts.insert([]byte("abce")) {
+		t.Fatal("distinct key should be new")
+	}
+	if ts.size() != 2 {
+		t.Fatalf("size = %d, want 2", ts.size())
+	}
+}
+
+func TestPackTupleDistinct(t *testing.T) {
+	a := packTuple(nil, []int32{1, 2})
+	b := packTuple(nil, []int32{2, 1})
+	if string(a) == string(b) {
+		t.Fatal("packTuple collided on permuted tuples")
+	}
+	c := packTuple(nil, []int32{-1, 0})
+	d := packTuple(nil, []int32{0, -1})
+	if string(c) == string(d) {
+		t.Fatal("packTuple collided on negative values")
+	}
+}
+
+func TestCrossSegmentedCoversExactlyNotAllHeavy(t *testing.T) {
+	// lists with explicit light/heavy split: verify the first-light-position
+	// decomposition enumerates each not-all-heavy combo exactly once.
+	light := [][]int32{{1}, {10}, {100}}
+	heavy := [][]int32{{2, 3}, {20}, {200}}
+	full := [][]int32{{1, 2, 3}, {10, 20}, {100, 200}}
+	seen := map[[3]int32]int{}
+	xs := make([]int32, 3)
+	for p := 0; p < 3; p++ {
+		if len(light[p]) == 0 {
+			continue
+		}
+		crossSegmented(heavy, light, full, xs, 0, p, func() {
+			seen[[3]int32{xs[0], xs[1], xs[2]}]++
+		})
+	}
+	total := 0
+	for _, l := range full {
+		if total == 0 {
+			total = len(l)
+		} else {
+			total *= len(l)
+		}
+	}
+	allHeavy := len(heavy[0]) * len(heavy[1]) * len(heavy[2])
+	if len(seen) != total-allHeavy {
+		t.Fatalf("decomposition covered %d combos, want %d", len(seen), total-allHeavy)
+	}
+	for combo, n := range seen {
+		if n != 1 {
+			t.Fatalf("combo %v enumerated %d times", combo, n)
+		}
+	}
+	sort.Strings(nil) // keep sort import for symmetry with other tests
+}

@@ -1,0 +1,389 @@
+package joinproject
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/wcoj"
+)
+
+func rel(name string, ps ...[2]int32) *relation.Relation {
+	pairs := make([]relation.Pair, len(ps))
+	for i, p := range ps {
+		pairs[i] = relation.Pair{X: p[0], Y: p[1]}
+	}
+	return relation.FromPairs(name, pairs)
+}
+
+func randomRel(rng *rand.Rand, name string, n, xdom, ydom int) *relation.Relation {
+	ps := make([]relation.Pair, n)
+	for i := range ps {
+		ps[i] = relation.Pair{X: int32(rng.Intn(xdom)), Y: int32(rng.Intn(ydom))}
+	}
+	return relation.FromPairs(name, ps)
+}
+
+// skewedRel produces Zipf-ish degree skew so both light and heavy paths of
+// Algorithm 1 are exercised.
+func skewedRel(rng *rand.Rand, name string, n, xdom, ydom int) *relation.Relation {
+	ps := make([]relation.Pair, n)
+	for i := range ps {
+		x := int32(rng.Intn(xdom))
+		if rng.Intn(3) == 0 {
+			x = int32(rng.Intn(3)) // a few very heavy x values
+		}
+		y := int32(rng.Intn(ydom))
+		if rng.Intn(3) == 0 {
+			y = int32(rng.Intn(3)) // a few very heavy y values
+		}
+		ps[i] = relation.Pair{X: x, Y: y}
+	}
+	return relation.FromPairs(name, ps)
+}
+
+func pairsToMap(ps [][2]int32) map[[2]int32]bool {
+	m := make(map[[2]int32]bool, len(ps))
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}
+
+func countsToMap(pc []PairCount) map[[2]int32]int32 {
+	m := make(map[[2]int32]int32, len(pc))
+	for _, p := range pc {
+		m[[2]int32{p.X, p.Z}] += p.Count
+	}
+	return m
+}
+
+func bruteCounts(r, s *relation.Relation) map[[2]int32]int32 {
+	out := map[[2]int32]int32{}
+	for _, rp := range r.Pairs() {
+		for _, sp := range s.Pairs() {
+			if rp.Y == sp.Y {
+				out[[2]int32{rp.X, sp.X}]++
+			}
+		}
+	}
+	return out
+}
+
+func checkPairsEqual(t *testing.T, got [][2]int32, want map[[2]int32]int32, label string) {
+	t.Helper()
+	gm := pairsToMap(got)
+	if len(gm) != len(got) {
+		t.Fatalf("%s: output contains duplicates (%d pairs, %d distinct)", label, len(got), len(gm))
+	}
+	if len(gm) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(gm), len(want))
+	}
+	for p := range want {
+		if !gm[p] {
+			t.Fatalf("%s: missing pair %v", label, p)
+		}
+	}
+}
+
+func checkCountsEqual(t *testing.T, got []PairCount, want map[[2]int32]int32, label string) {
+	t.Helper()
+	gm := countsToMap(got)
+	if len(gm) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(gm), len(want))
+	}
+	seen := map[[2]int32]bool{}
+	for _, p := range got {
+		key := [2]int32{p.X, p.Z}
+		if seen[key] {
+			t.Fatalf("%s: pair %v emitted twice", label, key)
+		}
+		seen[key] = true
+	}
+	for p, c := range want {
+		if gm[p] != c {
+			t.Fatalf("%s: pair %v count = %d, want %d", label, p, gm[p], c)
+		}
+	}
+}
+
+func TestTwoPathSmall(t *testing.T) {
+	r := rel("R", [2]int32{1, 10}, [2]int32{2, 10}, [2]int32{3, 11})
+	s := rel("S", [2]int32{5, 10}, [2]int32{6, 11}, [2]int32{6, 12})
+	want := bruteCounts(r, s)
+	checkPairsEqual(t, TwoPathMM(r, s, Options{Delta1: 1, Delta2: 1}), want, "MM d=1")
+	checkPairsEqual(t, TwoPathMM(r, s, Options{Delta1: 100, Delta2: 100}), want, "MM all-light")
+	checkCountsEqual(t, TwoPathMMCounts(r, s, Options{Delta1: 1, Delta2: 1}), want, "MM counts")
+}
+
+func TestTwoPathAcrossThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	r := skewedRel(rng, "R", 400, 40, 30)
+	s := skewedRel(rng, "S", 400, 40, 30)
+	want := bruteCounts(r, s)
+	for _, d1 := range []int{1, 2, 5, 50, 1000} {
+		for _, d2 := range []int{1, 3, 10, 1000} {
+			opt := Options{Delta1: d1, Delta2: d2, Workers: 1}
+			checkPairsEqual(t, TwoPathMM(r, s, opt), want, "MM")
+			checkCountsEqual(t, TwoPathMMCounts(r, s, opt), want, "MMCounts")
+			checkPairsEqual(t, TwoPathNonMM(r, s, opt), want, "NonMM")
+			checkCountsEqual(t, TwoPathNonMMCounts(r, s, opt), want, "NonMMCounts")
+		}
+	}
+}
+
+func TestTwoPathParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	r := skewedRel(rng, "R", 1500, 120, 60)
+	s := skewedRel(rng, "S", 1500, 120, 60)
+	want := bruteCounts(r, s)
+	for _, w := range []int{1, 2, 4, 9} {
+		opt := Options{Delta1: 3, Delta2: 4, Workers: w}
+		checkPairsEqual(t, TwoPathMM(r, s, opt), want, "MM parallel")
+		checkCountsEqual(t, TwoPathMMCounts(r, s, opt), want, "MMCounts parallel")
+	}
+}
+
+func TestTwoPathSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := skewedRel(rng, "R", 600, 50, 25)
+	want := bruteCounts(r, r)
+	checkCountsEqual(t, TwoPathMMCounts(r, r, Options{Delta1: 2, Delta2: 3}), want, "self join")
+}
+
+func TestTwoPathDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	r := skewedRel(rng, "R", 500, 60, 30)
+	s := skewedRel(rng, "S", 500, 60, 30)
+	want := bruteCounts(r, s)
+	// Zero options select heuristic thresholds; result must be unchanged.
+	checkPairsEqual(t, TwoPathMM(r, s, Options{}), want, "default thresholds")
+	if got := TwoPathSize(r, s, Options{}); got != int64(len(want)) {
+		t.Fatalf("TwoPathSize = %d, want %d", got, len(want))
+	}
+}
+
+func TestTwoPathEmptyAndDisjoint(t *testing.T) {
+	empty := rel("E")
+	r := rel("R", [2]int32{1, 1})
+	if got := TwoPathMM(empty, r, Options{Delta1: 1, Delta2: 1}); len(got) != 0 {
+		t.Fatalf("join with empty = %v", got)
+	}
+	disjoint := rel("D", [2]int32{9, 99})
+	if got := TwoPathMM(r, disjoint, Options{Delta1: 1, Delta2: 1}); len(got) != 0 {
+		t.Fatalf("disjoint join = %v", got)
+	}
+}
+
+func TestTwoPathVisitCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	r := skewedRel(rng, "R", 300, 30, 20)
+	s := skewedRel(rng, "S", 300, 30, 20)
+	want := bruteCounts(r, s)
+	got := map[[2]int32]int32{}
+	TwoPathMMVisit(r, s, Options{Delta1: 2, Delta2: 2, Workers: 1}, func(x, z, n int32) {
+		got[[2]int32{x, z}] += n
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visit saw %d pairs, want %d", len(got), len(want))
+	}
+	for p, c := range want {
+		if got[p] != c {
+			t.Fatalf("pair %v count = %d, want %d", p, got[p], c)
+		}
+	}
+}
+
+// TestPaperExample2 reconstructs the matrix step of Example 2: with all
+// values heavy, the witness counts must match the matrix product M given in
+// the paper: M = [[1,2,1],[2,3,2],[2,2,3]] over x,z ∈ {4,5,6}.
+func TestPaperExample2(t *testing.T) {
+	// M1 (x rows 4..6 over y cols 4..6) and M2 (y rows 4..6 over z cols 4..6)
+	// from the paper.
+	r := rel("R",
+		[2]int32{4, 4}, [2]int32{4, 6},
+		[2]int32{5, 4}, [2]int32{5, 5}, [2]int32{5, 6},
+		[2]int32{6, 4}, [2]int32{6, 5},
+	)
+	s := rel("S", // S(z,y) such that M2[y][z] = 1
+		[2]int32{4, 4}, [2]int32{5, 4},
+		[2]int32{4, 5}, [2]int32{5, 5}, [2]int32{6, 5},
+		[2]int32{5, 6}, [2]int32{6, 6},
+	)
+	// Note: the paper prints M[6][6] = 3, but row x=6 of M1 is (1,1,0) and
+	// column z=6 of M2 is (0,1,1), whose dot product is 1 — a typo in the
+	// paper's figure. Every other entry matches the printed M.
+	wantM := map[[2]int32]int32{
+		{4, 4}: 1, {4, 5}: 2, {4, 6}: 1,
+		{5, 4}: 2, {5, 5}: 3, {5, 6}: 2,
+		{6, 4}: 2, {6, 5}: 2, {6, 6}: 1,
+	}
+	// Δ1 = Δ2 = 1 makes every value heavy (all degrees ≥ 2), so the entire
+	// result flows through the matrix product.
+	checkCountsEqual(t, TwoPathMMCounts(r, s, Options{Delta1: 1, Delta2: 1}), wantM, "example 2 heavy")
+	// The result must be threshold-invariant: all-light evaluation agrees.
+	checkCountsEqual(t, TwoPathMMCounts(r, s, Options{Delta1: 99, Delta2: 99}), wantM, "example 2 light")
+}
+
+func TestAgainstWCOJOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	r := skewedRel(rng, "R", 800, 70, 40)
+	s := skewedRel(rng, "S", 800, 70, 40)
+	oracle := wcoj.Project2PathCounts(r, s)
+	got := countsToMap(TwoPathMMCounts(r, s, Options{Delta1: 4, Delta2: 4}))
+	if len(got) != len(oracle) {
+		t.Fatalf("MM %d pairs, WCOJ oracle %d", len(got), len(oracle))
+	}
+	for p, c := range oracle {
+		if got[p] != c {
+			t.Fatalf("pair %v: MM count %d, oracle %d", p, got[p], c)
+		}
+	}
+}
+
+func TestEstimateOutputSizeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 20; trial++ {
+		r := skewedRel(rng, "R", 200+rng.Intn(400), 10+rng.Intn(80), 10+rng.Intn(40))
+		s := skewedRel(rng, "S", 200+rng.Intn(400), 10+rng.Intn(80), 10+rng.Intn(40))
+		est := EstimateOutputSize(r, s)
+		outJoin := relation.FullJoinSize(r, s)
+		if outJoin == 0 {
+			if est != 0 {
+				t.Fatalf("estimate %d for empty join", est)
+			}
+			continue
+		}
+		if est < 1 || est > outJoin {
+			t.Fatalf("estimate %d outside (0, |OUT⋈|=%d]", est, outJoin)
+		}
+		upper := int64(r.NumX()) * int64(s.NumX())
+		if est > upper {
+			t.Fatalf("estimate %d above domain product %d", est, upper)
+		}
+	}
+}
+
+func TestHeuristicThresholdsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for trial := 0; trial < 20; trial++ {
+		r := skewedRel(rng, "R", 100+rng.Intn(900), 5+rng.Intn(100), 5+rng.Intn(50))
+		s := skewedRel(rng, "S", 100+rng.Intn(900), 5+rng.Intn(100), 5+rng.Intn(50))
+		d1, d2 := HeuristicThresholds(r, s)
+		n := r.Size()
+		if s.Size() > n {
+			n = s.Size()
+		}
+		if d1 < 1 || d2 < 1 || d1 > n || d2 > n {
+			t.Fatalf("thresholds (%d, %d) out of [1, %d]", d1, d2, n)
+		}
+	}
+	if d1, d2 := HeuristicThresholds(rel("E"), rel("E")); d1 != 1 || d2 != 1 {
+		t.Fatalf("empty thresholds = (%d, %d), want (1, 1)", d1, d2)
+	}
+}
+
+// Property: MM and NonMM agree with brute force for arbitrary random
+// instances and thresholds.
+func TestQuickTwoPathMatchesBrute(t *testing.T) {
+	f := func(seed int64, d1raw, d2raw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := skewedRel(rng, "R", 1+rng.Intn(250), 1+rng.Intn(40), 1+rng.Intn(25))
+		s := skewedRel(rng, "S", 1+rng.Intn(250), 1+rng.Intn(40), 1+rng.Intn(25))
+		opt := Options{Delta1: 1 + int(d1raw%16), Delta2: 1 + int(d2raw%16), Workers: 2}
+		want := bruteCounts(r, s)
+		if gm := countsToMap(TwoPathMMCounts(r, s, opt)); len(gm) != len(want) {
+			return false
+		} else {
+			for p, c := range want {
+				if gm[p] != c {
+					return false
+				}
+			}
+		}
+		gm := countsToMap(TwoPathNonMMCounts(r, s, opt))
+		if len(gm) != len(want) {
+			return false
+		}
+		for p, c := range want {
+			if gm[p] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The partition property behind Algorithm 1: with any thresholds, the four
+// witness categories both cover and never double count. Verified indirectly
+// by exact counts above; here we additionally check that heavy-only
+// instances route through the matrix (output still correct when every value
+// is heavy).
+func TestAllHeavyInstance(t *testing.T) {
+	// Complete bipartite K5,5 on both sides: every degree is 5.
+	var ps [][2]int32
+	for x := int32(0); x < 5; x++ {
+		for y := int32(0); y < 5; y++ {
+			ps = append(ps, [2]int32{x, y})
+		}
+	}
+	r := rel("R", ps...)
+	want := bruteCounts(r, r)
+	got := countsToMap(TwoPathMMCounts(r, r, Options{Delta1: 1, Delta2: 1}))
+	if len(got) != 25 {
+		t.Fatalf("K5,5 self join: %d pairs, want 25", len(got))
+	}
+	for p, c := range want {
+		if got[p] != c || c != 5 {
+			t.Fatalf("pair %v count = %d, want 5", p, got[p])
+		}
+	}
+}
+
+func sortPairs(ps [][2]int32) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+func TestDedupModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	r := skewedRel(rng, "R", 900, 90, 45)
+	s := skewedRel(rng, "S", 900, 90, 45)
+	want := bruteCounts(r, s)
+	for _, mode := range []DedupMode{DedupAuto, DedupStamp, DedupSort} {
+		opt := Options{Delta1: 3, Delta2: 4, Workers: 2, Dedup: mode}
+		checkPairsEqual(t, TwoPathMM(r, s, opt), want, "dedup mode")
+		if got := TwoPathSize(r, s, opt); got != int64(len(want)) {
+			t.Fatalf("mode %d: size %d, want %d", mode, got, len(want))
+		}
+	}
+}
+
+func TestDeterministicOutputSetAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	r := skewedRel(rng, "R", 700, 80, 35)
+	s := skewedRel(rng, "S", 700, 80, 35)
+	base := TwoPathMM(r, s, Options{Delta1: 3, Delta2: 3, Workers: 1})
+	sortPairs(base)
+	for _, w := range []int{2, 5} {
+		got := TwoPathMM(r, s, Options{Delta1: 3, Delta2: 3, Workers: w})
+		sortPairs(got)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d pairs, want %d", w, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: pair %d = %v, want %v", w, i, got[i], base[i])
+			}
+		}
+	}
+}

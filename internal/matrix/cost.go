@@ -1,0 +1,187 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// CostModel estimates the wall-clock cost of the matrix steps of
+// Algorithm 1, as required by the Section-5 optimizer: M̂(u,v,w,co) for the
+// multiplication itself plus a construction estimate for materializing the
+// operand matrices. The model is calibrated once per process with
+// micro-probes of the actual kernels, the Go counterpart of the paper's
+// precomputed Eigen timing table.
+type CostModel struct {
+	// WordOpsPerSec is the measured single-core throughput of the AND+POPCNT
+	// inner loop, in 64-bit word operations per second.
+	WordOpsPerSec float64
+	// CellOpsPerSec is the measured throughput of matrix construction
+	// (allocation + bit staging), in cells per second.
+	CellOpsPerSec float64
+	// ParallelEff discounts ideal speedup for multi-core estimates; the
+	// paper's Figure 3b reports near-linear scaling, so this stays close
+	// to 1.
+	ParallelEff float64
+}
+
+var (
+	defaultModelOnce sync.Once
+	defaultModel     *CostModel
+)
+
+// DefaultCostModel returns a process-wide cost model, calibrating it on
+// first use (a few milliseconds of probing).
+func DefaultCostModel() *CostModel {
+	defaultModelOnce.Do(func() { defaultModel = Calibrate() })
+	return defaultModel
+}
+
+// Calibrate measures kernel throughput with short probes and returns a
+// fresh model.
+func Calibrate() *CostModel {
+	const (
+		rows = 128
+		cols = 4096
+	)
+	rng := rand.New(rand.NewSource(0x5eed))
+	build := func() *BitMatrix {
+		m := NewBitMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j += 1 + rng.Intn(4) {
+				m.Set(i, j)
+			}
+		}
+		return m
+	}
+	constructStart := time.Now()
+	a := build()
+	b := build()
+	constructDur := time.Since(constructStart)
+
+	start := time.Now()
+	reps := 0
+	for time.Since(start) < 4*time.Millisecond {
+		_ = MulBitCount(a, b, 1)
+		reps++
+	}
+	mulDur := time.Since(start)
+
+	words := float64((cols + 63) / 64)
+	totalWordOps := float64(rows) * float64(rows) * words * float64(reps)
+	wops := totalWordOps / mulDur.Seconds()
+	if wops <= 0 || math.IsNaN(wops) {
+		wops = 1e9
+	}
+	cells := 2 * float64(rows) * float64(cols)
+	cops := cells / constructDur.Seconds()
+	if cops <= 0 || math.IsNaN(cops) || math.IsInf(cops, 0) {
+		cops = 1e9
+	}
+	return &CostModel{WordOpsPerSec: wops, CellOpsPerSec: cops, ParallelEff: 0.85}
+}
+
+func (cm *CostModel) speedup(cores int) float64 {
+	if cores <= 1 {
+		return 1
+	}
+	return 1 + cm.ParallelEff*float64(cores-1)
+}
+
+// EstimateMul returns M̂(u,v,w,co): the predicted time to multiply a u×v
+// bit matrix by a (transposed) w×v bit matrix on co cores.
+func (cm *CostModel) EstimateMul(u, v, w int64, cores int) time.Duration {
+	if u <= 0 || v <= 0 || w <= 0 {
+		return 0
+	}
+	words := float64((v + 63) / 64)
+	ops := float64(u) * float64(w) * words
+	secs := ops / (cm.WordOpsPerSec * cm.speedup(cores))
+	return time.Duration(secs * float64(time.Second))
+}
+
+// EstimateConstruct returns the predicted time to materialize the two
+// operand matrices (u×v and w×v), the C term of Equation (1).
+func (cm *CostModel) EstimateConstruct(u, v, w int64) time.Duration {
+	cells := float64(u+w) * float64(v)
+	if cells <= 0 {
+		return 0
+	}
+	secs := cells / cm.CellOpsPerSec
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Table is the paper's precomputed M̂ lookup table: measured multiply times
+// for square p×p×p instances at several core counts, extrapolated to
+// arbitrary (u, v, w, co) by volume scaling from the nearest probe
+// (Section 5, "Matrix multiplication cost").
+type Table struct {
+	Ps      []int
+	Cores   []int
+	Entries map[[2]int]time.Duration // (p, cores) → measured time
+}
+
+// BuildTable measures MulBitCount on random p×p operands for every
+// (p, cores) combination. Used by cmd/mmcalib; probe sizes are chosen by the
+// caller so tests can keep this fast.
+func BuildTable(ps, cores []int) *Table {
+	t := &Table{Ps: ps, Cores: cores, Entries: map[[2]int]time.Duration{}}
+	rng := rand.New(rand.NewSource(17))
+	for _, p := range ps {
+		a := NewBitMatrix(p, p)
+		b := NewBitMatrix(p, p)
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j += 1 + rng.Intn(4) {
+				a.Set(i, j)
+				b.Set(i, (j+i)%p)
+			}
+		}
+		for _, co := range cores {
+			start := time.Now()
+			_ = MulBitCount(a, b, co)
+			t.Entries[[2]int{p, co}] = time.Since(start)
+		}
+	}
+	return t
+}
+
+// Estimate extrapolates M̂(u,v,w,co) from the nearest measured probe by
+// effective-volume scaling (volume = u·w·ceil(v/64) word operations).
+func (t *Table) Estimate(u, v, w int64, cores int) time.Duration {
+	if len(t.Ps) == 0 {
+		return 0
+	}
+	vol := float64(u) * float64(w) * float64((v+63)/64)
+	side := math.Cbrt(vol * 64) // equivalent square dimension
+	bestP := t.Ps[0]
+	for _, p := range t.Ps {
+		if math.Abs(float64(p)-side) < math.Abs(float64(bestP)-side) {
+			bestP = p
+		}
+	}
+	bestCo := t.Cores[0]
+	for _, co := range t.Cores {
+		if abs(co-cores) < abs(bestCo-cores) {
+			bestCo = co
+		}
+	}
+	base := t.Entries[[2]int{bestP, bestCo}]
+	baseVol := float64(bestP) * float64(bestP) * float64((int64(bestP)+63)/64)
+	if baseVol == 0 {
+		return 0
+	}
+	scaled := float64(base) * vol / baseVol
+	// Adjust for the residual core-count mismatch linearly.
+	if bestCo != cores && cores >= 1 && bestCo >= 1 {
+		scaled *= float64(bestCo) / float64(cores)
+	}
+	return time.Duration(scaled)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,107 @@
+package matrix
+
+import (
+	"math/bits"
+
+	"repro/internal/par"
+)
+
+// m4rBlock is the Four-Russians block width t. Lookup tables have 2^t
+// entries; t = 8 keeps each row's table in one cache page while already
+// yielding the t-fold reduction of the inner loop. It must divide 64 so
+// blocks never straddle word boundaries.
+const m4rBlock = 8
+
+// Compile-time guard: m4rBlock divides the word size.
+var _ [0]struct{} = [64 % m4rBlock]struct{}{}
+
+// MulFourRussians computes the boolean product C = A × Bᵀ with the Method
+// of Four Russians: the shared dimension is split into t-bit blocks, and
+// for each block a 2^t-entry table of precomputed row ORs of B is built, so
+// each (row, block) pair costs one table lookup instead of t row scans —
+// the classical O(n³/log n) combinatorial boolean matrix multiplication.
+//
+// For the join-project engine this is the combinatorial counterpart to fast
+// matrix multiplication on the boolean side: it answers "which heavy pairs
+// intersect" (the BSI and set-semantics paths) without counts. Operand
+// layout matches MulBitBool: bT holds Bᵀ, packed along the shared
+// dimension.
+func MulFourRussians(a, bT *BitMatrix, workers int) *BitMatrix {
+	if a.Cols != bT.Cols {
+		panic("matrix: four-russians dimension mismatch")
+	}
+	n := a.Cols  // shared dimension
+	w := bT.Rows // output columns
+	outWords := (w + 63) / 64
+	nblocks := (n + m4rBlock - 1) / m4rBlock
+
+	// For every t-block, precompute table[mask] = OR of the B-columns
+	// (= bT rows' bits) selected by mask. Tables are built per block from
+	// the "which output columns have a 1 in shared position p" view, i.e.
+	// the transpose of bT restricted to the block.
+	//
+	// colBits[p] = bitset over output columns j with bT[j][p] = 1.
+	colWords := make([][]uint64, m4rBlock)
+	for i := range colWords {
+		colWords[i] = make([]uint64, outWords)
+	}
+	tables := make([][][]uint64, nblocks)
+	for b := 0; b < nblocks; b++ {
+		lo := b * m4rBlock
+		hi := lo + m4rBlock
+		if hi > n {
+			hi = n
+		}
+		span := hi - lo
+		for i := 0; i < span; i++ {
+			row := colWords[i]
+			for k := range row {
+				row[k] = 0
+			}
+		}
+		for j := 0; j < w; j++ {
+			words := bT.RowWords(j)
+			for p := lo; p < hi; p++ {
+				if words[p/64]&(1<<uint(p%64)) != 0 {
+					colWords[p-lo][j/64] |= 1 << uint(j%64)
+				}
+			}
+		}
+		// Gray-code enumeration: table[mask] = table[mask ^ lowbit] | column.
+		table := make([][]uint64, 1<<span)
+		table[0] = make([]uint64, outWords)
+		for mask := 1; mask < 1<<span; mask++ {
+			low := mask & -mask
+			prev := table[mask^low]
+			cur := make([]uint64, outWords)
+			col := colWords[bits.TrailingZeros64(uint64(low))]
+			for k := range cur {
+				cur[k] = prev[k] | col[k]
+			}
+			table[mask] = cur
+		}
+		tables[b] = table
+	}
+
+	c := NewBitMatrix(a.Rows, w)
+	par.ForChunks(a.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			words := a.RowWords(i)
+			out := c.RowWords(i)
+			for b := 0; b < nblocks; b++ {
+				// m4rBlock divides 64, so a block never straddles a word
+				// boundary (compile-time guarded below).
+				p := b * m4rBlock
+				mask := int(words[p/64] >> uint(p%64) & (1<<m4rBlock - 1))
+				if mask == 0 {
+					continue
+				}
+				t := tables[b][mask]
+				for k := range out {
+					out[k] |= t[k]
+				}
+			}
+		}
+	})
+	return c
+}

@@ -1,0 +1,108 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFourRussiansMatchesBool(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 7, 5}, {10, 64, 12}, {17, 65, 23}, {40, 130, 40}, {8, 8, 8},
+	}
+	for _, sh := range shapes {
+		a := randomBitMatrix(rng, sh[0], sh[1], 0.3)
+		bT := randomBitMatrix(rng, sh[2], sh[1], 0.3)
+		want := MulBitBool(a, bT, 1)
+		got := MulFourRussians(a, bT, 1)
+		for i := 0; i < sh[0]; i++ {
+			for j := 0; j < sh[2]; j++ {
+				if got.Test(i, j) != want.Test(i, j) {
+					t.Fatalf("shape %v: (%d,%d) = %v, want %v", sh, i, j, got.Test(i, j), want.Test(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestFourRussiansParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := randomBitMatrix(rng, 64, 200, 0.15)
+	bT := randomBitMatrix(rng, 48, 200, 0.15)
+	want := MulFourRussians(a, bT, 1)
+	for _, w := range []int{2, 8} {
+		got := MulFourRussians(a, bT, w)
+		for i := 0; i < a.Rows; i++ {
+			for j := 0; j < bT.Rows; j++ {
+				if got.Test(i, j) != want.Test(i, j) {
+					t.Fatalf("workers=%d: (%d,%d) differs", w, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFourRussiansSparseAndDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, density := range []float64{0.0, 0.01, 0.9, 1.0} {
+		a := randomBitMatrix(rng, 20, 96, density)
+		bT := randomBitMatrix(rng, 20, 96, density)
+		want := MulBitBool(a, bT, 1)
+		got := MulFourRussians(a, bT, 1)
+		if got.Ones() != want.Ones() {
+			t.Fatalf("density %.2f: %d ones, want %d", density, got.Ones(), want.Ones())
+		}
+	}
+}
+
+func TestFourRussiansShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MulFourRussians(NewBitMatrix(2, 8), NewBitMatrix(2, 16), 1)
+}
+
+// Property: Four Russians agrees with the short-circuit boolean product.
+func TestQuickFourRussians(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(150)
+		w := 1 + rng.Intn(30)
+		a := randomBitMatrix(rng, u, n, 0.25)
+		bT := randomBitMatrix(rng, w, n, 0.25)
+		want := MulBitBool(a, bT, 1)
+		got := MulFourRussians(a, bT, 2)
+		for i := 0; i < u; i++ {
+			for j := 0; j < w; j++ {
+				if got.Test(i, j) != want.Test(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBooleanKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	const n = 1024
+	a := randomBitMatrix(rng, n, n, 0.05)
+	bT := randomBitMatrix(rng, n, n, 0.05)
+	b.Run("ShortCircuitAND", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = MulBitBool(a, bT, 1)
+		}
+	})
+	b.Run("FourRussians", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = MulFourRussians(a, bT, 1)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package matrix
+
+// MulRect multiplies a U×V matrix by a V×W matrix using the Lemma-1
+// decomposition: the operands are partitioned into β×β square blocks with
+// β = min{U, V, W}, and each block product is computed with the fast square
+// kernel (Strassen above the cutoff, classical below). This realizes the
+// M(U,V,W) = O(UVW·β^(ω−3)) bound the paper's analysis relies on.
+func MulRect(a, b *Int32, cutoff int) *Int32 {
+	checkMulShapes(a, b)
+	u, v, w := a.Rows, a.Cols, b.Cols
+	if u == 0 || v == 0 || w == 0 {
+		return NewInt32(u, w)
+	}
+	if cutoff <= 0 {
+		cutoff = DefaultStrassenCutoff
+	}
+	beta := u
+	if v < beta {
+		beta = v
+	}
+	if w < beta {
+		beta = w
+	}
+	if beta <= cutoff {
+		// Blocks would be below the fast-MM regime; the classical kernel is
+		// already optimal up to constants here.
+		return MulBlocked(a, b)
+	}
+	nu, nv, nw := (u+beta-1)/beta, (v+beta-1)/beta, (w+beta-1)/beta
+	c := NewInt32(u, w)
+	ablock := NewInt32(beta, beta)
+	bblock := NewInt32(beta, beta)
+	for bi := 0; bi < nu; bi++ {
+		for bj := 0; bj < nw; bj++ {
+			for bk := 0; bk < nv; bk++ {
+				copyBlock(ablock, a, bi*beta, bk*beta)
+				copyBlock(bblock, b, bk*beta, bj*beta)
+				prod := strassenSquare(padTo(ablock, nextPow2(beta)), padTo(bblock, nextPow2(beta)), cutoff)
+				accumulateBlock(c, prod, bi*beta, bj*beta, beta)
+			}
+		}
+	}
+	return c
+}
+
+// copyBlock fills dst (β×β) with src[r0:r0+β, c0:c0+β], zero-padding past
+// the edges of src.
+func copyBlock(dst, src *Int32, r0, c0 int) {
+	beta := dst.Rows
+	for i := 0; i < beta; i++ {
+		row := dst.Row(i)
+		si := r0 + i
+		if si >= src.Rows {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		srow := src.Row(si)
+		for j := 0; j < beta; j++ {
+			if c0+j < src.Cols {
+				row[j] = srow[c0+j]
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+}
+
+// accumulateBlock adds the top-left β×β region of prod into c at (r0, c0),
+// clipping at c's edges.
+func accumulateBlock(c, prod *Int32, r0, c0, beta int) {
+	for i := 0; i < beta && r0+i < c.Rows; i++ {
+		crow := c.Row(r0 + i)
+		prow := prod.Row(i)
+		for j := 0; j < beta && c0+j < c.Cols; j++ {
+			crow[c0+j] += prow[j]
+		}
+	}
+}

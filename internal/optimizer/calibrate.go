@@ -1,0 +1,98 @@
+package optimizer
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var (
+	calOnce sync.Once
+	calTs   float64
+	calTm   float64
+	calTI   float64
+)
+
+// CalibrateConstants measures the Table-1 machine constants once per
+// process and returns (Ts, Tm, TI) in nanoseconds:
+//
+//	Ts — average sequential access in a vector,
+//	Tm — average allocation of 32 bytes,
+//	TI — average random access + insert in a vector.
+func CalibrateConstants() (ts, tm, ti float64) {
+	calOnce.Do(func() {
+		calTs = measureSequential()
+		calTm = measureAlloc()
+		calTI = measureRandomInsert()
+	})
+	return calTs, calTm, calTI
+}
+
+const probeN = 1 << 16
+
+func measureSequential() float64 {
+	v := make([]int32, probeN)
+	for i := range v {
+		v[i] = int32(i)
+	}
+	var sum int64
+	start := time.Now()
+	const reps = 8
+	for r := 0; r < reps; r++ {
+		for _, x := range v {
+			sum += int64(x)
+		}
+	}
+	d := time.Since(start)
+	sinkInt64 = sum
+	ns := float64(d.Nanoseconds()) / float64(probeN*reps)
+	return clampConst(ns)
+}
+
+func measureAlloc() float64 {
+	start := time.Now()
+	const reps = 1 << 12
+	for r := 0; r < reps; r++ {
+		b := make([]byte, 32)
+		sinkByte = b[0]
+	}
+	ns := float64(time.Since(start).Nanoseconds()) / float64(reps)
+	return clampConst(ns)
+}
+
+func measureRandomInsert() float64 {
+	v := make([]int32, probeN)
+	rng := rand.New(rand.NewSource(99))
+	idx := make([]int32, probeN)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(probeN))
+	}
+	start := time.Now()
+	const reps = 4
+	for r := 0; r < reps; r++ {
+		for _, i := range idx {
+			v[i]++
+		}
+	}
+	ns := float64(time.Since(start).Nanoseconds()) / float64(probeN*reps)
+	sinkInt64 = int64(v[0])
+	return clampConst(ns)
+}
+
+// clampConst guards against clock-resolution artifacts so downstream cost
+// formulas never see zero or absurd constants.
+func clampConst(ns float64) float64 {
+	if ns < 0.05 {
+		return 0.05
+	}
+	if ns > 1000 {
+		return 1000
+	}
+	return ns
+}
+
+// Sinks prevent the calibration loops from being optimized away.
+var (
+	sinkInt64 int64
+	sinkByte  byte
+)

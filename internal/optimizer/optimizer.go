@@ -1,0 +1,326 @@
+// Package optimizer implements the cost-based optimizer of Section 5: given
+// an indexed instance of the 2-path query, it picks the degree thresholds
+// Δ1, Δ2 that minimize the predicted running time of Algorithm 1, or decides
+// to fall back to a plain worst-case optimal join when the full join is not
+// much larger than the input.
+//
+// The optimizer relies on three ingredients, all built here:
+//
+//  1. degree-distribution indexes sum(x_δ), sum(y_δ), cdfx(y_δ) and
+//     count(w_δ), stored as degree-sorted prefix-sum vectors answering any δ
+//     by binary search (built in O(N log N), queried in O(log N));
+//  2. calibrated machine constants Ts, Tm, TI (Table 1 of the paper),
+//     measured with micro-probes on first use;
+//  3. the matrix cost model M̂(u,v,w,co) from internal/matrix.
+//
+// The search itself follows Algorithm 3: a multiplicative descent on Δ1 with
+// Δ2 tied to Δ1 through the balance condition Δ2 = N·Δ1/|OUT|, stopping at
+// the first iteration whose predicted cost exceeds the previous one.
+package optimizer
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/joinproject"
+	"repro/internal/matrix"
+	"repro/internal/relation"
+	"repro/internal/sketch"
+)
+
+// WCOJFallbackFactor is the Algorithm-3 guard: if |OUT⋈| ≤ factor·N the
+// optimizer skips partitioning entirely and evaluates with a plain
+// worst-case optimal join (the paper uses 20).
+const WCOJFallbackFactor = 20
+
+// Decision is the optimizer's plan choice for one query instance.
+type Decision struct {
+	// UseWCOJ is true when the plain worst-case optimal join + dedup plan is
+	// predicted to win (|OUT⋈| ≤ 20·N).
+	UseWCOJ bool
+	// Delta1, Delta2 are the chosen thresholds (valid when !UseWCOJ).
+	Delta1, Delta2 int
+	// PredictedCost is the modeled cost of the chosen thresholds, in
+	// abstract nanoseconds.
+	PredictedCost float64
+	// EstOut and OutJoin record the estimates the decision was based on.
+	EstOut  int64
+	OutJoin int64
+}
+
+// cdf answers weighted prefix sums over a degree distribution: sumUpTo(δ)
+// returns the total weight of values with degree ≤ δ.
+type cdf struct {
+	degs   []int32
+	prefix []float64 // prefix[i] = weight of degs[0..i-1]
+}
+
+func buildCDF(degs []int32, weights []float64) cdf {
+	idx := make([]int, len(degs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return degs[idx[a]] < degs[idx[b]] })
+	c := cdf{degs: make([]int32, len(degs)), prefix: make([]float64, len(degs)+1)}
+	for i, j := range idx {
+		c.degs[i] = degs[j]
+		c.prefix[i+1] = c.prefix[i] + weights[j]
+	}
+	return c
+}
+
+// sumUpTo returns the summed weight of entries with degree ≤ delta.
+func (c cdf) sumUpTo(delta int) float64 {
+	i := sort.Search(len(c.degs), func(i int) bool { return int(c.degs[i]) > delta })
+	return c.prefix[i]
+}
+
+// total returns the whole distribution's weight.
+func (c cdf) total() float64 { return c.prefix[len(c.degs)] }
+
+// countAbove returns how many entries have degree > delta.
+func (c cdf) countAbove(delta int) int {
+	i := sort.Search(len(c.degs), func(i int) bool { return int(c.degs[i]) > delta })
+	return len(c.degs) - i
+}
+
+// Indexes are the Section-5 precomputed statistics for one (R, S) pair.
+type Indexes struct {
+	n int // max(N_R, N_S)
+
+	// sumX: per x value of R, weight Σ_{b ∈ R[a]} deg_S(b), keyed by deg_R(a).
+	sumX cdf
+	// sumY: per y value, weight deg_R(b)·deg_S(b), keyed by deg_S(b).
+	sumY cdf
+	// cdfx: per y value, weight deg_R(b), keyed by deg_S(b).
+	cdfx cdf
+	// countX/countY/countZ: unweighted degree distributions of x (in R),
+	// y (in S) and z (in S).
+	countX, countY, countZ cdf
+
+	domX, domZ int
+}
+
+// BuildIndexes constructs the optimizer indexes in O(N log N).
+func BuildIndexes(r, s *relation.Relation) *Indexes {
+	ix := &Indexes{n: r.Size(), domX: r.NumX(), domZ: s.NumX()}
+	if s.Size() > ix.n {
+		ix.n = s.Size()
+	}
+	rX, rY, sX, sY := r.ByX(), r.ByY(), s.ByX(), s.ByY()
+
+	// Per-x expansion effort.
+	xdegs := make([]int32, rX.NumKeys())
+	xw := make([]float64, rX.NumKeys())
+	for i := 0; i < rX.NumKeys(); i++ {
+		xdegs[i] = int32(rX.Degree(i))
+		var effort float64
+		for _, b := range rX.List(i) {
+			effort += float64(len(sY.Lookup(b)))
+		}
+		xw[i] = effort
+	}
+	ix.sumX = buildCDF(xdegs, xw)
+	ix.countX = buildCDF(xdegs, ones(len(xdegs)))
+
+	// Per-y weights keyed by S-degree.
+	ydegs := make([]int32, sY.NumKeys())
+	yw := make([]float64, sY.NumKeys())
+	ycdf := make([]float64, sY.NumKeys())
+	for i := 0; i < sY.NumKeys(); i++ {
+		dS := sY.Degree(i)
+		ydegs[i] = int32(dS)
+		dR := len(rY.Lookup(sY.Key(i)))
+		yw[i] = float64(dR) * float64(dS)
+		ycdf[i] = float64(dR)
+	}
+	ix.sumY = buildCDF(ydegs, yw)
+	ix.cdfx = buildCDF(ydegs, ycdf)
+	ix.countY = buildCDF(ydegs, ones(len(ydegs)))
+
+	zdegs := make([]int32, sX.NumKeys())
+	for i := 0; i < sX.NumKeys(); i++ {
+		zdegs[i] = int32(sX.Degree(i))
+	}
+	ix.countZ = buildCDF(zdegs, ones(len(zdegs)))
+	return ix
+}
+
+func ones(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Optimizer chooses evaluation plans using calibrated machine constants.
+type Optimizer struct {
+	// Ts, Tm, TI are the Table-1 constants in nanoseconds: sequential
+	// access, 32-byte allocation, random access + insert.
+	Ts, Tm, TI float64
+	// Model prices the matrix steps.
+	Model *matrix.CostModel
+	// Shrink is the multiplicative descent factor on Δ1 per Algorithm-3
+	// iteration (the paper's (1−ϵ); it fixes ϵ=0.95, we default to a gentler
+	// 0.5 so the search inspects more candidate thresholds).
+	Shrink float64
+}
+
+// New returns an optimizer with freshly calibrated constants.
+func New() *Optimizer {
+	ts, tm, ti := CalibrateConstants()
+	return &Optimizer{Ts: ts, Tm: tm, TI: ti, Model: matrix.DefaultCostModel(), Shrink: 0.5}
+}
+
+// lightCost models the light-part work of Algorithm 1 for thresholds
+// (d1, d2): expansion of light-y witnesses, expansion of light-x values and
+// the dedup bookkeeping (Algorithm 3 lines 10–11).
+func (o *Optimizer) lightCost(ix *Indexes, d1, d2 int) float64 {
+	return o.TI*ix.sumY.sumUpTo(d1) +
+		o.TI*ix.sumX.sumUpTo(d2) +
+		o.Tm*float64(ix.domZ) +
+		o.Ts*ix.cdfx.sumUpTo(d1)
+}
+
+// heavyCost models the heavy part: matrix construction plus M̂(u,v,w,co)
+// (Algorithm 3 lines 12–13).
+func (o *Optimizer) heavyCost(ix *Indexes, d1, d2, cores int) float64 {
+	u := int64(ix.countX.countAbove(d2))
+	v := int64(ix.countY.countAbove(d1))
+	w := int64(ix.countZ.countAbove(d2))
+	if u == 0 || v == 0 || w == 0 {
+		return 0
+	}
+	mul := float64(o.Model.EstimateMul(u, v, w, cores).Nanoseconds())
+	build := float64(o.Model.EstimateConstruct(u, v, w).Nanoseconds())
+	return mul + build
+}
+
+// Cost returns the full modeled cost for explicit thresholds; exposed for
+// the threshold-ablation benchmark.
+func (o *Optimizer) Cost(ix *Indexes, d1, d2, cores int) float64 {
+	return o.lightCost(ix, d1, d2) + o.heavyCost(ix, d1, d2, cores)
+}
+
+// Choose runs Algorithm 3 for the 2-path instance (r, s) on the given
+// number of cores, using the Section-5 geometric-mean estimate of |OUT|.
+func (o *Optimizer) Choose(r, s *relation.Relation, cores int) Decision {
+	return o.chooseWithEstimate(r, s, cores, joinproject.EstimateOutputSize(r, s))
+}
+
+// ChooseWithSketch runs Algorithm 3 with the estimate |OUT| refined by a
+// HyperLogLog pass over the full join (the Section-9 refinement), provided
+// the full join is small enough to afford the scan (≤ sketchBudget tuples).
+// Falls back to the geometric-mean estimate otherwise.
+func (o *Optimizer) ChooseWithSketch(r, s *relation.Relation, cores int, sketchBudget int64) Decision {
+	dec := o.Choose(r, s, cores)
+	if dec.UseWCOJ || dec.OutJoin > sketchBudget {
+		return dec
+	}
+	est := int64(sketch.EstimateJoinProjectHLL(r, s, 12))
+	if est < 1 {
+		return dec
+	}
+	// Re-run the descent with the refined estimate.
+	refined := o.chooseWithEstimate(r, s, cores, est)
+	refined.EstOut = est
+	return refined
+}
+
+// chooseWithEstimate is the Algorithm-3 descent with an externally supplied
+// |OUT| estimate.
+func (o *Optimizer) chooseWithEstimate(r, s *relation.Relation, cores int, estOut int64) Decision {
+	outJoin := relation.FullJoinSize(r, s)
+	n := int64(r.Size())
+	if int64(s.Size()) > n {
+		n = int64(s.Size())
+	}
+	dec := Decision{OutJoin: outJoin, EstOut: estOut}
+	if outJoin <= WCOJFallbackFactor*n || n == 0 {
+		dec.UseWCOJ = true
+		return dec
+	}
+	ix := BuildIndexes(r, s)
+	shrink := o.Shrink
+	if shrink <= 0 || shrink >= 1 {
+		shrink = 0.5
+	}
+	est := float64(estOut)
+	if est < 1 {
+		est = 1
+	}
+	prevCost := math.Inf(1)
+	prevD1, prevD2 := int(n), 1
+	d1f := float64(n)
+	for iter := 0; iter < 200; iter++ {
+		d1f *= shrink
+		d1 := int(d1f)
+		if d1 < 1 {
+			d1 = 1
+		}
+		d2 := int(float64(n) * float64(d1) / est)
+		if d2 < 1 {
+			d2 = 1
+		}
+		if int64(d2) > n {
+			d2 = int(n)
+		}
+		cost := o.Cost(ix, d1, d2, cores)
+		if prevCost <= cost {
+			break
+		}
+		prevCost, prevD1, prevD2 = cost, d1, d2
+		if d1 == 1 {
+			break
+		}
+	}
+	dec.Delta1, dec.Delta2 = prevD1, prevD2
+	dec.PredictedCost = prevCost
+	return dec
+}
+
+// ChooseStar picks thresholds for Q★k with a coarse grid search over the
+// Section-3.2 cost formula N·Δ1^{k-1} + |OUT|·Δ2 + M̂(·): the grid is powers
+// of two, which is enough resolution for threshold-quality experiments.
+func (o *Optimizer) ChooseStar(rels []*relation.Relation, cores int) Decision {
+	k := len(rels)
+	if k == 0 {
+		return Decision{UseWCOJ: true}
+	}
+	outJoin := relation.FullJoinSize(rels...)
+	var n int64
+	for _, r := range rels {
+		if int64(r.Size()) > n {
+			n = int64(r.Size())
+		}
+	}
+	dec := Decision{OutJoin: outJoin}
+	if n == 0 || outJoin <= WCOJFallbackFactor*n {
+		dec.UseWCOJ = true
+		return dec
+	}
+	est := float64(joinproject.EstimateOutputSize(rels[0], rels[len(rels)-1]))
+	if est < 1 {
+		est = 1
+	}
+	dec.EstOut = int64(est)
+	best := math.Inf(1)
+	for d1 := 1; int64(d1) <= n; d1 *= 2 {
+		for d2 := 1; int64(d2) <= n; d2 *= 2 {
+			light := float64(n) * math.Pow(float64(d1), float64(k-1))
+			lightX := est * float64(d2)
+			u := math.Pow(float64(n)/float64(d2), math.Ceil(float64(k)/2))
+			w := math.Pow(float64(n)/float64(d2), math.Floor(float64(k)/2))
+			v := float64(n) / float64(d1)
+			heavy := float64(o.Model.EstimateMul(int64(u)+1, int64(v)+1, int64(w)+1, cores).Nanoseconds())
+			cost := o.TI*(light+lightX) + heavy
+			if cost < best {
+				best = cost
+				dec.Delta1, dec.Delta2 = d1, d2
+			}
+		}
+	}
+	dec.PredictedCost = best
+	return dec
+}

@@ -1,0 +1,266 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/joinproject"
+	"repro/internal/relation"
+)
+
+func randomRel(rng *rand.Rand, name string, n, xdom, ydom int) *relation.Relation {
+	ps := make([]relation.Pair, n)
+	for i := range ps {
+		ps[i] = relation.Pair{X: int32(rng.Intn(xdom)), Y: int32(rng.Intn(ydom))}
+	}
+	return relation.FromPairs(name, ps)
+}
+
+func TestCDF(t *testing.T) {
+	degs := []int32{5, 1, 3, 1, 9}
+	w := []float64{50, 10, 30, 10, 90}
+	c := buildCDF(degs, w)
+	cases := []struct {
+		delta int
+		want  float64
+	}{
+		{0, 0}, {1, 20}, {2, 20}, {3, 50}, {5, 100}, {9, 190}, {100, 190},
+	}
+	for _, cs := range cases {
+		if got := c.sumUpTo(cs.delta); got != cs.want {
+			t.Errorf("sumUpTo(%d) = %v, want %v", cs.delta, got, cs.want)
+		}
+	}
+	if c.total() != 190 {
+		t.Fatalf("total = %v, want 190", c.total())
+	}
+	if c.countAbove(3) != 2 {
+		t.Fatalf("countAbove(3) = %d, want 2", c.countAbove(3))
+	}
+	if c.countAbove(0) != 5 || c.countAbove(9) != 0 {
+		t.Fatal("countAbove bounds wrong")
+	}
+}
+
+func TestCalibrateConstants(t *testing.T) {
+	ts, tm, ti := CalibrateConstants()
+	for name, v := range map[string]float64{"Ts": ts, "Tm": tm, "TI": ti} {
+		if v < 0.05 || v > 1000 {
+			t.Fatalf("%s = %v outside sane range", name, v)
+		}
+	}
+	// Second call must return identical cached values.
+	ts2, tm2, ti2 := CalibrateConstants()
+	if ts != ts2 || tm != tm2 || ti != ti2 {
+		t.Fatal("constants not cached")
+	}
+}
+
+func TestBuildIndexesAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	r := randomRel(rng, "R", 300, 30, 20)
+	s := randomRel(rng, "S", 300, 30, 20)
+	ix := BuildIndexes(r, s)
+
+	for _, delta := range []int{0, 1, 2, 5, 100} {
+		// Brute-force sum(x_δ).
+		var want float64
+		for i := 0; i < r.ByX().NumKeys(); i++ {
+			if r.ByX().Degree(i) <= delta {
+				for _, b := range r.ByX().List(i) {
+					want += float64(len(s.ByY().Lookup(b)))
+				}
+			}
+		}
+		if got := ix.sumX.sumUpTo(delta); got != want {
+			t.Fatalf("sum(x_%d) = %v, want %v", delta, got, want)
+		}
+		// Brute-force sum(y_δ) keyed on S-degree.
+		want = 0
+		for i := 0; i < s.ByY().NumKeys(); i++ {
+			dS := s.ByY().Degree(i)
+			if dS <= delta {
+				dR := len(r.ByY().Lookup(s.ByY().Key(i)))
+				want += float64(dR * dS)
+			}
+		}
+		if got := ix.sumY.sumUpTo(delta); got != want {
+			t.Fatalf("sum(y_%d) = %v, want %v", delta, got, want)
+		}
+		// count(x_δ).
+		wantCnt := 0
+		for i := 0; i < r.ByX().NumKeys(); i++ {
+			if r.ByX().Degree(i) > delta {
+				wantCnt++
+			}
+		}
+		if got := ix.countX.countAbove(delta); got != wantCnt {
+			t.Fatalf("countX above %d = %d, want %d", delta, got, wantCnt)
+		}
+	}
+}
+
+func TestChooseFallsBackOnSparse(t *testing.T) {
+	// RoadNet-shaped data: tiny degrees, |OUT⋈| well under 20N.
+	r, _ := dataset.ByName("RoadNet", 0.3)
+	o := New()
+	dec := o.Choose(r, r, 1)
+	if !dec.UseWCOJ {
+		t.Fatalf("sparse instance should fall back to WCOJ (outJoin=%d, N=%d)", dec.OutJoin, r.Size())
+	}
+}
+
+func TestChoosePartitionsOnDense(t *testing.T) {
+	r, _ := dataset.ByName("Image", 0.4)
+	o := New()
+	dec := o.Choose(r, r, 1)
+	if dec.UseWCOJ {
+		t.Fatalf("dense instance should not fall back (outJoin=%d, N=%d)", dec.OutJoin, r.Size())
+	}
+	if dec.Delta1 < 1 || dec.Delta2 < 1 {
+		t.Fatalf("invalid thresholds (%d, %d)", dec.Delta1, dec.Delta2)
+	}
+	if dec.Delta1 > r.Size() || dec.Delta2 > r.Size() {
+		t.Fatalf("thresholds (%d, %d) exceed N=%d", dec.Delta1, dec.Delta2, r.Size())
+	}
+	if dec.PredictedCost <= 0 {
+		t.Fatal("predicted cost should be positive")
+	}
+}
+
+func TestChosenThresholdsNearGridOptimum(t *testing.T) {
+	// The Algorithm-3 descent should land within a modest factor of the best
+	// cost over an exhaustive power-of-two grid.
+	r, _ := dataset.ByName("Jokes", 0.2)
+	o := New()
+	dec := o.Choose(r, r, 1)
+	if dec.UseWCOJ {
+		t.Skip("optimizer chose WCOJ for this scale")
+	}
+	ix := BuildIndexes(r, r)
+	best := dec.PredictedCost
+	for d1 := 1; d1 <= r.Size(); d1 *= 2 {
+		for d2 := 1; d2 <= r.Size(); d2 *= 2 {
+			if c := o.Cost(ix, d1, d2, 1); c < best {
+				best = c
+			}
+		}
+	}
+	if dec.PredictedCost > 25*best {
+		t.Fatalf("descent cost %.0f much worse than grid best %.0f", dec.PredictedCost, best)
+	}
+}
+
+func TestChooseCorrectnessEndToEnd(t *testing.T) {
+	// Whatever the optimizer picks must not change the query result.
+	rng := rand.New(rand.NewSource(42))
+	r := randomRel(rng, "R", 2000, 40, 25)
+	s := randomRel(rng, "S", 2000, 40, 25)
+	o := New()
+	dec := o.Choose(r, s, 2)
+	var got [][2]int32
+	if dec.UseWCOJ {
+		got = joinproject.TwoPathMM(r, s, joinproject.Options{Delta1: r.Size() + 1, Delta2: r.Size() + 1})
+	} else {
+		got = joinproject.TwoPathMM(r, s, joinproject.Options{Delta1: dec.Delta1, Delta2: dec.Delta2})
+	}
+	want := map[[2]int32]bool{}
+	for _, rp := range r.Pairs() {
+		for _, sp := range s.Pairs() {
+			if rp.Y == sp.Y {
+				want[[2]int32{rp.X, sp.X}] = true
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("optimizer plan output %d pairs, want %d", len(got), len(want))
+	}
+}
+
+func TestChooseStar(t *testing.T) {
+	r, _ := dataset.ByName("Jokes", 0.15)
+	o := New()
+	dec := o.ChooseStar([]*relation.Relation{r, r, r}, 1)
+	if !dec.UseWCOJ {
+		if dec.Delta1 < 1 || dec.Delta2 < 1 {
+			t.Fatalf("star thresholds (%d, %d) invalid", dec.Delta1, dec.Delta2)
+		}
+	}
+	sparse, _ := dataset.ByName("RoadNet", 0.2)
+	dec = o.ChooseStar([]*relation.Relation{sparse, sparse, sparse}, 1)
+	if !dec.UseWCOJ {
+		t.Fatal("sparse star should fall back to WCOJ")
+	}
+	if dec := o.ChooseStar(nil, 1); !dec.UseWCOJ {
+		t.Fatal("empty star should fall back")
+	}
+}
+
+func TestCostMonotoneInHeavyCount(t *testing.T) {
+	r, _ := dataset.ByName("Protein", 0.15)
+	o := New()
+	ix := BuildIndexes(r, r)
+	// Larger Δ1 with fixed Δ2 shrinks the matrix; the heavy cost must not
+	// increase.
+	h1 := o.heavyCost(ix, 1, 8, 1)
+	h2 := o.heavyCost(ix, 64, 8, 1)
+	if h2 > h1 {
+		t.Fatalf("heavy cost grew with larger Δ1: %v → %v", h1, h2)
+	}
+	if o.heavyCost(ix, 1<<30, 1<<30, 1) != 0 {
+		t.Fatal("no heavy values should cost 0")
+	}
+}
+
+func TestChooseWithSketch(t *testing.T) {
+	r, _ := dataset.ByName("Image", 0.4)
+	o := New()
+	base := o.Choose(r, r, 1)
+	refined := o.ChooseWithSketch(r, r, 1, 1<<30)
+	if refined.UseWCOJ != base.UseWCOJ {
+		t.Fatalf("sketch refinement flipped the WCOJ decision")
+	}
+	if !refined.UseWCOJ {
+		if refined.Delta1 < 1 || refined.Delta2 < 1 {
+			t.Fatalf("refined thresholds (%d, %d) invalid", refined.Delta1, refined.Delta2)
+		}
+		// The HLL estimate must be within a small factor of the true output
+		// size (computed exactly here).
+		exact := int64(len(joinproject.TwoPathMM(r, r, joinproject.Options{})))
+		ratio := float64(refined.EstOut) / float64(exact)
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("sketch estimate %d vs exact %d (ratio %.2f)", refined.EstOut, exact, ratio)
+		}
+	}
+	// A zero budget must leave the decision untouched.
+	same := o.ChooseWithSketch(r, r, 1, 0)
+	if same.EstOut != base.EstOut {
+		t.Fatal("budget 0 should not refine the estimate")
+	}
+}
+
+// Property: the cdf structure answers arbitrary queries consistently with a
+// brute-force filter.
+func TestQuickCDF(t *testing.T) {
+	f := func(raw []uint8, delta uint8) bool {
+		degs := make([]int32, len(raw))
+		w := make([]float64, len(raw))
+		for i, v := range raw {
+			degs[i] = int32(v % 32)
+			w[i] = float64(v)
+		}
+		c := buildCDF(degs, w)
+		var want float64
+		for i, d := range degs {
+			if int(d) <= int(delta%40) {
+				want += w[i]
+			}
+		}
+		return c.sumUpTo(int(delta%40)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

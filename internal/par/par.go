@@ -1,0 +1,84 @@
+// Package par provides the coordination-free data parallelism used across
+// the engine. Section 6 of the paper stresses that both the matrix
+// multiplication and the light-part join parallelize by partitioning the
+// data with no interaction between tasks; these helpers implement exactly
+// that pattern: static block partitioning over goroutines.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested degree of parallelism: values < 1 mean
+// "use all available cores".
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForChunks splits [0, n) into at most workers contiguous chunks and runs fn
+// on each chunk in its own goroutine. fn receives [lo, hi). It blocks until
+// all chunks complete.
+func ForChunks(n, workers int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, n) across workers goroutines using
+// static block partitioning.
+func For(n, workers int, fn func(i int)) {
+	ForChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Ranges returns the contiguous [lo, hi) chunks ForChunks would use, in
+// order. Callers that need per-chunk result slots (for deterministic
+// concatenation) partition with this and spawn their own goroutines.
+func Ranges(n, workers int) [][2]int {
+	workers = Workers(workers)
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Workers(0) should be GOMAXPROCS")
+	}
+	if Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Workers(-1) should be GOMAXPROCS")
+	}
+	if Workers(3) != 3 {
+		t.Fatal("Workers(3) should be 3")
+	}
+}
+
+func TestForCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 100} {
+		n := 1000
+		seen := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForChunksDisjointCover(t *testing.T) {
+	n := 537
+	var total int64
+	ForChunks(n, 5, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty chunk [%d,%d)", lo, hi)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != int64(n) {
+		t.Fatalf("chunks cover %d elements, want %d", total, n)
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	ran := false
+	ForChunks(0, 4, func(lo, hi int) { ran = true })
+	ForChunks(-5, 4, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for empty range")
+	}
+}
+
+func TestForSingleElement(t *testing.T) {
+	count := 0
+	For(1, 8, func(i int) { count++ })
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+func TestRanges(t *testing.T) {
+	cases := []struct {
+		n, workers int
+		wantChunks int
+	}{
+		{0, 4, 0},
+		{-1, 4, 0},
+		{1, 4, 1},
+		{10, 1, 1},
+		{10, 3, 3},
+		{10, 100, 10},
+	}
+	for _, c := range cases {
+		got := Ranges(c.n, c.workers)
+		if len(got) != c.wantChunks {
+			t.Errorf("Ranges(%d,%d) = %d chunks, want %d", c.n, c.workers, len(got), c.wantChunks)
+		}
+		// Chunks must tile [0, n) exactly, in order.
+		next := 0
+		for _, rg := range got {
+			if rg[0] != next || rg[1] <= rg[0] {
+				t.Fatalf("Ranges(%d,%d): bad chunk %v after %d", c.n, c.workers, rg, next)
+			}
+			next = rg[1]
+		}
+		if c.n > 0 && next != c.n {
+			t.Fatalf("Ranges(%d,%d) covers %d, want %d", c.n, c.workers, next, c.n)
+		}
+	}
+}
+
+func TestRangesMatchForChunks(t *testing.T) {
+	for _, n := range []int{1, 7, 100, 1001} {
+		for _, w := range []int{1, 2, 5, 24} {
+			want := Ranges(n, w)
+			var got [][2]int
+			var mu sync.Mutex
+			ForChunks(n, w, func(lo, hi int) {
+				mu.Lock()
+				got = append(got, [2]int{lo, hi})
+				mu.Unlock()
+			})
+			if len(got) != len(want) {
+				t.Fatalf("n=%d w=%d: ForChunks used %d chunks, Ranges says %d", n, w, len(got), len(want))
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary relation file format: a fixed magic, the relation name, and the
+// tuple list as little-endian int32 pairs in (x, y) order. The format is
+// deliberately dumb — it round-trips datasets between cmd/datagen and
+// external tooling and nothing more.
+var fileMagic = [6]byte{'J', 'M', 'M', 'R', '1', '\n'}
+
+// WriteTo serializes the relation. It implements io.WriterTo.
+func (r *Relation) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.Write(fileMagic[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	name := []byte(r.name)
+	if len(name) > 1<<16 {
+		return written, fmt.Errorf("relation: name too long (%d bytes)", len(name))
+	}
+	hdr := make([]byte, 4+8)
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(name)))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(r.n))
+	if _, err := bw.Write(hdr); err != nil {
+		return written, err
+	}
+	written += int64(len(hdr))
+	if _, err := bw.Write(name); err != nil {
+		return written, err
+	}
+	written += int64(len(name))
+	buf := make([]byte, 8)
+	for i := 0; i < r.byX.NumKeys(); i++ {
+		x := r.byX.Key(i)
+		for _, y := range r.byX.List(i) {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(x))
+			binary.LittleEndian.PutUint32(buf[4:], uint32(y))
+			if _, err := bw.Write(buf); err != nil {
+				return written, err
+			}
+			written += 8
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom deserializes a relation written by WriteTo and rebuilds its
+// indexes.
+func ReadFrom(rd io.Reader) (*Relation, error) {
+	br := bufio.NewReader(rd)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("relation: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("relation: bad magic %q", magic)
+	}
+	hdr := make([]byte, 4+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("relation: reading header: %w", err)
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[:4])
+	count := binary.LittleEndian.Uint64(hdr[4:])
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("relation: corrupt name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("relation: reading name: %w", err)
+	}
+	if count > 1<<40 {
+		return nil, fmt.Errorf("relation: implausible tuple count %d", count)
+	}
+	ps := make([]Pair, 0, count)
+	buf := make([]byte, 8)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("relation: reading tuple %d of %d: %w", i, count, err)
+		}
+		ps = append(ps, Pair{
+			X: int32(binary.LittleEndian.Uint32(buf[:4])),
+			Y: int32(binary.LittleEndian.Uint32(buf[4:])),
+		})
+	}
+	return FromPairs(string(name), ps), nil
+}
+
+// Save writes the relation to a file.
+func (r *Relation) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := r.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a relation from a file written by Save.
+func Load(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

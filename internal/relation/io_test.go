@@ -1,0 +1,115 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ps []Pair
+	for i := 0; i < 1000; i++ {
+		ps = append(ps, Pair{X: int32(rng.Intn(100)) - 50, Y: int32(rng.Intn(100)) - 50})
+	}
+	r := FromPairs("round-trip", ps)
+	var buf bytes.Buffer
+	n, err := r.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "round-trip" || got.Size() != r.Size() {
+		t.Fatalf("round trip: name=%q size=%d, want %q %d", got.Name(), got.Size(), r.Name(), r.Size())
+	}
+	for _, p := range r.Pairs() {
+		if !got.Contains(p.X, p.Y) {
+			t.Fatalf("round trip lost %v", p)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	r := FromPairs("disk", []Pair{{X: 1, Y: 2}, {X: 3, Y: 4}})
+	path := filepath.Join(t.TempDir(), "rel.jmmr")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 2 || !got.Contains(1, 2) || !got.Contains(3, 4) {
+		t.Fatal("Save/Load lost tuples")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXXXX_not_the_magic_and_then_some_padding"),
+	}
+	for i, c := range cases {
+		if _, err := ReadFrom(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error for garbage input", i)
+		}
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	r := FromPairs("trunc", []Pair{{X: 1, Y: 2}, {X: 3, Y: 4}, {X: 5, Y: 6}})
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop off the last tuple: ReadFrom must fail, not return short data.
+	if _, err := ReadFrom(bytes.NewReader(full[:len(full)-5])); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestEmptyRelationRoundTrip(t *testing.T) {
+	r := FromPairs("", nil)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 0 || got.Name() != "" {
+		t.Fatal("empty relation round trip failed")
+	}
+}
+
+func TestSwap(t *testing.T) {
+	r := FromPairs("R", []Pair{{X: 1, Y: 10}, {X: 2, Y: 10}, {X: 1, Y: 11}})
+	s := r.Swap()
+	if s.Size() != r.Size() {
+		t.Fatalf("swap changed size: %d vs %d", s.Size(), r.Size())
+	}
+	if !s.Contains(10, 1) || !s.Contains(10, 2) || !s.Contains(11, 1) {
+		t.Fatal("swap lost tuples")
+	}
+	if s.Contains(1, 10) {
+		t.Fatal("swap kept original orientation")
+	}
+	// Double swap restores orientation.
+	if !r.Swap().Swap().Contains(1, 10) {
+		t.Fatal("double swap broken")
+	}
+	// Indexes are shared views: degrees must match mirrored.
+	if s.NumX() != r.NumY() || s.NumY() != r.NumX() {
+		t.Fatal("swap index shapes wrong")
+	}
+}

@@ -1,0 +1,46 @@
+package scj_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/scj"
+)
+
+// Which keyword sets are contained in which: the MMJoin route filters the
+// counting join-project with |a ∩ b| = |a|.
+func ExampleMMJoin() {
+	r := relation.FromPairs("tags", []relation.Pair{
+		{X: 1, Y: 7},
+		{X: 2, Y: 7}, {X: 2, Y: 8},
+		{X: 3, Y: 7}, {X: 3, Y: 8}, {X: 3, Y: 9},
+	})
+	pairs := scj.MMJoin(r, scj.Options{Workers: 1})
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Sub != pairs[j].Sub {
+			return pairs[i].Sub < pairs[j].Sub
+		}
+		return pairs[i].Sup < pairs[j].Sup
+	})
+	for _, p := range pairs {
+		fmt.Printf("%d ⊆ %d\n", p.Sub, p.Sup)
+	}
+	// Output:
+	// 1 ⊆ 2
+	// 1 ⊆ 3
+	// 2 ⊆ 3
+}
+
+// The trie-based algorithms produce the same result.
+func ExamplePRETTI() {
+	r := relation.FromPairs("tags", []relation.Pair{
+		{X: 1, Y: 7},
+		{X: 2, Y: 7}, {X: 2, Y: 8},
+	})
+	for _, p := range scj.PRETTI(r, scj.Options{}) {
+		fmt.Printf("%d ⊆ %d\n", p.Sub, p.Sup)
+	}
+	// Output:
+	// 1 ⊆ 2
+}

@@ -1,0 +1,224 @@
+package scj
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/relation"
+)
+
+func bruteSCJ(r *relation.Relation) map[Pair]bool {
+	ix := r.ByX()
+	out := map[Pair]bool{}
+	for i := 0; i < ix.NumKeys(); i++ {
+		for j := 0; j < ix.NumKeys(); j++ {
+			if i == j {
+				continue
+			}
+			if relation.ContainsSorted(ix.List(j), ix.List(i)) {
+				out[Pair{Sub: ix.Key(i), Sup: ix.Key(j)}] = true
+			}
+		}
+	}
+	return out
+}
+
+func randomSets(rng *rand.Rand, numSets, domain, maxSize int) *relation.Relation {
+	var ps []relation.Pair
+	for s := 0; s < numSets; s++ {
+		size := 1 + rng.Intn(maxSize)
+		for e := 0; e < size; e++ {
+			ps = append(ps, relation.Pair{X: int32(s), Y: int32(rng.Intn(domain))})
+		}
+	}
+	return relation.FromPairs("sets", ps)
+}
+
+// nestedSets guarantees a rich containment structure: chains of prefixes.
+func nestedSets(rng *rand.Rand, chains, depth, domain int) *relation.Relation {
+	var ps []relation.Pair
+	id := int32(0)
+	for c := 0; c < chains; c++ {
+		base := make([]int32, 0, depth)
+		for d := 0; d < depth; d++ {
+			base = append(base, int32(rng.Intn(domain)))
+			for _, e := range base {
+				ps = append(ps, relation.Pair{X: id, Y: e})
+			}
+			id++
+		}
+	}
+	return relation.FromPairs("nested", ps)
+}
+
+func checkSCJ(t *testing.T, got []Pair, want map[Pair]bool, label string) {
+	t.Helper()
+	seen := map[Pair]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("%s: duplicate pair %+v", label, p)
+		}
+		seen[p] = true
+		if !want[p] {
+			t.Fatalf("%s: spurious containment %+v", label, p)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(seen), len(want))
+	}
+}
+
+func TestAllAlgorithmsSmall(t *testing.T) {
+	r := relation.FromPairs("toy", []relation.Pair{
+		{X: 1, Y: 10}, {X: 1, Y: 11},
+		{X: 2, Y: 10}, {X: 2, Y: 11}, {X: 2, Y: 12},
+		{X: 3, Y: 10},
+		{X: 4, Y: 20},
+	})
+	want := bruteSCJ(r) // 1⊆2, 3⊆1, 3⊆2
+	if len(want) != 3 {
+		t.Fatalf("oracle has %d pairs, want 3", len(want))
+	}
+	checkSCJ(t, PRETTI(r, Options{}), want, "PRETTI")
+	checkSCJ(t, LimitPlus(r, Options{}), want, "LIMIT+")
+	checkSCJ(t, PIEJoin(r, Options{}), want, "PIEJoin")
+	checkSCJ(t, MMJoin(r, Options{}), want, "MMJoin")
+}
+
+func TestRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 8; trial++ {
+		r := randomSets(rng, 40+rng.Intn(40), 8+rng.Intn(10), 1+rng.Intn(6))
+		want := bruteSCJ(r)
+		checkSCJ(t, PRETTI(r, Options{}), want, "PRETTI")
+		checkSCJ(t, LimitPlus(r, Options{}), want, "LIMIT+")
+		checkSCJ(t, LimitPlus(r, Options{Limit: 1}), want, "LIMIT+1")
+		checkSCJ(t, LimitPlus(r, Options{Limit: 100}), want, "LIMIT+100")
+		checkSCJ(t, PIEJoin(r, Options{}), want, "PIEJoin")
+		checkSCJ(t, MMJoin(r, Options{}), want, "MMJoin")
+	}
+}
+
+func TestNestedChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	r := nestedSets(rng, 6, 5, 40)
+	want := bruteSCJ(r)
+	if len(want) == 0 {
+		t.Fatal("nested instance should have containments")
+	}
+	checkSCJ(t, PRETTI(r, Options{}), want, "PRETTI nested")
+	checkSCJ(t, PIEJoin(r, Options{}), want, "PIEJoin nested")
+	checkSCJ(t, MMJoin(r, Options{}), want, "MMJoin nested")
+	checkSCJ(t, LimitPlus(r, Options{}), want, "LIMIT+ nested")
+}
+
+func TestEqualSets(t *testing.T) {
+	// Equal sets contain each other: both directions must appear.
+	r := relation.FromPairs("eq", []relation.Pair{
+		{X: 1, Y: 5}, {X: 1, Y: 6},
+		{X: 2, Y: 5}, {X: 2, Y: 6},
+	})
+	want := bruteSCJ(r)
+	if len(want) != 2 {
+		t.Fatalf("equal sets oracle = %d pairs, want 2", len(want))
+	}
+	checkSCJ(t, PRETTI(r, Options{}), want, "PRETTI eq")
+	checkSCJ(t, LimitPlus(r, Options{}), want, "LIMIT+ eq")
+	checkSCJ(t, PIEJoin(r, Options{}), want, "PIEJoin eq")
+	checkSCJ(t, MMJoin(r, Options{}), want, "MMJoin eq")
+}
+
+func TestPIEJoinParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	r := randomSets(rng, 150, 12, 5)
+	want := bruteSCJ(r)
+	for _, w := range []int{1, 2, 8} {
+		checkSCJ(t, PIEJoin(r, Options{Workers: w}), want, "PIEJoin parallel")
+	}
+}
+
+func TestMMJoinParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	r := randomSets(rng, 150, 12, 5)
+	want := bruteSCJ(r)
+	for _, w := range []int{2, 6} {
+		checkSCJ(t, MMJoin(r, Options{Workers: w}), want, "MMJoin parallel")
+	}
+}
+
+func TestOnDatasetShapes(t *testing.T) {
+	for _, name := range []string{"DBLP", "Jokes"} {
+		r, _ := dataset.ByName(name, 0.02)
+		want := bruteSCJ(r)
+		checkSCJ(t, PRETTI(r, Options{}), want, name+"/PRETTI")
+		checkSCJ(t, LimitPlus(r, Options{}), want, name+"/LIMIT+")
+		checkSCJ(t, PIEJoin(r, Options{}), want, name+"/PIEJoin")
+		checkSCJ(t, MMJoin(r, Options{}), want, name+"/MMJoin")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	empty := relation.FromPairs("E", nil)
+	for _, fn := range []func(*relation.Relation, Options) []Pair{PRETTI, LimitPlus, PIEJoin, MMJoin} {
+		if got := fn(empty, Options{}); len(got) != 0 {
+			t.Fatalf("empty SCJ = %v", got)
+		}
+	}
+}
+
+func TestFamilyRankOrder(t *testing.T) {
+	r := relation.FromPairs("f", []relation.Pair{
+		{X: 1, Y: 100}, {X: 2, Y: 100}, {X: 3, Y: 100}, // 100 frequent
+		{X: 1, Y: 200}, // 200 rare
+	})
+	f := newFamily(r)
+	// Set 1 = {100, 200}: rare 200 must come first in rank order.
+	pos := -1
+	for i, id := range f.ids {
+		if id == 1 {
+			pos = i
+		}
+	}
+	set := f.sets[pos]
+	if len(set) != 2 || set[0] >= set[1] {
+		t.Fatalf("rank sequence %v not ascending", set)
+	}
+	// Rank 0 must be the rarest element (200, frequency 1).
+	if set[0] != 0 {
+		t.Fatalf("rarest element should get rank 0, set = %v", set)
+	}
+	// Inverted lists must be sorted by position.
+	for rk, list := range f.inv {
+		for i := 1; i < len(list); i++ {
+			if list[i-1] >= list[i] {
+				t.Fatalf("inv[%d] = %v not strictly sorted", rk, list)
+			}
+		}
+	}
+}
+
+// Property: all four algorithms agree with brute force.
+func TestQuickAllAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomSets(rng, 5+rng.Intn(60), 4+rng.Intn(10), 1+rng.Intn(5))
+		want := bruteSCJ(r)
+		for _, fn := range []func(*relation.Relation, Options) []Pair{PRETTI, LimitPlus, PIEJoin, MMJoin} {
+			got := fn(r, Options{Workers: 2})
+			if len(got) != len(want) {
+				return false
+			}
+			for _, p := range got {
+				if !want[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

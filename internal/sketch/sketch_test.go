@@ -1,0 +1,189 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestKMVExactBelowK(t *testing.T) {
+	s := NewKMV(128)
+	for i := uint64(0); i < 100; i++ {
+		s.Add(i)
+		s.Add(i) // duplicates must not count
+	}
+	if got := s.Estimate(); got != 100 {
+		t.Fatalf("KMV below k: estimate %v, want exactly 100", got)
+	}
+}
+
+func TestKMVAccuracy(t *testing.T) {
+	s := NewKMV(1024)
+	const n = 200000
+	for i := uint64(0); i < n; i++ {
+		s.Add(i)
+	}
+	est := s.Estimate()
+	if math.Abs(est-n)/n > 0.15 {
+		t.Fatalf("KMV estimate %v too far from %d", est, n)
+	}
+}
+
+func TestKMVDuplicatesIgnored(t *testing.T) {
+	s := NewKMV(64)
+	for rep := 0; rep < 10; rep++ {
+		for i := uint64(0); i < 50; i++ {
+			s.Add(i)
+		}
+	}
+	if got := s.Estimate(); got != 50 {
+		t.Fatalf("estimate %v after duplicate floods, want 50", got)
+	}
+}
+
+func TestKMVMerge(t *testing.T) {
+	a, b := NewKMV(512), NewKMV(512)
+	for i := uint64(0); i < 50000; i++ {
+		a.Add(i)
+	}
+	for i := uint64(25000); i < 75000; i++ {
+		b.Add(i)
+	}
+	a.Merge(b)
+	est := a.Estimate()
+	if math.Abs(est-75000)/75000 > 0.2 {
+		t.Fatalf("merged estimate %v, want ≈75000", est)
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 10000, 500000} {
+		h := NewHLL(12)
+		for i := 0; i < n; i++ {
+			h.Add(uint64(i))
+		}
+		est := h.Estimate()
+		if math.Abs(est-float64(n))/float64(n) > 0.1 {
+			t.Fatalf("HLL estimate %v for n=%d (err %.2f%%)", est, n, 100*math.Abs(est-float64(n))/float64(n))
+		}
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, b := NewHLL(12), NewHLL(12)
+	for i := 0; i < 40000; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i + 20000))
+	}
+	a.Merge(b)
+	est := a.Estimate()
+	if math.Abs(est-60000)/60000 > 0.1 {
+		t.Fatalf("merged HLL estimate %v, want ≈60000", est)
+	}
+}
+
+func TestHLLPrecisionClamped(t *testing.T) {
+	if got := len(NewHLL(1).regs); got != 16 {
+		t.Fatalf("p<4 should clamp to 4 (16 regs), got %d", got)
+	}
+	if got := len(NewHLL(30).regs); got != 1<<16 {
+		t.Fatalf("p>16 should clamp to 16, got %d regs", got)
+	}
+}
+
+func TestPairKeyInjective(t *testing.T) {
+	seen := map[uint64][2]int32{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		x, z := int32(rng.Intn(1000)), int32(rng.Intn(1000))
+		k := PairKey(x, z)
+		if prev, ok := seen[k]; ok && (prev[0] != x || prev[1] != z) {
+			t.Fatalf("collision: %v and (%d,%d)", prev, x, z)
+		}
+		seen[k] = [2]int32{x, z}
+	}
+}
+
+func randomRel(rng *rand.Rand, n, xdom, ydom int) *relation.Relation {
+	ps := make([]relation.Pair, n)
+	for i := range ps {
+		ps[i] = relation.Pair{X: int32(rng.Intn(xdom)), Y: int32(rng.Intn(ydom))}
+	}
+	return relation.FromPairs("r", ps)
+}
+
+func TestEstimateJoinProject(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := randomRel(rng, 3000, 200, 80)
+	s := randomRel(rng, 3000, 200, 80)
+	// Exact output size.
+	exact := map[uint64]struct{}{}
+	for _, rp := range r.Pairs() {
+		for _, sp := range s.Pairs() {
+			if rp.Y == sp.Y {
+				exact[PairKey(rp.X, sp.X)] = struct{}{}
+			}
+		}
+	}
+	n := float64(len(exact))
+	hll := EstimateJoinProjectHLL(r, s, 12)
+	if math.Abs(hll-n)/n > 0.1 {
+		t.Fatalf("HLL join-project estimate %v, exact %v", hll, n)
+	}
+	kmv := EstimateJoinProjectKMV(r, s, 1024)
+	if math.Abs(kmv-n)/n > 0.15 {
+		t.Fatalf("KMV join-project estimate %v, exact %v", kmv, n)
+	}
+}
+
+func TestEstimateDomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := randomRel(rng, 2000, 300, 50)
+	s := randomRel(rng, 2000, 150, 50)
+	dx, dz := EstimateDomainsHLL(r, s, 12)
+	if math.Abs(dx-float64(r.NumX()))/float64(r.NumX()) > 0.1 {
+		t.Fatalf("domX estimate %v, exact %d", dx, r.NumX())
+	}
+	if math.Abs(dz-float64(s.NumX()))/float64(s.NumX()) > 0.1 {
+		t.Fatalf("domZ estimate %v, exact %d", dz, s.NumX())
+	}
+}
+
+// Property: sketches never report more distinct values than were added
+// (within estimator error), and are monotone under Merge.
+func TestQuickKMVBounded(t *testing.T) {
+	f := func(vals []uint64) bool {
+		s := NewKMV(256)
+		distinct := map[uint64]bool{}
+		for _, v := range vals {
+			s.Add(v)
+			distinct[v] = true
+		}
+		est := s.Estimate()
+		n := float64(len(distinct))
+		if n <= 256 {
+			return est == n // exact regime
+		}
+		return math.Abs(est-n)/n < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHLLDeterministic(t *testing.T) {
+	f := func(vals []uint64) bool {
+		a, b := NewHLL(10), NewHLL(10)
+		for _, v := range vals {
+			a.Add(v)
+			b.Add(v)
+		}
+		return a.Estimate() == b.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

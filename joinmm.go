@@ -1,0 +1,102 @@
+// Package joinmm is a Go implementation of "Fast Join Project Query
+// Evaluation using Matrix Multiplication" (Deep, Hu, Koutris — SIGMOD 2020):
+// an output-sensitive in-memory engine for star join queries with
+// projections, combining worst-case optimal joins with (bit-packed) matrix
+// multiplication, together with the paper's applications — set similarity
+// joins, set containment joins and batched boolean set intersection.
+//
+// Quick start:
+//
+//	r := joinmm.NewRelation("friends", pairs) // R(x, y) tuples
+//	eng := joinmm.New()                       // cost-based planning
+//	out, plan := eng.JoinProject(r, r)        // π_{x,z}(R(x,y) ⋈ R(z,y))
+//
+// The engine's optimizer decides per instance whether to run the plain
+// worst-case optimal join (sparse inputs) or the degree-partitioned matrix
+// multiplication algorithm (dense inputs), exactly as Section 5 of the
+// paper prescribes; WithStrategy pins either choice.
+package joinmm
+
+import (
+	"repro/internal/bsi"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/joinproject"
+	"repro/internal/relation"
+	"repro/internal/scj"
+	"repro/internal/ssj"
+)
+
+// Pair is a single tuple (X, Y) of a binary relation.
+type Pair = relation.Pair
+
+// Relation is an immutable, fully indexed binary relation R(x, y).
+type Relation = relation.Relation
+
+// Engine evaluates join-project queries and their applications.
+type Engine = core.Engine
+
+// Plan describes how the engine evaluated (or would evaluate) a query.
+type Plan = core.Plan
+
+// Strategy selects the planning mode; see Auto, ForceMM, ForceWCOJ,
+// ForceNonMM.
+type Strategy = core.Strategy
+
+// Planning strategies.
+const (
+	Auto       = core.Auto
+	ForceMM    = core.ForceMM
+	ForceWCOJ  = core.ForceWCOJ
+	ForceNonMM = core.ForceNonMM
+)
+
+// Engine options.
+var (
+	WithWorkers          = core.WithWorkers
+	WithStrategy         = core.WithStrategy
+	WithThresholds       = core.WithThresholds
+	WithSketchRefinement = core.WithSketchRefinement
+)
+
+// SimilarPair is an unordered set pair with overlap ≥ c (set similarity).
+type SimilarPair = ssj.Pair
+
+// ScoredPair is a similar pair with its exact overlap, for ordered results.
+type ScoredPair = ssj.ScoredPair
+
+// ContainmentPair is one containment Sub ⊆ Sup (set containment).
+type ContainmentPair = scj.Pair
+
+// IntersectionQuery asks whether sets A (in R) and B (in S) intersect.
+type IntersectionQuery = bsi.Query
+
+// SimilarTuple is a k-way similar tuple of distinct sets.
+type SimilarTuple = ssj.Tuple
+
+// GroupCount is a per-group aggregate over the projected join: distinct
+// partner count and total witness count for one x value.
+type GroupCount = joinproject.GroupCount
+
+// CompressedView is the factorized representation of a join-project result:
+// light pairs explicit, heavy pairs kept as bit-matrix factors.
+type CompressedView = compress.View
+
+// New builds an engine. With no options it plans automatically on all
+// cores.
+func New(opts ...core.Option) *Engine { return core.NewEngine(opts...) }
+
+// NewRelation builds an indexed relation from tuples, removing duplicates.
+func NewRelation(name string, pairs []Pair) *Relation {
+	return relation.FromPairs(name, pairs)
+}
+
+// Reduce removes tuples that cannot contribute to the join of the given
+// relations (the linear preprocessing step the paper's algorithms assume).
+func Reduce(rels ...*Relation) []*Relation { return relation.Reduce(rels...) }
+
+// LoadRelation reads a relation from a file written by (*Relation).Save.
+func LoadRelation(path string) (*Relation, error) { return relation.Load(path) }
+
+// FullJoinSize returns |OUT⋈|, the size of the star join before projection.
+func FullJoinSize(rels ...*Relation) int64 { return relation.FullJoinSize(rels...) }
