@@ -23,12 +23,29 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "", "experiment id (e.g. fig4a), or 'all'")
-		scale = flag.Float64("scale", 0.5, "dataset scale factor")
-		list  = flag.Bool("list", false, "list available experiments")
-		csv   = flag.Bool("csv", false, "emit CSV rows instead of tables")
+		exp     = flag.String("experiment", "", "experiment id (e.g. fig4a), or 'all'")
+		scale   = flag.Float64("scale", 0.5, "dataset scale factor")
+		list    = flag.Bool("list", false, "list available experiments")
+		csv     = flag.Bool("csv", false, "emit CSV rows instead of tables")
+		jsonOut = flag.Bool("json", false, "measure the matrix kernels and write a BENCH_kernels.json snapshot")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		snap, err := experiments.KernelBenchSnapshot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_kernels.json", snap, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_kernels.json")
+		if *exp == "" && !*list {
+			return
+		}
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

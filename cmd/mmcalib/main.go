@@ -68,8 +68,10 @@ func main() {
 
 	cm := matrix.DefaultCostModel()
 	fmt.Printf("\nkernel throughput:\n")
-	fmt.Printf("  AND+POPCNT  %.2e word-ops/s\n", cm.WordOpsPerSec)
-	fmt.Printf("  construction %.2e cells/s\n", cm.CellOpsPerSec)
+	fmt.Printf("  AND+POPCNT (cache-resident) %.2e word-ops/s\n", cm.WordOpsPerSec)
+	fmt.Printf("  AND+POPCNT (streaming Bᵀ)   %.2e word-ops/s (footprint > %.0f KiB)\n",
+		cm.WordOpsPerSecStream, cm.StreamFootprint/1024)
+	fmt.Printf("  construction                %.2e cells/s\n", cm.CellOpsPerSec)
 
 	if *tab {
 		pv, err := parseInts(*ps)

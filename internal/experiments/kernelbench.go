@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+// KernelBench is one measured kernel data point, named after the go-test
+// benchmark it mirrors so snapshots line up with `go test -bench` output.
+type KernelBench struct {
+	NsPerOp int64 `json:"ns_per_op"`
+	Reps    int   `json:"reps"`
+}
+
+// KernelSnapshot is the machine-readable perf trajectory cmd/joinbench
+// writes with -json: ns/op for the Figure-3 matrix shapes and the
+// kernel-ablation lineup. Later PRs diff these files to catch regressions.
+type KernelSnapshot struct {
+	GoOS       string                 `json:"goos"`
+	GoArch     string                 `json:"goarch"`
+	NumCPU     int                    `json:"num_cpu"`
+	Timestamp  string                 `json:"timestamp"`
+	Benchmarks map[string]KernelBench `json:"benchmarks"`
+}
+
+// kernelBudget bounds the per-benchmark measurement time; with warm-up plus
+// at least three reps this keeps the full snapshot under ~10 s while staying
+// stable to a few percent.
+const kernelBudget = 300 * time.Millisecond
+
+func measureKernel(fn func()) KernelBench {
+	fn() // warm-up (also populates scratch pools)
+	reps := 0
+	start := time.Now()
+	for time.Since(start) < kernelBudget || reps < 3 {
+		fn()
+		reps++
+	}
+	return KernelBench{NsPerOp: time.Since(start).Nanoseconds() / int64(reps), Reps: reps}
+}
+
+// fig3BitPair reproduces the operand pattern of BenchmarkFig3a/3b.
+func fig3BitPair(seed int64, n int) (*matrix.BitMatrix, *matrix.BitMatrix) {
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.NewBitMatrix(n, n)
+	c := matrix.NewBitMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := rng.Intn(3); j < n; j += 1 + rng.Intn(5) {
+			a.Set(i, j)
+			c.Set(i, (j+i)%n)
+		}
+	}
+	return a, c
+}
+
+// KernelBenchSnapshot measures the Fig-3a/3b and AblationKernels shapes and
+// returns the marshaled snapshot.
+func KernelBenchSnapshot() ([]byte, error) {
+	snap := KernelSnapshot{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: map[string]KernelBench{},
+	}
+
+	for _, n := range []int{512, 1024, 2048} {
+		a, c := fig3BitPair(7, n)
+		name := fmt.Sprintf("BenchmarkFig3a_MatMulSingleCore/n=%d", n)
+		snap.Benchmarks[name] = measureKernel(func() { _ = matrix.MulBitCount(a, c, 1) })
+	}
+
+	{
+		a, c := fig3BitPair(8, 2048)
+		for _, cores := range []int{1, 2, 3, 4, 5} {
+			name := fmt.Sprintf("BenchmarkFig3b_MatMulMultiCore/cores=%d", cores)
+			snap.Benchmarks[name] = measureKernel(func() { _ = matrix.MulBitCount(a, c, cores) })
+		}
+	}
+
+	{
+		const n = 512
+		rng := rand.New(rand.NewSource(9))
+		bm1 := matrix.NewBitMatrix(n, n)
+		bm2 := matrix.NewBitMatrix(n, n)
+		d1 := matrix.NewInt32(n, n)
+		d2 := matrix.NewInt32(n, n)
+		for i := 0; i < n; i++ {
+			for j := rng.Intn(4); j < n; j += 1 + rng.Intn(6) {
+				bm1.Set(i, j)
+				d1.Set(i, j, 1)
+				k := (j + i) % n
+				bm2.Set(i, k)
+				d2.Set(i, k, 1)
+			}
+		}
+		d2t := d2.Transpose()
+		snap.Benchmarks["BenchmarkAblationKernels/BitPacked"] =
+			measureKernel(func() { _ = matrix.MulBitCount(bm1, bm2, 1) })
+		snap.Benchmarks["BenchmarkAblationKernels/DenseInt32"] =
+			measureKernel(func() { _ = matrix.MulBlocked(d1, d2t) })
+		snap.Benchmarks["BenchmarkAblationKernels/Strassen"] =
+			measureKernel(func() { _ = matrix.MulStrassen(d1, d2t, 0) })
+		snap.Benchmarks["BenchmarkAblationKernels/RectLemma1"] =
+			measureKernel(func() { _ = matrix.MulRect(d1, d2t, 0) })
+	}
+
+	return json.MarshalIndent(snap, "", "  ")
+}

@@ -58,6 +58,29 @@ func packTuple(key []byte, xs []int32) []byte {
 	return key
 }
 
+// starScratch is the per-worker tuple/key buffer pair of the star
+// evaluation: every producer (light-enumeration chunk, combinatorial chunk,
+// matrix-product row) checks one out for its lifetime, so the per-tuple hot
+// path allocates nothing.
+type starScratch struct {
+	xs  []int32
+	key []byte
+}
+
+var starScratchPool = sync.Pool{New: func() any { return new(starScratch) }}
+
+func getStarScratch(k int) *starScratch {
+	s := starScratchPool.Get().(*starScratch)
+	if cap(s.xs) < k {
+		s.xs = make([]int32, k)
+		s.key = make([]byte, 0, 4*k)
+	}
+	s.xs = s.xs[:k]
+	return s
+}
+
+func putStarScratch(s *starScratch) { starScratchPool.Put(s) }
+
 // starCtx precomputes the per-relation degree information for Q★k.
 type starCtx struct {
 	rels   []*relation.Relation
@@ -89,11 +112,13 @@ func (c *starCtx) heavyX(j int, x int32) bool {
 
 // enumerateLight visits every projected tuple that has a witness with at
 // least one non-all-heavy tuple — steps (1) and (2) of the Section-3.2
-// algorithm. emit receives a reused buffer.
-func (c *starCtx) enumerateLight(workers int, emit func(worker int, xs []int32)) {
+// algorithm. emit receives a reused buffer, plus the chunk's scratch so
+// consumers can pack keys without allocating.
+func (c *starCtx) enumerateLight(workers int, emit func(sc *starScratch, xs []int32)) {
 	par.ForChunks(len(c.ys), workers, func(lo, hi int) {
-		worker := lo // unique per chunk
-		xs := make([]int32, c.k)
+		sc := getStarScratch(c.k)
+		defer putStarScratch(sc)
+		xs := sc.xs
 		lists := make([][]int32, c.k)
 		lightPart := make([][]int32, c.k)
 		heavyPart := make([][]int32, c.k)
@@ -115,7 +140,7 @@ func (c *starCtx) enumerateLight(workers int, emit func(worker int, xs []int32))
 			if c.yHeavyCount[i] < 2 {
 				// No tuple at this y can be all-heavy (Rj⁺ needs a heavy y
 				// in some other relation), so enumerate the full product.
-				crossEmit(lists, xs, 0, func() { emit(worker, xs) })
+				crossEmit(lists, xs, 0, func() { emit(sc, xs) })
 				continue
 			}
 			// Split each list into light and heavy x values; enumerate all
@@ -141,7 +166,7 @@ func (c *starCtx) enumerateLight(workers int, emit func(worker int, xs []int32))
 				if len(lightPart[p]) == 0 {
 					continue
 				}
-				crossSegmented(heavyPart, lightPart, lists, xs, 0, p, func() { emit(worker, xs) })
+				crossSegmented(heavyPart, lightPart, lists, xs, 0, p, func() { emit(sc, xs) })
 			}
 		}
 	})
@@ -236,10 +261,11 @@ func (c *starCtx) buildGroupMatrix(jlo, jhi int, yCols map[int32]int) (rows [][]
 // goroutines; the tuple slice is owned by the callee).
 func (c *starCtx) runStar(workers int, useMM bool, emit func(xs []int32)) {
 	dedup := newTupleSet()
-	keyed := func(worker int, xs []int32) {
-		// Per-worker key buffers via closure-local pool.
-		key := packTuple(make([]byte, 0, 4*c.k), xs)
-		if dedup.insert(key) {
+	keyed := func(sc *starScratch, xs []int32) {
+		// The scratch's key buffer is reused across every tuple the worker
+		// produces; only genuinely new tuples allocate (the emitted copy).
+		sc.key = packTuple(sc.key, xs)
+		if dedup.insert(sc.key) {
 			cp := make([]int32, len(xs))
 			copy(cp, xs)
 			emit(cp)
@@ -248,7 +274,9 @@ func (c *starCtx) runStar(workers int, useMM bool, emit func(xs []int32)) {
 	if !useMM {
 		// Combinatorial baseline: enumerate the full join and deduplicate.
 		par.ForChunks(len(c.ys), workers, func(lo, hi int) {
-			xs := make([]int32, c.k)
+			sc := getStarScratch(c.k)
+			defer putStarScratch(sc)
+			xs := sc.xs
 			lists := make([][]int32, c.k)
 			for i := lo; i < hi; i++ {
 				y := c.ys[i]
@@ -261,7 +289,7 @@ func (c *starCtx) runStar(workers int, useMM bool, emit func(xs []int32)) {
 					}
 				}
 				if ok {
-					crossEmit(lists, xs, 0, func() { keyed(lo, xs) })
+					crossEmit(lists, xs, 0, func() { keyed(sc, xs) })
 				}
 			}
 		})
@@ -289,15 +317,17 @@ func (c *starCtx) runStar(workers int, useMM bool, emit func(xs []int32)) {
 		return
 	}
 	matrix.ForEachRowProduct(va, wb, workers, func(i int, counts []int32) {
-		xs := make([]int32, c.k)
+		sc := getStarScratch(c.k)
+		xs := sc.xs
 		for j, n := range counts {
 			if n == 0 {
 				continue
 			}
 			copy(xs, rowsA[i])
 			copy(xs[g:], rowsB[j])
-			keyed(i, xs)
+			keyed(sc, xs)
 		}
+		putStarScratch(sc)
 	})
 }
 
@@ -382,8 +412,9 @@ func StarMMCounts(rels []*relation.Relation, opt Options) []TupleCount {
 		mu.Unlock()
 	}
 	// Light categories: every enumerated combination is one witness.
-	c.enumerateLight(opt.Workers, func(_ int, xs []int32) {
-		add(packTuple(make([]byte, 0, 4*c.k), xs), 1)
+	c.enumerateLight(opt.Workers, func(sc *starScratch, xs []int32) {
+		sc.key = packTuple(sc.key, xs)
+		add(sc.key, 1)
 	})
 	// All-heavy witnesses via the grouped matrix product.
 	yCols := make(map[int32]int)
@@ -399,15 +430,18 @@ func StarMMCounts(rels []*relation.Relation, opt Options) []TupleCount {
 			rowsB, wb := c.buildGroupMatrix(g, c.k, yCols)
 			if len(rowsB) > 0 {
 				matrix.ForEachRowProduct(va, wb, opt.Workers, func(i int, cnts []int32) {
-					xs := make([]int32, c.k)
+					sc := getStarScratch(c.k)
+					xs := sc.xs
 					for j, n := range cnts {
 						if n == 0 {
 							continue
 						}
 						copy(xs, rowsA[i])
 						copy(xs[g:], rowsB[j])
-						add(packTuple(make([]byte, 0, 4*c.k), xs), n)
+						sc.key = packTuple(sc.key, xs)
+						add(sc.key, n)
 					}
+					putStarScratch(sc)
 				})
 			}
 		}

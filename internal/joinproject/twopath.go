@@ -16,7 +16,7 @@
 package joinproject
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -368,7 +368,7 @@ func (c *twoPathCtx) processBlock(lo, hi, chunk int, counting, dedupSort bool,
 		} else if dedupSort && len(zbuf) > 0 {
 			// Section-6 alternative: append all reachable z values,
 			// then sort + unique.
-			sort.Slice(zbuf, func(x, y int) bool { return zbuf[x] < zbuf[y] })
+			slices.Sort(zbuf)
 			for j, zp := range zbuf {
 				if j == 0 || zp != zbuf[j-1] {
 					sink(chunk, a, c.zvals[zp], 1)
@@ -393,7 +393,7 @@ func (c *twoPathCtx) runNonMM(workers int, counting bool, sink func(worker int, 
 				}
 			}
 		}
-		sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+		slices.Sort(cols)
 		zCols[j] = cols
 	}
 	nx := c.rX.NumKeys()
@@ -439,7 +439,7 @@ func (c *twoPathCtx) runNonMM(workers int, counting bool, sink func(worker int, 
 								}
 							}
 						}
-						sort.Slice(aCols, func(x, y int) bool { return aCols[x] < aCols[y] })
+						slices.Sort(aCols)
 					}
 					touched = touched[:0]
 					for _, yp := range c.rYPos[i] {

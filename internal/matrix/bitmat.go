@@ -57,6 +57,20 @@ func (m *BitMatrix) Ones() int {
 	return c
 }
 
+// Tiling parameters of the blocked kernels. The inner kernel processes
+// ibTile rows of A against one row of Bᵀ: each Bᵀ word is loaded once and
+// ANDed into ibTile independent popcount chains, so the arithmetic per load
+// quadruples and the dependency chains stay short. Around that register
+// block, the j×k tile of Bᵀ (jbTile rows × kbTile words = 16 KiB) stays
+// resident in L1d for the whole i-block, so Bᵀ is fetched from the outer
+// memory levels once per ibTile output rows instead of once per output row.
+// See internal/matrix/README.md for the measurements behind these choices.
+const (
+	ibTile = 4  // A rows per register block
+	jbTile = 32 // Bᵀ rows per cache tile
+	kbTile = 64 // words per cache tile (512 B per row segment)
+)
+
 // MulBitCount computes the integer matrix product C = A × Bᵀ where A is
 // rows(a)×cols and bT holds Bᵀ (so bT rows index the product's columns and
 // both operands are packed along the shared dimension). C[i][j] is the
@@ -68,12 +82,13 @@ func MulBitCount(a, bT *BitMatrix, workers int) *Int32 {
 	}
 	c := NewInt32(a.Rows, bT.Rows)
 	par.ForChunks(a.Rows, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ra := a.RowWords(i)
-			crow := c.Row(i)
-			for j := 0; j < bT.Rows; j++ {
-				crow[j] = int32(andCountWords(ra, bT.RowWords(j)))
+		var dst [ibTile][]int32
+		for i0 := lo; i0 < hi; i0 += ibTile {
+			ib := min(ibTile, hi-i0)
+			for r := 0; r < ib; r++ {
+				dst[r] = c.Row(i0 + r)
 			}
+			countTile(a, bT, i0, ib, &dst)
 		}
 	})
 	return c
@@ -83,37 +98,133 @@ func MulBitCount(a, bT *BitMatrix, workers int) *Int32 {
 // without materializing the full count matrix: fn(i, counts) is invoked with
 // counts[j] = |row_i(A) ∩ row_j(B)|. The counts slice is reused per worker,
 // so fn must not retain it. fn is called concurrently for distinct i and
-// must be safe under that concurrency.
+// must be safe under that concurrency. Count buffers come from a pool, so a
+// warm steady state allocates nothing per call.
 func ForEachRowProduct(a, bT *BitMatrix, workers int, fn func(i int, counts []int32)) {
 	if a.Cols != bT.Cols {
 		panic("matrix: bit product dimension mismatch")
 	}
+	// Single-worker fast path: no chunk closure materializes, so a warm
+	// call performs zero allocations.
+	if par.Workers(workers) == 1 || a.Rows <= 1 {
+		forEachRowChunk(a, bT, 0, a.Rows, fn)
+		return
+	}
 	par.ForChunks(a.Rows, workers, func(lo, hi int) {
-		counts := make([]int32, bT.Rows)
-		for i := lo; i < hi; i++ {
-			ra := a.RowWords(i)
-			for j := 0; j < bT.Rows; j++ {
-				counts[j] = int32(andCountWords(ra, bT.RowWords(j)))
-			}
-			fn(i, counts)
-		}
+		forEachRowChunk(a, bT, lo, hi, fn)
 	})
+}
+
+// forEachRowChunk streams rows [lo, hi) of the product with one pooled
+// count block.
+func forEachRowChunk(a, bT *BitMatrix, lo, hi int, fn func(i int, counts []int32)) {
+	m := bT.Rows
+	buf := getInt32Scratch(ibTile * m)
+	defer putInt32Scratch(buf)
+	var dst [ibTile][]int32
+	for i0 := lo; i0 < hi; i0 += ibTile {
+		ib := min(ibTile, hi-i0)
+		for r := 0; r < ib; r++ {
+			dst[r] = (*buf)[r*m : (r+1)*m]
+			clear(dst[r])
+		}
+		countTile(a, bT, i0, ib, &dst)
+		for r := 0; r < ib; r++ {
+			fn(i0+r, dst[r])
+		}
+	}
+}
+
+// countTile accumulates counts for A rows [i0, i0+ib) into dst[0..ib), each
+// of length bT.Rows and pre-zeroed, with the (i-block × j-block × word-block)
+// loop nest described at the tile constants.
+func countTile(a, bT *BitMatrix, i0, ib int, dst *[ibTile][]int32) {
+	rw := a.rowWords
+	m := bT.Rows
+	if rw == 0 || m == 0 {
+		return
+	}
+	aw := a.words
+	bw := bT.words
+	for j0 := 0; j0 < m; j0 += jbTile {
+		jb := min(jbTile, m-j0)
+		for k0 := 0; k0 < rw; k0 += kbTile {
+			kb := min(kbTile, rw-k0)
+			if ib == ibTile {
+				// Full register block: four A-row segments against each Bᵀ
+				// row segment of the tile.
+				p := i0*rw + k0
+				d0, d1, d2, d3 := dst[0], dst[1], dst[2], dst[3]
+				if hasPOPCNT {
+					ap := &aw[p]
+					for j := j0; j < j0+jb; j++ {
+						c0, c1, c2, c3 := andCount4Popcnt(ap, rw, &bw[j*rw+k0], kb)
+						d0[j] += int32(c0)
+						d1[j] += int32(c1)
+						d2[j] += int32(c2)
+						d3[j] += int32(c3)
+					}
+					continue
+				}
+				// Full slice expressions pin the lengths so the fallback's
+				// inner loops run bounds-check-free.
+				a0 := aw[p : p+kb : p+kb]
+				a1 := aw[p+rw : p+rw+kb : p+rw+kb]
+				a2 := aw[p+2*rw : p+2*rw+kb : p+2*rw+kb]
+				a3 := aw[p+3*rw : p+3*rw+kb : p+3*rw+kb]
+				for j := j0; j < j0+jb; j++ {
+					q := j*rw + k0
+					c0, c1, c2, c3 := andCount4(a0, a1, a2, a3, bw[q:q+kb:q+kb])
+					d0[j] += int32(c0)
+					d1[j] += int32(c1)
+					d2[j] += int32(c2)
+					d3[j] += int32(c3)
+				}
+				continue
+			}
+			// Remainder rows of the last partial i-block.
+			for r := 0; r < ib; r++ {
+				p := (i0+r)*rw + k0
+				ar := aw[p : p+kb : p+kb]
+				dr := dst[r]
+				for j := j0; j < j0+jb; j++ {
+					q := j*rw + k0
+					dr[j] += int32(andCountEq(ar, bw[q:q+kb:q+kb]))
+				}
+			}
+		}
+	}
 }
 
 // MulBitBool computes the boolean product C = A × Bᵀ: C[i][j] = 1 iff the
 // rows intersect. It short-circuits on the first common word, which makes it
 // cheaper than MulBitCount when only reachability is needed (BSI batches).
+// The i-block register tiling still applies: each Bᵀ row is loaded once and
+// tested against ibTile A rows before moving on, so Bᵀ traffic drops by the
+// block factor even though the word loop may exit early.
 func MulBitBool(a, bT *BitMatrix, workers int) *BitMatrix {
 	if a.Cols != bT.Cols {
 		panic("matrix: bit product dimension mismatch")
 	}
 	c := NewBitMatrix(a.Rows, bT.Rows)
+	rw := a.rowWords
 	par.ForChunks(a.Rows, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ra := a.RowWords(i)
+		var rows [ibTile][]uint64
+		var outs [ibTile][]uint64
+		for i0 := lo; i0 < hi; i0 += ibTile {
+			ib := min(ibTile, hi-i0)
+			for r := 0; r < ib; r++ {
+				rows[r] = a.words[(i0+r)*rw : (i0+r+1)*rw]
+				outs[r] = c.RowWords(i0 + r)
+			}
 			for j := 0; j < bT.Rows; j++ {
-				if intersectsWords(ra, bT.RowWords(j)) {
-					c.Set(i, j)
+				brow := bT.words[j*rw : (j+1)*rw]
+				bit := uint64(1) << uint(j%64)
+				wi := j / 64
+				for r := 0; r < ib; r++ {
+					if intersectsWords(rows[r], brow) {
+						outs[r][wi] |= bit
+					}
 				}
 			}
 		}
@@ -121,10 +232,39 @@ func MulBitBool(a, bT *BitMatrix, workers int) *BitMatrix {
 	return c
 }
 
-func andCountWords(a, b []uint64) int {
-	if len(b) < len(a) {
-		a, b = b, a
+// andCount4 is the pure-Go fallback of andCount4Popcnt: the popcounts of
+// a0&b, a1&b, a2&b and a3&b. The slices must all have length ≥ len(b);
+// reslicing to len(b) up front lets the compiler drop every bounds check,
+// and the four independent accumulators keep the popcount dependency chains
+// from serializing. The two-word unroll amortizes loop overhead.
+func andCount4(a0, a1, a2, a3, b []uint64) (int, int, int, int) {
+	n := len(b)
+	a0 = a0[:n]
+	a1 = a1[:n]
+	a2 = a2[:n]
+	a3 = a3[:n]
+	var c0, c1, c2, c3 int
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		w0, w1 := b[i], b[i+1]
+		c0 += bits.OnesCount64(a0[i]&w0) + bits.OnesCount64(a0[i+1]&w1)
+		c1 += bits.OnesCount64(a1[i]&w0) + bits.OnesCount64(a1[i+1]&w1)
+		c2 += bits.OnesCount64(a2[i]&w0) + bits.OnesCount64(a2[i+1]&w1)
+		c3 += bits.OnesCount64(a3[i]&w0) + bits.OnesCount64(a3[i+1]&w1)
 	}
+	for ; i < n; i++ {
+		w := b[i]
+		c0 += bits.OnesCount64(a0[i] & w)
+		c1 += bits.OnesCount64(a1[i] & w)
+		c2 += bits.OnesCount64(a2[i] & w)
+		c3 += bits.OnesCount64(a3[i] & w)
+	}
+	return c0, c1, c2, c3
+}
+
+// andCountEq is the single-row kernel for equal-length word slices.
+func andCountEq(a, b []uint64) int {
+	b = b[:len(a)]
 	c := 0
 	i := 0
 	for ; i+4 <= len(a); i += 4 {
@@ -139,10 +279,21 @@ func andCountWords(a, b []uint64) int {
 	return c
 }
 
+// andCountWords counts shared bits of two word slices that may differ in
+// length (the shorter prefix is used). Kept for the naive oracles and row
+// views.
+func andCountWords(a, b []uint64) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	return andCountEq(a, b)
+}
+
 func intersectsWords(a, b []uint64) bool {
 	if len(b) < len(a) {
 		a, b = b, a
 	}
+	b = b[:len(a)]
 	for i, w := range a {
 		if w&b[i] != 0 {
 			return true

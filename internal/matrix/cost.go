@@ -13,10 +13,25 @@ import (
 // operand matrices. The model is calibrated once per process with
 // micro-probes of the actual kernels, the Go counterpart of the paper's
 // precomputed Eigen timing table.
+//
+// The blocked kernels have two throughput regimes: while the Bᵀ operand
+// fits the last private cache level the AND+POPCNT loop runs at its
+// arithmetic peak, and beyond that the (i×j×k) tiling amortizes — but does
+// not eliminate — the streaming traffic, so throughput drops by a modest,
+// measurable factor. Both regimes are probed so the optimizer's crossover
+// between MM and the combinatorial plans tracks the kernels it actually
+// dispatches.
 type CostModel struct {
-	// WordOpsPerSec is the measured single-core throughput of the AND+POPCNT
-	// inner loop, in 64-bit word operations per second.
+	// WordOpsPerSec is the measured single-core throughput of the blocked
+	// AND+POPCNT kernel with a cache-resident Bᵀ, in 64-bit word operations
+	// per second.
 	WordOpsPerSec float64
+	// WordOpsPerSecStream is the throughput with Bᵀ well beyond the private
+	// caches (clamped to at most WordOpsPerSec).
+	WordOpsPerSecStream float64
+	// StreamFootprint is the Bᵀ byte size above which the streaming rate
+	// applies.
+	StreamFootprint float64
 	// CellOpsPerSec is the measured throughput of matrix construction
 	// (allocation + bit staging), in cells per second.
 	CellOpsPerSec float64
@@ -38,15 +53,17 @@ func DefaultCostModel() *CostModel {
 	return defaultModel
 }
 
+// streamFootprintBytes approximates the private cache capacity past which
+// the Bᵀ operand streams from shared cache or DRAM. 1 MiB matches common
+// server L2 sizes; the exact constant only shifts where the two measured
+// rates switch, and the rates themselves are machine-probed.
+const streamFootprintBytes = 1 << 20
+
 // Calibrate measures kernel throughput with short probes and returns a
 // fresh model.
 func Calibrate() *CostModel {
-	const (
-		rows = 128
-		cols = 4096
-	)
 	rng := rand.New(rand.NewSource(0x5eed))
-	build := func() *BitMatrix {
+	build := func(rows, cols int) *BitMatrix {
 		m := NewBitMatrix(rows, cols)
 		for i := 0; i < rows; i++ {
 			for j := 0; j < cols; j += 1 + rng.Intn(4) {
@@ -55,9 +72,16 @@ func Calibrate() *CostModel {
 		}
 		return m
 	}
+
+	// Cache-resident probe: Bᵀ = 256×4096 bits = 128 KiB, well inside L2,
+	// with enough rows to exercise the full 4-row register blocks.
+	const (
+		smallRows = 256
+		smallCols = 4096
+	)
 	constructStart := time.Now()
-	a := build()
-	b := build()
+	a := build(smallRows, smallCols)
+	b := build(smallRows, smallCols)
 	constructDur := time.Since(constructStart)
 
 	start := time.Now()
@@ -67,19 +91,51 @@ func Calibrate() *CostModel {
 		reps++
 	}
 	mulDur := time.Since(start)
-
-	words := float64((cols + 63) / 64)
-	totalWordOps := float64(rows) * float64(rows) * words * float64(reps)
-	wops := totalWordOps / mulDur.Seconds()
-	if wops <= 0 || math.IsNaN(wops) {
+	words := float64((smallCols + 63) / 64)
+	wops := float64(smallRows) * float64(smallRows) * words * float64(reps) / mulDur.Seconds()
+	if wops <= 0 || math.IsNaN(wops) || math.IsInf(wops, 0) {
 		wops = 1e9
 	}
-	cells := 2 * float64(rows) * float64(cols)
+
+	// Streaming probe: a thin A against a Bᵀ of ~2 MiB, so every j-tile
+	// pass refetches Bᵀ from beyond the private caches. Rectangular on
+	// purpose — it measures Bᵀ traffic, not arithmetic, at ~1/8 the probe
+	// cost of a square instance.
+	const (
+		streamARows = 128
+		streamBRows = 2048
+		streamCols  = 8192
+	)
+	sa := build(streamARows, streamCols)
+	sb := build(streamBRows, streamCols)
+	streamDur := time.Duration(math.MaxInt64)
+	for trial := 0; trial < 3; trial++ {
+		// Best of three: a single preempted run would pin the streaming
+		// rate low for the whole process and misplace the MM crossover.
+		start := time.Now()
+		_ = MulBitCount(sa, sb, 1)
+		if d := time.Since(start); d < streamDur {
+			streamDur = d
+		}
+	}
+	streamWords := float64((streamCols + 63) / 64)
+	swops := float64(streamARows) * float64(streamBRows) * streamWords / streamDur.Seconds()
+	if swops <= 0 || math.IsNaN(swops) || math.IsInf(swops, 0) || swops > wops {
+		swops = wops
+	}
+
+	cells := 2 * float64(smallRows) * float64(smallCols)
 	cops := cells / constructDur.Seconds()
 	if cops <= 0 || math.IsNaN(cops) || math.IsInf(cops, 0) {
 		cops = 1e9
 	}
-	return &CostModel{WordOpsPerSec: wops, CellOpsPerSec: cops, ParallelEff: 0.85}
+	return &CostModel{
+		WordOpsPerSec:       wops,
+		WordOpsPerSecStream: swops,
+		StreamFootprint:     streamFootprintBytes,
+		CellOpsPerSec:       cops,
+		ParallelEff:         0.85,
+	}
 }
 
 func (cm *CostModel) speedup(cores int) float64 {
@@ -87,6 +143,21 @@ func (cm *CostModel) speedup(cores int) float64 {
 		return 1
 	}
 	return 1 + cm.ParallelEff*float64(cores-1)
+}
+
+// wordRate returns the throughput regime for a product whose Bᵀ operand has
+// w rows of ceil(v/64) words.
+func (cm *CostModel) wordRate(v, w int64) float64 {
+	rate := cm.WordOpsPerSec
+	if cm.WordOpsPerSecStream > 0 && cm.StreamFootprint > 0 {
+		if float64(w)*float64((v+63)/64)*8 > cm.StreamFootprint {
+			rate = cm.WordOpsPerSecStream
+		}
+	}
+	if rate <= 0 {
+		rate = 1e9
+	}
+	return rate
 }
 
 // EstimateMul returns M̂(u,v,w,co): the predicted time to multiply a u×v
@@ -97,7 +168,7 @@ func (cm *CostModel) EstimateMul(u, v, w int64, cores int) time.Duration {
 	}
 	words := float64((v + 63) / 64)
 	ops := float64(u) * float64(w) * words
-	secs := ops / (cm.WordOpsPerSec * cm.speedup(cores))
+	secs := ops / (cm.wordRate(v, w) * cm.speedup(cores))
 	return time.Duration(secs * float64(time.Second))
 }
 

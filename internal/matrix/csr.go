@@ -1,7 +1,7 @@
 package matrix
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/par"
 )
@@ -65,40 +65,75 @@ func (m *CSR) ToBitMatrix() *BitMatrix {
 	return b
 }
 
+// denseHarvestDiv is the dense-row crossover of SpGEMMCounts: once an output
+// row's nonzero count reaches 1/denseHarvestDiv of the column domain, one
+// linear scan of the accumulator is cheaper than sorting the column list —
+// and the scan delivers the columns already in index order, so no sort runs
+// at all on that path.
+const denseHarvestDiv = 8
+
 // SpGEMMCounts computes the integer product C = A × B with Gustavson's
 // algorithm: for each row i of A and each k in that row, scatter row k of B
 // into a dense accumulator. B is in standard (not transposed) orientation,
 // i.e. B.Rows must equal A.Cols. The result is returned row by row through
 // fn(i, cols, counts), where cols lists the nonzero columns (sorted) and
 // counts the multiplicities; both buffers are reused and must not be
-// retained. fn is called concurrently for distinct rows.
+// retained. fn is called concurrently for distinct rows. Worker scratch
+// (accumulator and output buffers) is pooled, so a warm steady state
+// allocates nothing.
 func SpGEMMCounts(a, b *CSR, workers int, fn func(i int, cols []int32, counts []int32)) {
 	if a.Cols != b.Rows {
 		panic("matrix: SpGEMM dimension mismatch")
 	}
+	// Single-worker fast path: no chunk closure materializes, so a warm
+	// call performs zero allocations.
+	if par.Workers(workers) == 1 || a.Rows <= 1 {
+		spGEMMChunk(a, b, 0, a.Rows, fn)
+		return
+	}
 	par.ForChunks(a.Rows, workers, func(lo, hi int) {
-		acc := make([]int32, b.Cols)
-		var cols []int32
-		var counts []int32
-		for i := lo; i < hi; i++ {
+		spGEMMChunk(a, b, lo, hi, fn)
+	})
+}
+
+// spGEMMChunk evaluates output rows [lo, hi) with one pooled scratch set.
+func spGEMMChunk(a, b *CSR, lo, hi int, fn func(i int, cols []int32, counts []int32)) {
+	sc := getSpGEMMScratch(b.Cols)
+	acc := sc.acc
+	cols := sc.cols[:0]
+	counts := sc.counts[:0]
+	for i := lo; i < hi; i++ {
+		cols = cols[:0]
+		for _, k := range a.Row(i) {
+			for _, j := range b.Row(int(k)) {
+				if acc[j] == 0 {
+					cols = append(cols, j)
+				}
+				acc[j]++
+			}
+		}
+		counts = counts[:0]
+		if len(cols)*denseHarvestDiv >= b.Cols {
+			// Dense row: harvest by scanning the accumulator directly.
 			cols = cols[:0]
-			for _, k := range a.Row(i) {
-				for _, j := range b.Row(int(k)) {
-					if acc[j] == 0 {
-						cols = append(cols, j)
-					}
-					acc[j]++
+			for j := range acc {
+				if acc[j] != 0 {
+					cols = append(cols, int32(j))
+					counts = append(counts, acc[j])
+					acc[j] = 0
 				}
 			}
-			sort.Slice(cols, func(x, y int) bool { return cols[x] < cols[y] })
-			counts = counts[:0]
+		} else {
+			slices.Sort(cols)
 			for _, j := range cols {
 				counts = append(counts, acc[j])
 				acc[j] = 0
 			}
-			fn(i, cols, counts)
 		}
-	})
+		fn(i, cols, counts)
+	}
+	sc.cols, sc.counts = cols, counts
+	putSpGEMMScratch(sc)
 }
 
 // SpGEMMToInt32 materializes the sparse product densely (test oracle and

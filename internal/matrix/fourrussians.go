@@ -12,6 +12,12 @@ import (
 // blocks never straddle word boundaries.
 const m4rBlock = 8
 
+// m4rRowTile is the number of A rows processed per table visit in the
+// multiply phase: looping (row-tile × block) instead of (row × all blocks)
+// keeps one block's 2^t-entry table resident in cache while it serves the
+// whole tile of rows.
+const m4rRowTile = 64
+
 // Compile-time guard: m4rBlock divides the word size.
 var _ [0]struct{} = [64 % m4rBlock]struct{}{}
 
@@ -26,6 +32,11 @@ var _ [0]struct{} = [64 % m4rBlock]struct{}{}
 // intersect" (the BSI and set-semantics paths) without counts. Operand
 // layout matches MulBitBool: bT holds Bᵀ, packed along the shared
 // dimension.
+//
+// All block tables live in one flat, pooled []uint64 (entry mask of block b
+// is the outWords-long segment at (b·2^t + mask)·outWords), filled in place
+// by Gray-code enumeration — a single allocation on a cold pool instead of
+// the 2^t tiny slices per block the naive version builds.
 func MulFourRussians(a, bT *BitMatrix, workers int) *BitMatrix {
 	if a.Cols != bT.Cols {
 		panic("matrix: four-russians dimension mismatch")
@@ -34,74 +45,78 @@ func MulFourRussians(a, bT *BitMatrix, workers int) *BitMatrix {
 	w := bT.Rows // output columns
 	outWords := (w + 63) / 64
 	nblocks := (n + m4rBlock - 1) / m4rBlock
-
-	// For every t-block, precompute table[mask] = OR of the B-columns
-	// (= bT rows' bits) selected by mask. Tables are built per block from
-	// the "which output columns have a 1 in shared position p" view, i.e.
-	// the transpose of bT restricted to the block.
-	//
-	// colBits[p] = bitset over output columns j with bT[j][p] = 1.
-	colWords := make([][]uint64, m4rBlock)
-	for i := range colWords {
-		colWords[i] = make([]uint64, outWords)
+	c := NewBitMatrix(a.Rows, w)
+	if nblocks == 0 || outWords == 0 || a.Rows == 0 {
+		return c
 	}
-	tables := make([][][]uint64, nblocks)
+
+	tblStride := (1 << m4rBlock) * outWords
+	// colWords[p·outWords : (p+1)·outWords] = bitset over output columns j
+	// with bT[j][block·t+p] = 1 — the transpose of bT restricted to the
+	// current block. One scratch, reused (re-zeroed) across blocks.
+	sc := getM4RScratch(nblocks*tblStride, m4rBlock*outWords)
+	flat := sc.flat
+	colWords := sc.col
+
+	rw := bT.rowWords
 	for b := 0; b < nblocks; b++ {
 		lo := b * m4rBlock
-		hi := lo + m4rBlock
-		if hi > n {
-			hi = n
-		}
+		hi := min(lo+m4rBlock, n)
 		span := hi - lo
-		for i := 0; i < span; i++ {
-			row := colWords[i]
-			for k := range row {
-				row[k] = 0
-			}
-		}
+		wordIdx := lo / 64
+		shift := uint(lo % 64)
+		blockMask := uint64(1)<<span - 1
+		clear(colWords[:span*outWords])
 		for j := 0; j < w; j++ {
-			words := bT.RowWords(j)
-			for p := lo; p < hi; p++ {
-				if words[p/64]&(1<<uint(p%64)) != 0 {
-					colWords[p-lo][j/64] |= 1 << uint(j%64)
-				}
+			chunk := bT.words[j*rw+wordIdx] >> shift & blockMask
+			jw := j / 64
+			jbit := uint64(1) << uint(j%64)
+			for chunk != 0 {
+				p := bits.TrailingZeros64(chunk)
+				colWords[p*outWords+jw] |= jbit
+				chunk &= chunk - 1
 			}
 		}
-		// Gray-code enumeration: table[mask] = table[mask ^ lowbit] | column.
-		table := make([][]uint64, 1<<span)
-		table[0] = make([]uint64, outWords)
+		// Gray-code fill in place: table[mask] = table[mask ^ lowbit] | column.
+		// Pooled storage is stale, so entry 0 is cleared explicitly; every
+		// other reachable entry is fully overwritten.
+		tb := flat[b*tblStride : (b+1)*tblStride]
+		clear(tb[:outWords])
 		for mask := 1; mask < 1<<span; mask++ {
 			low := mask & -mask
-			prev := table[mask^low]
-			cur := make([]uint64, outWords)
-			col := colWords[bits.TrailingZeros64(uint64(low))]
+			prev := tb[(mask^low)*outWords : (mask^low)*outWords+outWords]
+			cur := tb[mask*outWords : mask*outWords+outWords]
+			col := colWords[bits.TrailingZeros64(uint64(low))*outWords:]
 			for k := range cur {
 				cur[k] = prev[k] | col[k]
 			}
-			table[mask] = cur
 		}
-		tables[b] = table
 	}
 
-	c := NewBitMatrix(a.Rows, w)
+	arw := a.rowWords
+	crw := c.rowWords // == outWords
 	par.ForChunks(a.Rows, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			words := a.RowWords(i)
-			out := c.RowWords(i)
+		for i0 := lo; i0 < hi; i0 += m4rRowTile {
+			iend := min(i0+m4rRowTile, hi)
 			for b := 0; b < nblocks; b++ {
-				// m4rBlock divides 64, so a block never straddles a word
-				// boundary (compile-time guarded below).
+				tb := flat[b*tblStride:]
 				p := b * m4rBlock
-				mask := int(words[p/64] >> uint(p%64) & (1<<m4rBlock - 1))
-				if mask == 0 {
-					continue
-				}
-				t := tables[b][mask]
-				for k := range out {
-					out[k] |= t[k]
+				wordIdx := p / 64
+				shift := uint(p % 64)
+				for i := i0; i < iend; i++ {
+					mask := int(a.words[i*arw+wordIdx] >> shift & (1<<m4rBlock - 1))
+					if mask == 0 {
+						continue
+					}
+					t := tb[mask*outWords : mask*outWords+outWords]
+					out := c.words[i*crw : i*crw+outWords : i*crw+outWords]
+					for k, tw := range t {
+						out[k] |= tw
+					}
 				}
 			}
 		}
 	})
+	putM4RScratch(sc)
 	return c
 }

@@ -1,0 +1,19 @@
+//go:build amd64
+
+package matrix
+
+// hasPOPCNT gates the assembly count kernel. POPCNT has shipped on every
+// x86-64 since Nehalem (2008), but the default GOAMD64=v1 baseline does not
+// guarantee it, so it is probed once with CPUID at init.
+var hasPOPCNT = cpuHasPOPCNT()
+
+// cpuHasPOPCNT reports whether the CPU supports the POPCNT instruction
+// (CPUID leaf 1, ECX bit 23). Implemented in popcnt_amd64.s.
+func cpuHasPOPCNT() bool
+
+// andCount4Popcnt counts the shared bits of four consecutive A rows
+// (starting at a, strideWords apart) against one B row of n words.
+// Implemented in popcnt_amd64.s; callers must have checked hasPOPCNT.
+//
+//go:noescape
+func andCount4Popcnt(a *uint64, strideWords int, b *uint64, n int) (c0, c1, c2, c3 int64)

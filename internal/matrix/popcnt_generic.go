@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package matrix
+
+// Non-amd64 builds fall back to the pure-Go register-blocked kernel, whose
+// math/bits.OnesCount64 calls the compiler intrinsifies per architecture.
+// A var (not a const) so the differential tests can exercise the fallback
+// on any architecture.
+var hasPOPCNT = false
+
+func andCount4Popcnt(a *uint64, strideWords int, b *uint64, n int) (c0, c1, c2, c3 int64) {
+	panic("matrix: andCount4Popcnt without POPCNT support")
+}

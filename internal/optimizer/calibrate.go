@@ -19,13 +19,30 @@ var (
 //	Ts — average sequential access in a vector,
 //	Tm — average allocation of 32 bytes,
 //	TI — average random access + insert in a vector.
+//
+// Each probe takes the best of three trials: the constants feed the
+// MM-vs-combinatorial crossover of Algorithm 3, and with the blocked matrix
+// kernels the two plans sit closer together than before, so a scheduler
+// hiccup inflating one constant would visibly misplace the crossover.
 func CalibrateConstants() (ts, tm, ti float64) {
 	calOnce.Do(func() {
-		calTs = measureSequential()
-		calTm = measureAlloc()
-		calTI = measureRandomInsert()
+		calTs = bestOf3(measureSequential)
+		calTm = bestOf3(measureAlloc)
+		calTI = bestOf3(measureRandomInsert)
 	})
 	return calTs, calTm, calTI
+}
+
+// bestOf3 returns the minimum of three runs of probe — the run least
+// disturbed by preemption or frequency ramping.
+func bestOf3(probe func() float64) float64 {
+	best := probe()
+	for i := 0; i < 2; i++ {
+		if v := probe(); v < best {
+			best = v
+		}
+	}
+	return best
 }
 
 const probeN = 1 << 16

@@ -22,7 +22,8 @@
 package scj
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/joinproject"
 	"repro/internal/par"
@@ -65,11 +66,11 @@ func newFamily(r *relation.Relation) *family {
 	for i := 0; i < iy.NumKeys(); i++ {
 		els[i] = ef{iy.Key(i), iy.Degree(i)}
 	}
-	sort.Slice(els, func(a, b int) bool {
-		if els[a].freq != els[b].freq {
-			return els[a].freq < els[b].freq
+	slices.SortFunc(els, func(a, b ef) int {
+		if a.freq != b.freq {
+			return cmp.Compare(a.freq, b.freq)
 		}
-		return els[a].e < els[b].e
+		return cmp.Compare(a.e, b.e)
 	})
 	rank := make(map[int32]int32, len(els))
 	for i, x := range els {
@@ -88,7 +89,7 @@ func newFamily(r *relation.Relation) *family {
 		for j, e := range list {
 			rs[j] = rank[e]
 		}
-		sort.Slice(rs, func(a, b int) bool { return rs[a] < rs[b] })
+		slices.Sort(rs)
 		f.sets[i] = rs
 		f.sizes[i] = len(rs)
 		for _, rk := range rs {

@@ -1,7 +1,7 @@
 package ssj
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/par"
@@ -36,7 +36,7 @@ func GetSizeBoundary(f *family, c int) int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return f.sizes[order[a]] < f.sizes[order[b]] })
+	slices.SortFunc(order, func(a, b int) int { return f.sizes[a] - f.sizes[b] })
 
 	// Prefix sums in size order: light cost grows with the boundary, heavy
 	// cost shrinks.

@@ -1,6 +1,7 @@
 package ssj
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/joinproject"
@@ -200,7 +201,7 @@ func prefixTreeLight(f *family, c, x, maxDepth int, sink *pairSink) {
 		}
 		seq = seq[:0]
 		seq = append(seq, f.sets[i]...)
-		sort.Slice(seq, func(a, b int) bool { return rank[seq[a]] < rank[seq[b]] })
+		slices.SortFunc(seq, func(a, b int32) int { return int(rank[a]) - int(rank[b]) })
 		node := root
 		for depth, e := range seq {
 			// Zero-extend so negative element values cannot collide with

@@ -21,8 +21,9 @@
 package ssj
 
 import (
+	"cmp"
 	"container/heap"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/joinproject"
@@ -87,14 +88,14 @@ func MMJoinOrdered(r *relation.Relation, c int, opt Options) []ScoredPair {
 }
 
 func sortScored(out []ScoredPair) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Overlap != out[j].Overlap {
-			return out[i].Overlap > out[j].Overlap
+	slices.SortFunc(out, func(a, b ScoredPair) int {
+		if a.Overlap != b.Overlap {
+			return cmp.Compare(b.Overlap, a.Overlap)
 		}
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
+		if a.A != b.A {
+			return cmp.Compare(a.A, b.A)
 		}
-		return out[i].B < out[j].B
+		return cmp.Compare(a.B, b.B)
 	})
 }
 
@@ -252,16 +253,11 @@ func KWaySimilar(r *relation.Relation, k, c int, opt Options) []Tuple {
 			out = append(out, Tuple{Sets: tc.Xs, Overlap: tc.Count})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Overlap != out[j].Overlap {
-			return out[i].Overlap > out[j].Overlap
+	slices.SortFunc(out, func(a, b Tuple) int {
+		if a.Overlap != b.Overlap {
+			return cmp.Compare(b.Overlap, a.Overlap)
 		}
-		for x := range out[i].Sets {
-			if out[i].Sets[x] != out[j].Sets[x] {
-				return out[i].Sets[x] < out[j].Sets[x]
-			}
-		}
-		return false
+		return slices.Compare(a.Sets, b.Sets)
 	})
 	return out
 }
