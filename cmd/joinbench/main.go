@@ -1,15 +1,29 @@
-// Command joinbench regenerates the paper's tables and figures.
+// Command joinbench regenerates the paper's tables and figures, snapshots
+// kernel performance, and benchmarks end-to-end text-query evaluation.
 //
 // Usage:
 //
 //	joinbench -list
 //	joinbench -experiment fig4a -scale 0.5
 //	joinbench -experiment all  -scale 0.25
+//	joinbench -json                                  # kernel snapshot
+//	joinbench -json -baseline BENCH_kernels.json     # + regression gate
+//	joinbench -query "Q(x, z) :- R(x, y), S(y, z)"   # query pipeline bench
+//	joinbench -query suite                           # canned query suite
 //
 // Each experiment prints the same rows/series the paper's corresponding
 // table or figure reports (dataset × algorithm × running time, or a
 // parameter sweep). Scale rescales the synthetic dataset shapes; see
 // DESIGN.md for the dataset substitution rationale.
+//
+// -query measures parse, compile (plan + semijoin reduction) and full
+// parse+plan+execute times for one query string — or the canned suite with
+// "suite" — against a synthetic catalog (relations R, S, T, U, V sized by
+// -scale), and merges the results into BENCH_queries.json.
+//
+// With -json, -baseline compares the fresh kernel measurements against a
+// committed snapshot and exits non-zero when any benchmark regressed by more
+// than -tolerance (the CI regression gate).
 package main
 
 import (
@@ -23,15 +37,35 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "", "experiment id (e.g. fig4a), or 'all'")
-		scale   = flag.Float64("scale", 0.5, "dataset scale factor")
-		list    = flag.Bool("list", false, "list available experiments")
-		csv     = flag.Bool("csv", false, "emit CSV rows instead of tables")
-		jsonOut = flag.Bool("json", false, "measure the matrix kernels and write a BENCH_kernels.json snapshot")
+		exp       = flag.String("experiment", "", "experiment id (e.g. fig4a), or 'all'")
+		scale     = flag.Float64("scale", 0.5, "dataset scale factor")
+		list      = flag.Bool("list", false, "list available experiments")
+		csv       = flag.Bool("csv", false, "emit CSV rows instead of tables")
+		jsonOut   = flag.Bool("json", false, "measure the matrix kernels and write a BENCH_kernels.json snapshot")
+		baseline  = flag.String("baseline", "", "with -json: compare against this snapshot and fail on regressions")
+		tolerance = flag.Float64("tolerance", 0.10, "with -baseline: allowed ns/op regression fraction")
+		queryStr  = flag.String("query", "", "benchmark end-to-end query evaluation: a query string, or 'suite'")
 	)
 	flag.Parse()
 
+	if *queryStr != "" {
+		runQueryBench(*queryStr, *scale)
+		if *exp == "" && !*list && !*jsonOut {
+			return
+		}
+	}
+
 	if *jsonOut {
+		// Read the baseline before measuring: the snapshot overwrites it.
+		var base []byte
+		if *baseline != "" {
+			var err error
+			base, err = os.ReadFile(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "joinbench:", err)
+				os.Exit(1)
+			}
+		}
 		snap, err := experiments.KernelBenchSnapshot()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "joinbench:", err)
@@ -42,6 +76,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_kernels.json")
+		if base != nil {
+			regs, err := experiments.CompareKernelSnapshots(base, snap, *tolerance)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "joinbench:", err)
+				os.Exit(1)
+			}
+			if len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "joinbench: %d kernel regression(s) beyond %.0f%% vs %s:\n",
+					len(regs), *tolerance*100, *baseline)
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "  "+r.String())
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("no regressions beyond %.0f%% vs %s\n", *tolerance*100, *baseline)
+		}
 		if *exp == "" && !*list {
 			return
 		}
@@ -79,4 +129,30 @@ func main() {
 		res.Render(os.Stdout)
 		fmt.Printf("-- %s completed in %v (scale %g)\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
 	}
+}
+
+// runQueryBench measures one query (or the canned suite) and merges the
+// results into BENCH_queries.json.
+func runQueryBench(q string, scale float64) {
+	queries := []string{q}
+	if q == "suite" {
+		queries = experiments.DefaultQuerySuite()
+	}
+	prev, _ := os.ReadFile("BENCH_queries.json")
+	snap, err := experiments.QueryBenchSnapshot(queries, scale, prev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_queries.json", snap, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	table, err := experiments.RenderQuerySnapshot(snap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(table)
+	fmt.Println("wrote BENCH_queries.json")
 }

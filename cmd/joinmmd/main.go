@@ -1,0 +1,70 @@
+// Command joinmmd serves the join-project query engine over HTTP/JSON:
+// text queries, EXPLAIN, and catalog management (see internal/server for
+// the endpoint reference).
+//
+// Usage:
+//
+//	joinmmd -addr :8080 -load R=friends.rel -load S=follows.rel
+//	curl -d '{"query": "Q(x, z) :- R(x, y), S(y, z)"}' localhost:8080/query
+//
+// Flags:
+//
+//	-addr            listen address (default :8080)
+//	-timeout         per-query evaluation timeout (default 30s)
+//	-max-in-flight   concurrent query admission bound (default: all cores)
+//	-workers         engine parallelism per query (default: all cores)
+//	-load name=path  preload a relation (repeatable); files are written by
+//	                 (*Relation).Save / cmd/datagen
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// loadFlags collects repeated -load name=path specs.
+type loadFlags map[string]string
+
+func (l loadFlags) String() string { return fmt.Sprint(map[string]string(l)) }
+
+func (l loadFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	l[name] = path
+	return nil
+}
+
+func main() {
+	loads := loadFlags{}
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
+		inflight = flag.Int("max-in-flight", 0, "max concurrently evaluating queries (0 = all cores)")
+		workers  = flag.Int("workers", 0, "engine workers per query (0 = all cores)")
+	)
+	flag.Var(loads, "load", "preload relation, name=path (repeatable)")
+	flag.Parse()
+
+	eng := core.NewEngine(core.WithWorkers(*workers))
+	if len(loads) > 0 {
+		start := time.Now()
+		if err := eng.Catalog().LoadFiles(loads); err != nil {
+			log.Fatalf("joinmmd: %v", err)
+		}
+		log.Printf("loaded %d relations in %v", len(loads), time.Since(start).Round(time.Millisecond))
+	}
+	s := server.New(server.Config{Engine: eng, Timeout: *timeout, MaxInFlight: *inflight})
+	log.Printf("joinmmd listening on %s (%d relations, timeout %v)", *addr, eng.Catalog().Len(), *timeout)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		log.Fatalf("joinmmd: %v", err)
+	}
+}

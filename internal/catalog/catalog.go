@@ -1,0 +1,265 @@
+// Package catalog is the engine's relation namespace: a thread-safe registry
+// of named, immutable relations, with concurrent bulk loading and an LRU
+// plan cache keyed on (query text, catalog epoch).
+//
+// Relations are immutable once registered, so readers never lock them; the
+// catalog itself uses a copy-on-write map, which lets Prepare compile a
+// query against one consistent snapshot without holding any lock during the
+// (potentially expensive) compile. Every mutation bumps the epoch, which
+// invalidates cached plans implicitly: a plan compiled at epoch e embeds
+// epoch-e relation pointers, so the cache key includes e and stale entries
+// simply age out of the LRU.
+package catalog
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// DefaultPlanCacheSize is the LRU capacity New uses.
+const DefaultPlanCacheSize = 128
+
+// Info summarizes one registered relation for listings.
+type Info struct {
+	Name  string         `json:"name"`
+	Stats relation.Stats `json:"stats"`
+}
+
+// Catalog is a concurrent name → relation registry with a plan cache.
+type Catalog struct {
+	mu    sync.RWMutex
+	rels  map[string]*relation.Relation // copy-on-write: replaced wholesale on mutation
+	epoch uint64
+
+	cacheMu sync.Mutex
+	cache   *planLRU
+	hits    uint64
+	misses  uint64
+}
+
+// New returns an empty catalog with the default plan-cache capacity.
+func New() *Catalog { return NewWithCacheSize(DefaultPlanCacheSize) }
+
+// NewWithCacheSize returns an empty catalog whose plan cache holds up to n
+// compiled queries (n ≤ 0 disables caching).
+func NewWithCacheSize(n int) *Catalog {
+	return &Catalog{rels: map[string]*relation.Relation{}, cache: newPlanLRU(n)}
+}
+
+// snapshot returns the current relation map and epoch. The map must not be
+// mutated — mutators replace it wholesale.
+func (c *Catalog) snapshot() (map[string]*relation.Relation, uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rels, c.epoch
+}
+
+// mutate clones the relation map, applies fn, and bumps the epoch.
+func (c *Catalog) mutate(fn func(map[string]*relation.Relation)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := make(map[string]*relation.Relation, len(c.rels)+1)
+	for k, v := range c.rels {
+		next[k] = v
+	}
+	fn(next)
+	c.rels = next
+	c.epoch++
+}
+
+// Register binds name to r, replacing any existing binding.
+func (c *Catalog) Register(name string, r *relation.Relation) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty relation name")
+	}
+	if r == nil {
+		return fmt.Errorf("catalog: nil relation for %q", name)
+	}
+	c.mutate(func(m map[string]*relation.Relation) { m[name] = r })
+	return nil
+}
+
+// RegisterPairs builds an indexed relation from tuples and registers it.
+func (c *Catalog) RegisterPairs(name string, pairs []relation.Pair) (*relation.Relation, error) {
+	r := relation.FromPairs(name, pairs)
+	if err := c.Register(name, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Drop removes name, reporting whether it was present.
+func (c *Catalog) Drop(name string) bool {
+	present := false
+	c.mutate(func(m map[string]*relation.Relation) {
+		_, present = m[name]
+		delete(m, name)
+	})
+	return present
+}
+
+// Get returns the relation bound to name.
+func (c *Catalog) Get(name string) (*relation.Relation, bool) {
+	m, _ := c.snapshot()
+	r, ok := m[name]
+	return r, ok
+}
+
+// Len returns the number of registered relations.
+func (c *Catalog) Len() int {
+	m, _ := c.snapshot()
+	return len(m)
+}
+
+// Epoch returns the catalog's statistics epoch; it changes on every
+// registration or drop.
+func (c *Catalog) Epoch() uint64 {
+	_, e := c.snapshot()
+	return e
+}
+
+// List returns Table-2 style stats for every relation, sorted by name.
+func (c *Catalog) List() []Info {
+	m, _ := c.snapshot()
+	out := make([]Info, 0, len(m))
+	for name, r := range m {
+		out = append(out, Info{Name: name, Stats: r.Stats()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LoadFile reads a relation from a file written by (*Relation).Save and
+// registers it under name, returning the loaded relation.
+func (c *Catalog) LoadFile(name, path string) (*relation.Relation, error) {
+	r, err := relation.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
+	}
+	if err := c.Register(name, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// LoadFiles loads several name → path specs concurrently; the catalog epoch
+// advances once per successful registration. The first error wins, but every
+// load is attempted.
+func (c *Catalog) LoadFiles(specs map[string]string) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(specs))
+	for name, path := range specs {
+		wg.Add(1)
+		go func(name, path string) {
+			defer wg.Done()
+			if _, err := c.LoadFile(name, path); err != nil {
+				errs <- err
+			}
+		}(name, path)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// Prepare compiles query text against the current catalog snapshot, serving
+// repeats from the LRU plan cache. The second result reports a cache hit.
+func (c *Catalog) Prepare(src string) (*query.Prepared, bool, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, false, err
+	}
+	snap, epoch := c.snapshot()
+	key := planKey{text: q.String(), epoch: epoch}
+	if p := c.cacheGet(key); p != nil {
+		return p, true, nil
+	}
+	p, err := query.Compile(q, query.MapResolver(snap))
+	if err != nil {
+		return nil, false, err
+	}
+	c.cachePut(key, p)
+	return p, false, nil
+}
+
+// CacheStats returns plan-cache hit/miss counters and current size.
+func (c *Catalog) CacheStats() (hits, misses uint64, size int) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	return c.hits, c.misses, c.cache.len()
+}
+
+func (c *Catalog) cacheGet(key planKey) *query.Prepared {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if p := c.cache.get(key); p != nil {
+		c.hits++
+		return p
+	}
+	c.misses++
+	return nil
+}
+
+func (c *Catalog) cachePut(key planKey, p *query.Prepared) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	c.cache.put(key, p)
+}
+
+// planKey identifies one cached plan: canonical query text at one catalog
+// epoch. Epoch participation means a catalog change implicitly invalidates
+// every cached plan without touching the cache.
+type planKey struct {
+	text  string
+	epoch uint64
+}
+
+// planLRU is a minimal LRU over compiled plans (not safe for concurrent use;
+// the catalog serializes access).
+type planLRU struct {
+	cap     int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[planKey]*list.Element
+}
+
+type lruEntry struct {
+	key planKey
+	p   *query.Prepared
+}
+
+func newPlanLRU(capacity int) *planLRU {
+	return &planLRU{cap: capacity, order: list.New(), entries: map[planKey]*list.Element{}}
+}
+
+func (l *planLRU) len() int { return l.order.Len() }
+
+func (l *planLRU) get(key planKey) *query.Prepared {
+	el, ok := l.entries[key]
+	if !ok {
+		return nil
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).p
+}
+
+func (l *planLRU) put(key planKey, p *query.Prepared) {
+	if l.cap <= 0 {
+		return
+	}
+	if el, ok := l.entries[key]; ok {
+		el.Value.(*lruEntry).p = p
+		l.order.MoveToFront(el)
+		return
+	}
+	l.entries[key] = l.order.PushFront(&lruEntry{key: key, p: p})
+	for l.order.Len() > l.cap {
+		back := l.order.Back()
+		l.order.Remove(back)
+		delete(l.entries, back.Value.(*lruEntry).key)
+	}
+}

@@ -1,0 +1,159 @@
+package catalog
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func pairs(ps ...[2]int32) []relation.Pair {
+	out := make([]relation.Pair, len(ps))
+	for i, p := range ps {
+		out[i] = relation.Pair{X: p[0], Y: p[1]}
+	}
+	return out
+}
+
+func TestRegisterGetDropEpoch(t *testing.T) {
+	c := New()
+	if _, ok := c.Get("R"); ok {
+		t.Fatal("unexpected relation")
+	}
+	e0 := c.Epoch()
+	if _, err := c.RegisterPairs("R", pairs([2]int32{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() == e0 {
+		t.Fatal("epoch should advance on register")
+	}
+	if r, ok := c.Get("R"); !ok || r.Size() != 1 {
+		t.Fatal("missing R")
+	}
+	if got := c.List(); len(got) != 1 || got[0].Name != "R" {
+		t.Fatalf("List = %v", got)
+	}
+	if !c.Drop("R") || c.Drop("R") {
+		t.Fatal("drop semantics")
+	}
+	if err := c.Register("", relation.FromPairs("x", nil)); err == nil {
+		t.Fatal("empty name should error")
+	}
+}
+
+func TestLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	specs := map[string]string{}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("R%d", i)
+		path := filepath.Join(dir, name+".rel")
+		r := relation.FromPairs(name, pairs([2]int32{int32(i), int32(i + 1)}))
+		if err := r.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		specs[name] = path
+	}
+	c := New()
+	if err := c.LoadFiles(specs); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if err := c.LoadFiles(map[string]string{"bad": filepath.Join(dir, "missing.rel")}); err == nil {
+		t.Fatal("expected load error")
+	}
+}
+
+func TestPlanCacheHitAndEpochInvalidation(t *testing.T) {
+	c := New()
+	if _, err := c.RegisterPairs("R", pairs([2]int32{1, 10}, [2]int32{10, 5})); err != nil {
+		t.Fatal(err)
+	}
+	src := "Q(a, c) :- R(a, b), R(b, c)"
+	if _, hit, err := c.Prepare(src); err != nil || hit {
+		t.Fatalf("first prepare: hit=%v err=%v", hit, err)
+	}
+	// Same text (even non-canonical spelling) hits the cache.
+	if _, hit, err := c.Prepare("Q(a , c) :- R(a,b), R(b,c)"); err != nil || !hit {
+		t.Fatalf("second prepare: hit=%v err=%v", hit, err)
+	}
+	hits, misses, size := c.CacheStats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("stats = %d/%d/%d", hits, misses, size)
+	}
+	// Any catalog change bumps the epoch and misses the cache.
+	if _, err := c.RegisterPairs("S", pairs([2]int32{5, 9})); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := c.Prepare(src); hit {
+		t.Fatal("epoch change should invalidate cached plan")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewWithCacheSize(2)
+	if _, err := c.RegisterPairs("R", pairs([2]int32{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Prepare(fmt.Sprintf("Q%d(x) :- R(x, y)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, size := c.CacheStats(); size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+	// Oldest (Q0) evicted, Q2 retained.
+	if _, hit, _ := c.Prepare("Q2(x) :- R(x, y)"); !hit {
+		t.Fatal("Q2 should be cached")
+	}
+	if _, hit, _ := c.Prepare("Q0(x) :- R(x, y)"); hit {
+		t.Fatal("Q0 should have been evicted")
+	}
+}
+
+// TestConcurrentUse exercises registration, lookup and prepared execution
+// from many goroutines; run with -race.
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	if _, err := c.RegisterPairs("R", pairs([2]int32{1, 10}, [2]int32{2, 10}, [2]int32{10, 5})); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch g % 3 {
+				case 0:
+					name := fmt.Sprintf("T%d", g)
+					if _, err := c.RegisterPairs(name, pairs([2]int32{int32(i), 10})); err != nil {
+						t.Error(err)
+						return
+					}
+					c.Get(name)
+				case 1:
+					c.List()
+					c.Epoch()
+				default:
+					p, _, err := c.Prepare("Q(a, c) :- R(a, b), R(b, c)")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := p.Execute(context.Background(), query.ExecOptions{Workers: 2}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

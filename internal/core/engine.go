@@ -11,13 +11,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/acyclic"
 	"repro/internal/bsi"
+	"repro/internal/catalog"
 	"repro/internal/compress"
 	"repro/internal/joinproject"
 	"repro/internal/optimizer"
+	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/scj"
 	"repro/internal/ssj"
@@ -89,6 +92,7 @@ func WithSketchRefinement(budget int64) Option {
 type Engine struct {
 	cfg Config
 	opt *optimizer.Optimizer
+	cat *catalog.Catalog
 }
 
 // NewEngine builds an engine; calibration of the optimizer's machine
@@ -98,7 +102,7 @@ func NewEngine(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Engine{cfg: cfg, opt: optimizer.New()}
+	return &Engine{cfg: cfg, opt: optimizer.New(), cat: catalog.New()}
 }
 
 // Plan describes how a query was (or would be) evaluated.
@@ -326,6 +330,79 @@ func (e *Engine) SnowflakeProject(arms [][]*relation.Relation) ([][]int32, error
 	return acyclic.SnowflakeProject(arms, acyclic.Options{
 		Join: joinproject.Options{Delta1: e.cfg.Delta1, Delta2: e.cfg.Delta2, Workers: e.cfg.Workers},
 	})
+}
+
+// Catalog exposes the engine's relation catalog: named registration,
+// concurrent loads and the LRU plan cache behind Query.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Register indexes tuples as a relation and binds it in the catalog under
+// name, making it addressable from query text.
+func (e *Engine) Register(name string, pairs []relation.Pair) (*relation.Relation, error) {
+	return e.cat.RegisterPairs(name, pairs)
+}
+
+// RegisterRelation binds an existing relation in the catalog under its name.
+func (e *Engine) RegisterRelation(r *relation.Relation) error {
+	return e.cat.Register(r.Name(), r)
+}
+
+// execOptions maps the engine configuration onto query execution options;
+// WITH-clause hints in the query itself take precedence inside the executor.
+func (e *Engine) execOptions() query.ExecOptions {
+	return query.ExecOptions{
+		Optimizer: e.opt,
+		Workers:   e.cfg.Workers,
+		Strategy:  strategyName(e.cfg.Strategy),
+	}
+}
+
+func strategyName(s Strategy) string {
+	switch s {
+	case ForceMM:
+		return "mm"
+	case ForceWCOJ:
+		return "wcoj"
+	case ForceNonMM:
+		return "nonmm"
+	default:
+		return ""
+	}
+}
+
+// Query parses, plans and evaluates one text query against the catalog.
+// Any acyclic join-project query over registered relations is supported;
+// compiled plans are cached per (query, catalog epoch).
+func (e *Engine) Query(src string) (*query.Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with cancellation: the context is checked between
+// plan operators.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*query.Result, error) {
+	p, hit, err := e.cat.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Execute(ctx, e.execOptions())
+	if err != nil {
+		return nil, err
+	}
+	res.Plan.CacheHit = hit
+	return res, nil
+}
+
+// ExplainQuery compiles a text query and returns its predicted plan without
+// executing it. Per-node MM/WCOJ choices whose inputs exist at compile time
+// are concrete; choices depending on intermediate results are deferred.
+func (e *Engine) ExplainQuery(src string) (*query.Plan, error) {
+	p, hit, err := e.cat.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	plan := p.Explain(e.execOptions())
+	plan.CacheHit = hit
+	return plan, nil
 }
 
 // Optimizer exposes the engine's calibrated optimizer (for inspection and

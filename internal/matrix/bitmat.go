@@ -197,11 +197,13 @@ func countTile(a, bT *BitMatrix, i0, ib int, dst *[ibTile][]int32) {
 }
 
 // MulBitBool computes the boolean product C = A × Bᵀ: C[i][j] = 1 iff the
-// rows intersect. It short-circuits on the first common word, which makes it
-// cheaper than MulBitCount when only reachability is needed (BSI batches).
-// The i-block register tiling still applies: each Bᵀ row is loaded once and
-// tested against ibTile A rows before moving on, so Bᵀ traffic drops by the
-// block factor even though the word loop may exit early.
+// rows intersect. It short-circuits as rows decide, which makes it cheaper
+// than MulBitCount when only reachability is needed (BSI batches). The
+// i-block register tiling still applies, driven by a pending-row bitmask:
+// each Bᵀ word is loaded once and tested against every still-undecided row
+// of the block, so the undecided rows share the word loads instead of each
+// rescanning Bᵀ from the front, and the word loop exits as soon as the whole
+// block has decided.
 func MulBitBool(a, bT *BitMatrix, workers int) *BitMatrix {
 	if a.Cols != bT.Cols {
 		panic("matrix: bit product dimension mismatch")
@@ -217,13 +219,23 @@ func MulBitBool(a, bT *BitMatrix, workers int) *BitMatrix {
 				rows[r] = a.words[(i0+r)*rw : (i0+r+1)*rw]
 				outs[r] = c.RowWords(i0 + r)
 			}
+			full := uint32(1)<<uint(ib) - 1
 			for j := 0; j < bT.Rows; j++ {
 				brow := bT.words[j*rw : (j+1)*rw]
 				bit := uint64(1) << uint(j%64)
 				wi := j / 64
-				for r := 0; r < ib; r++ {
-					if intersectsWords(rows[r], brow) {
-						outs[r][wi] |= bit
+				pending := full
+				for k := 0; k < len(brow) && pending != 0; k++ {
+					w := brow[k]
+					if w == 0 {
+						continue
+					}
+					for m := pending; m != 0; m &= m - 1 {
+						r := bits.TrailingZeros32(m)
+						if rows[r][k]&w != 0 {
+							outs[r][wi] |= bit
+							pending &^= 1 << uint(r)
+						}
 					}
 				}
 			}

@@ -280,6 +280,14 @@ func (o *Optimizer) chooseWithEstimate(r, s *relation.Relation, cores int, estOu
 	return dec
 }
 
+// DecideCompose plans one chain composition V(a,c) = π_{a,c}(L(a,b) ⋈ R(b,c)),
+// the fold primitive the acyclic planner uses. Algorithm 1 joins the second
+// columns of both operands, so the underlying 2-path instance is
+// (L, R.Swap()) — Swap is O(1), the indexes are shared.
+func (o *Optimizer) DecideCompose(l, r *relation.Relation, cores int) Decision {
+	return o.Choose(l, r.Swap(), cores)
+}
+
 // ChooseStar picks thresholds for Q★k with a coarse grid search over the
 // Section-3.2 cost formula N·Δ1^{k-1} + |OUT|·Δ2 + M̂(·): the grid is powers
 // of two, which is enough resolution for threshold-quality experiments.

@@ -1,0 +1,463 @@
+package query
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Resolver maps a relation name to its indexed relation. The catalog's Get
+// wraps into one; tests pass map lookups.
+type Resolver func(name string) (*relation.Relation, error)
+
+// MapResolver builds a Resolver over a fixed name → relation map.
+func MapResolver(rels map[string]*relation.Relation) Resolver {
+	return func(name string) (*relation.Relation, error) {
+		r, ok := rels[name]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", name)
+		}
+		return r, nil
+	}
+}
+
+// edge is one join-graph edge: a binary relation between two variables,
+// oriented so the relation's X column carries variable a and the Y column
+// variable b. Parallel atoms over the same variable pair are merged into one
+// edge by tuple intersection during compilation.
+type edge struct {
+	a, b  int // variable indices
+	rel   *relation.Relation
+	label string // source atoms, for EXPLAIN
+	// origSize is the tuple count before semijoin reduction.
+	origSize int
+}
+
+// component is one connected component of the join graph: a tree of edges
+// (acyclicity is checked at compile time) plus the globally consistent
+// variable domains the Yannakakis reduction produced.
+type component struct {
+	vars    []int // variable indices, in first-appearance order
+	edges   []edge
+	heads   []int           // head variables in this component
+	allowed map[int][]int32 // per variable: sorted globally consistent domain
+	pruned  []string        // labels of edges outside the Steiner tree (filters only)
+}
+
+// Prepared is a compiled query: parsed, resolved against one catalog
+// snapshot, validated acyclic, and semijoin-reduced. A Prepared is immutable
+// and safe for concurrent Execute calls; the catalog caches them per
+// (query text, catalog epoch).
+type Prepared struct {
+	// Query is the parsed AST.
+	Query *Query
+	// Text is the canonical query text (the plan-cache key).
+	Text string
+
+	vars     []string // variable names by index
+	comps    []*component
+	empty    bool   // proven empty during reduction
+	emptyWhy string // what emptied it, for EXPLAIN
+}
+
+// Compile parses nothing: it takes a parsed query and resolves, validates and
+// reduces it against the relations the resolver provides. Use Prepare to go
+// straight from text.
+func Compile(q *Query, resolve Resolver) (*Prepared, error) {
+	p := &Prepared{Query: q, Text: q.String()}
+
+	varIdx := map[string]int{}
+	varOf := func(name string) int {
+		if i, ok := varIdx[name]; ok {
+			return i
+		}
+		i := len(p.vars)
+		varIdx[name] = i
+		p.vars = append(p.vars, name)
+		return i
+	}
+
+	// Resolve each distinct relation name once.
+	rels := map[string]*relation.Relation{}
+	for _, a := range q.Atoms {
+		if _, ok := rels[a.Rel]; ok {
+			continue
+		}
+		r, err := resolve(a.Rel)
+		if err != nil {
+			return nil, err
+		}
+		rels[a.Rel] = r
+	}
+
+	// Classify atoms into binary edges and unary domain constraints.
+	type pairKey struct{ a, b int }
+	parallel := map[pairKey][]edge{} // normalized orientation (a = first seen)
+	var pairOrder []pairKey
+	unary := map[int][]int32{}
+	hasUnary := map[int]bool{}
+	addUnary := func(v int, set []int32, why string) {
+		if hasUnary[v] {
+			unary[v] = intersectSorted(unary[v], set)
+		} else {
+			hasUnary[v] = true
+			unary[v] = set
+		}
+		if len(unary[v]) == 0 && !p.empty {
+			p.empty = true
+			p.emptyWhy = why
+		}
+	}
+	for _, a := range q.Atoms {
+		r := rels[a.Rel]
+		t0, t1 := a.Args[0], a.Args[1]
+		switch {
+		case t0.IsConst && t1.IsConst:
+			if !r.Contains(t0.Value, t1.Value) && !p.empty {
+				p.empty = true
+				p.emptyWhy = fmt.Sprintf("%s has no tuple (%d, %d)", a.Rel, t0.Value, t1.Value)
+			}
+		case t0.IsConst:
+			v := varOf(t1.Var)
+			addUnary(v, slices.Clone(r.ByX().Lookup(t0.Value)), a.String())
+		case t1.IsConst:
+			v := varOf(t0.Var)
+			addUnary(v, slices.Clone(r.ByY().Lookup(t1.Value)), a.String())
+		case t0.Var == t1.Var:
+			v := varOf(t0.Var)
+			var diag []int32
+			for _, x := range r.ByX().Keys() {
+				if r.Contains(x, x) {
+					diag = append(diag, x)
+				}
+			}
+			addUnary(v, diag, a.String())
+		default:
+			va, vb := varOf(t0.Var), varOf(t1.Var)
+			rel, label := r, a.String()
+			key := pairKey{va, vb}
+			if prior, ok := parallel[pairKey{vb, va}]; ok && len(prior) > 0 {
+				key = pairKey{vb, va}
+				rel = rel.Swap()
+			}
+			if _, ok := parallel[key]; !ok {
+				pairOrder = append(pairOrder, key)
+			}
+			parallel[key] = append(parallel[key], edge{a: key.a, b: key.b, rel: rel, label: label})
+		}
+	}
+
+	// Merge parallel atoms over the same variable pair by tuple intersection
+	// (the GYO step that removes hyperedges contained in another).
+	var edges []edge
+	for _, key := range pairOrder {
+		group := parallel[key]
+		e := group[0]
+		if len(group) > 1 {
+			var ps []relation.Pair
+			for _, pr := range group[0].rel.Pairs() {
+				ok := true
+				for _, other := range group[1:] {
+					if !other.rel.Contains(pr.X, pr.Y) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					ps = append(ps, pr)
+				}
+			}
+			labels := make([]string, len(group))
+			for i, g := range group {
+				labels[i] = g.label
+			}
+			name := ""
+			for i, g := range group {
+				if i > 0 {
+					name += "∩"
+				}
+				name += g.rel.Name()
+			}
+			e = edge{a: key.a, b: key.b, rel: relation.FromPairs(name, ps), label: strings.Join(labels, " ∩ ")}
+			if e.rel.Size() == 0 && !p.empty {
+				p.empty = true
+				p.emptyWhy = e.label + " is empty"
+			}
+		}
+		e.origSize = e.rel.Size()
+		if e.origSize == 0 && !p.empty {
+			p.empty = true
+			p.emptyWhy = e.label + " is empty"
+		}
+		edges = append(edges, e)
+	}
+
+	// Connected components over the variable graph.
+	parent := make([]int, len(p.vars))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) { parent[find(x)] = find(y) }
+	for _, e := range edges {
+		union(e.a, e.b)
+	}
+	compOf := map[int]*component{}
+	for v := range p.vars {
+		root := find(v)
+		c, ok := compOf[root]
+		if !ok {
+			c = &component{allowed: map[int][]int32{}}
+			compOf[root] = c
+			p.comps = append(p.comps, c)
+		}
+		c.vars = append(c.vars, v)
+	}
+	for _, e := range edges {
+		compOf[find(e.a)].edges = append(compOf[find(e.a)].edges, e)
+	}
+
+	// Acyclicity: every component (connected by construction) must be a tree.
+	for _, c := range p.comps {
+		if len(c.edges) != len(c.vars)-1 {
+			return nil, fmt.Errorf("query: cyclic query — the join graph over %s is not a tree (GYO reduction fails)",
+				varNames(p.vars, c.vars))
+		}
+	}
+
+	// Head variables must be bound (validate checked) — map them.
+	for _, name := range q.HeadVars() {
+		v, ok := varIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("query: head variable %q is not bound by the body", name)
+		}
+		c := compOf[find(v)]
+		c.heads = append(c.heads, v)
+	}
+
+	// Yannakakis semijoin reduction per component.
+	if !p.empty {
+		for _, c := range p.comps {
+			if why, ok := p.reduce(c, unary, hasUnary); !ok {
+				p.empty = true
+				p.emptyWhy = why
+				break
+			}
+		}
+	}
+	return p, nil
+}
+
+// Prepare parses and compiles query text in one step.
+func Prepare(src string, resolve Resolver) (*Prepared, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(q, resolve)
+}
+
+// Vars returns the query's variable names in first-appearance order.
+func (p *Prepared) Vars() []string { return append([]string(nil), p.vars...) }
+
+// Empty reports whether compilation proved the result empty, with the reason.
+func (p *Prepared) Empty() (bool, string) { return p.empty, p.emptyWhy }
+
+// reduce runs the two Yannakakis passes over one component tree and filters
+// every edge relation down to its globally consistent tuples. After this,
+// every remaining tuple and every remaining domain value participates in at
+// least one full solution of the component — the property that lets the
+// executor prune non-head branches entirely and keep every fold
+// output-sensitive. Returns ok=false with a reason if some domain empties.
+func (p *Prepared) reduce(c *component, unary map[int][]int32, hasUnary map[int]bool) (string, bool) {
+	// Incidence lists.
+	adj := map[int][]int{} // var → edge indices
+	for i, e := range c.edges {
+		adj[e.a] = append(adj[e.a], i)
+		adj[e.b] = append(adj[e.b], i)
+	}
+
+	// Initial domains: intersection of every incident edge's key list and the
+	// unary constraints (local consistency).
+	for _, v := range c.vars {
+		var dom []int32
+		have := false
+		if hasUnary[v] {
+			dom, have = unary[v], true
+		}
+		for _, ei := range adj[v] {
+			keys := edgeKeys(&c.edges[ei], v)
+			if !have {
+				dom, have = slices.Clone(keys), true
+			} else {
+				dom = intersectSorted(dom, keys)
+			}
+		}
+		if !have || len(dom) == 0 {
+			return fmt.Sprintf("variable %s has an empty domain", p.vars[v]), false
+		}
+		c.allowed[v] = dom
+	}
+
+	if len(c.edges) > 0 {
+		root := c.vars[0]
+		// Upward pass (post-order): each variable's domain is filtered by the
+		// values its children subtrees support.
+		var up func(v, parentEdge int)
+		up = func(v, parentEdge int) {
+			for _, ei := range adj[v] {
+				if ei == parentEdge {
+					continue
+				}
+				e := &c.edges[ei]
+				u := e.other(v)
+				up(u, ei)
+				c.allowed[v] = filterSupported(c.allowed[v], e, v, c.allowed[u])
+			}
+		}
+		up(root, -1)
+		// Downward pass (pre-order): push the root-side support back out.
+		var down func(v, parentEdge int)
+		down = func(v, parentEdge int) {
+			for _, ei := range adj[v] {
+				if ei == parentEdge {
+					continue
+				}
+				e := &c.edges[ei]
+				u := e.other(v)
+				c.allowed[u] = filterSupported(c.allowed[u], e, u, c.allowed[v])
+				down(u, ei)
+			}
+		}
+		down(root, -1)
+	}
+	for _, v := range c.vars {
+		if len(c.allowed[v]) == 0 {
+			return fmt.Sprintf("variable %s has an empty domain after reduction", p.vars[v]), false
+		}
+	}
+
+	// Filter every edge down to tuples with both endpoints allowed.
+	for i := range c.edges {
+		e := &c.edges[i]
+		domA, domB := c.allowed[e.a], c.allowed[e.b]
+		var ps []relation.Pair
+		kept := 0
+		for _, pr := range e.rel.Pairs() {
+			if containsSorted(domA, pr.X) && containsSorted(domB, pr.Y) {
+				ps = append(ps, pr)
+				kept++
+			}
+		}
+		if kept == e.rel.Size() {
+			continue // nothing dangled; keep the original indexes
+		}
+		if kept == 0 {
+			return e.label + " is empty after reduction", false
+		}
+		e.rel = relation.FromPairs(e.rel.Name(), ps)
+	}
+	return "", true
+}
+
+// other returns the edge endpoint that is not v.
+func (e *edge) other(v int) int {
+	if e.a == v {
+		return e.b
+	}
+	return e.a
+}
+
+// edgeKeys returns the sorted distinct values of variable v in edge e.
+func edgeKeys(e *edge, v int) []int32 {
+	if e.a == v {
+		return e.rel.ByX().Keys()
+	}
+	return e.rel.ByY().Keys()
+}
+
+// edgePartners returns the sorted partner values of v=val through edge e.
+func edgePartners(e *edge, v int, val int32) []int32 {
+	if e.a == v {
+		return e.rel.ByX().Lookup(val)
+	}
+	return e.rel.ByY().Lookup(val)
+}
+
+// filterSupported keeps the values of dom whose partner list through e
+// intersects otherDom.
+func filterSupported(dom []int32, e *edge, v int, otherDom []int32) []int32 {
+	out := dom[:0:0]
+	for _, val := range dom {
+		if intersectsSorted(edgePartners(e, v, val), otherDom) {
+			out = append(out, val)
+		}
+	}
+	return out
+}
+
+// intersectsSorted reports whether two ascending slices share an element.
+func intersectsSorted(a, b []int32) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= 16*len(a) {
+		for _, v := range a {
+			i := sort.Search(len(b), func(i int) bool { return b[i] >= v })
+			if i < len(b) && b[i] == v {
+				return true
+			}
+			b = b[i:]
+			if len(b) == 0 {
+				return false
+			}
+		}
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func intersectSorted(a, b []int32) []int32 {
+	return relation.IntersectSorted(nil, a, b)
+}
+
+// containsSorted reports membership in an ascending slice.
+func containsSorted(s []int32, v int32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+func varNames(names []string, idx []int) string {
+	out := "{"
+	for i, v := range idx {
+		if i > 0 {
+			out += " "
+		}
+		out += names[v]
+	}
+	return out + "}"
+}

@@ -1,0 +1,296 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+)
+
+// oracleEval answers a query by brute force: backtracking over the atoms,
+// binding variables from the relation tuples, then projecting/aggregating
+// the satisfying assignments — an independent nested-loop implementation of
+// the language semantics. Returns ok=false when the enumeration exceeds the
+// step budget (the caller skips such instances).
+func oracleEval(q *Query, rels map[string]*relation.Relation) ([][]int64, bool) {
+	const maxSteps = 4 << 20
+	steps := 0
+	assign := map[string]int32{}
+	type row = []int64
+
+	// Distinct projected assignments (head terms by position, with COUNT(v)
+	// projected as v's value for now).
+	seen := map[string][]int64{}
+	record := func() {
+		t := make(row, len(q.Head))
+		key := ""
+		for i, h := range q.Head {
+			t[i] = int64(assign[h.Var])
+			key += fmt.Sprintf("%d,", t[i])
+		}
+		seen[key] = t
+	}
+
+	var solve func(i int) bool
+	solve = func(i int) bool {
+		steps++
+		if steps > maxSteps {
+			return false
+		}
+		if i == len(q.Atoms) {
+			record()
+			return true
+		}
+		a := q.Atoms[i]
+		r := rels[a.Rel]
+		for _, pr := range r.Pairs() {
+			vals := [2]int32{pr.X, pr.Y}
+			var boundHere []string
+			ok := true
+			for k, term := range a.Args {
+				switch {
+				case term.IsConst:
+					ok = term.Value == vals[k]
+				default:
+					if v, bound := assign[term.Var]; bound {
+						ok = v == vals[k]
+					} else {
+						assign[term.Var] = vals[k]
+						boundHere = append(boundHere, term.Var)
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok && !solve(i+1) {
+				return false
+			}
+			for _, v := range boundHere {
+				delete(assign, v)
+			}
+		}
+		return true
+	}
+	if !solve(0) {
+		return nil, false
+	}
+
+	ci := q.CountIndex()
+	if ci < 0 {
+		out := make([][]int64, 0, len(seen))
+		for _, t := range seen {
+			out = append(out, t)
+		}
+		return out, true
+	}
+	// COUNT(v): distinct v per group of the remaining head positions.
+	groups := map[string][]int64{}
+	counts := map[string]map[int64]bool{}
+	for _, t := range seen {
+		key := ""
+		g := make([]int64, 0, len(t)-1)
+		for i, v := range t {
+			if i == ci {
+				continue
+			}
+			key += fmt.Sprintf("%d,", v)
+			g = append(g, v)
+		}
+		groups[key] = g
+		if counts[key] == nil {
+			counts[key] = map[int64]bool{}
+		}
+		counts[key][t[ci]] = true
+	}
+	if len(q.Head) == 1 {
+		// Global count: always a single row, zero when unsatisfiable.
+		n := int64(0)
+		if m, ok := counts[""]; ok {
+			n = int64(len(m))
+		}
+		return [][]int64{{n}}, true
+	}
+	var out [][]int64
+	for key, g := range groups {
+		t := make([]int64, len(q.Head))
+		gi := 0
+		for i := range q.Head {
+			if i == ci {
+				t[i] = int64(len(counts[key]))
+			} else {
+				t[i] = g[gi]
+				gi++
+			}
+		}
+		out = append(out, t)
+	}
+	return out, true
+}
+
+// randomRelations builds a fresh random catalog.
+func randomRelations(rng *rand.Rand) map[string]*relation.Relation {
+	rels := map[string]*relation.Relation{}
+	for _, name := range []string{"R", "S", "T", "U"} {
+		n := rng.Intn(36)
+		ps := make([]relation.Pair, n)
+		for i := range ps {
+			ps[i] = relation.Pair{X: int32(rng.Intn(13)), Y: int32(rng.Intn(13))}
+		}
+		rels[name] = relation.FromPairs(name, ps)
+	}
+	return rels
+}
+
+// randomAcyclicQuery generates a random acyclic query of 2–5 atoms: tree
+// growth plus parallel atoms, constants, self-loops and occasional
+// disconnected components, with a random head and random hints.
+func randomAcyclicQuery(rng *rand.Rand) *Query {
+	relNames := []string{"R", "S", "T", "U"}
+	pick := func(ss []string) string { return ss[rng.Intn(len(ss))] }
+	q := &Query{Name: "Q"}
+	vars := []string{"v0"}
+	newVar := func() string {
+		v := fmt.Sprintf("v%d", len(vars))
+		vars = append(vars, v)
+		return v
+	}
+	type varPair struct{ u, w string }
+	var treeEdges []varPair
+	addEdge := func(u, w string) {
+		if rng.Intn(2) == 0 {
+			u, w = w, u
+		}
+		q.Atoms = append(q.Atoms, Atom{Rel: pick(relNames), Args: [2]Term{{Var: u}, {Var: w}}})
+	}
+
+	nAtoms := 2 + rng.Intn(4)
+	for i := 0; i < nAtoms; i++ {
+		r := rng.Float64()
+		switch {
+		case i == 0 || r < 0.55:
+			u := pick(vars)
+			w := newVar()
+			treeEdges = append(treeEdges, varPair{u, w})
+			addEdge(u, w)
+		case r < 0.65 && len(treeEdges) > 0:
+			// Parallel atom over an existing variable pair (merged by GYO).
+			e := treeEdges[rng.Intn(len(treeEdges))]
+			addEdge(e.u, e.w)
+		case r < 0.75:
+			// A fresh disconnected component (cross product / existence).
+			u := newVar()
+			w := newVar()
+			treeEdges = append(treeEdges, varPair{u, w})
+			addEdge(u, w)
+		case r < 0.9:
+			// Constant selection on an existing variable.
+			u := pick(vars)
+			c := Term{Value: int32(rng.Intn(13)), IsConst: true}
+			args := [2]Term{{Var: u}, c}
+			if rng.Intn(2) == 0 {
+				args[0], args[1] = args[1], args[0]
+			}
+			q.Atoms = append(q.Atoms, Atom{Rel: pick(relNames), Args: args})
+		default:
+			u := pick(vars)
+			q.Atoms = append(q.Atoms, Atom{Rel: pick(relNames), Args: [2]Term{{Var: u}, {Var: u}}})
+		}
+	}
+
+	// Head: up to 3 distinct variables, sometimes a COUNT aggregate.
+	perm := rng.Perm(len(vars))
+	k := rng.Intn(4)
+	if k > len(vars) {
+		k = len(vars)
+	}
+	for _, vi := range perm[:k] {
+		q.Head = append(q.Head, HeadTerm{Var: vars[vi]})
+	}
+	if rng.Float64() < 0.25 {
+		h := HeadTerm{Var: pick(vars), Count: true}
+		pos := 0
+		if len(q.Head) > 0 {
+			pos = rng.Intn(len(q.Head) + 1)
+		}
+		q.Head = append(q.Head[:pos], append([]HeadTerm{h}, q.Head[pos:]...)...)
+	}
+
+	// Hints: exercise every strategy path.
+	if r := rng.Float64(); r < 0.4 {
+		q.Hints.Strategy = []string{"auto", "mm", "wcoj", "nonmm"}[rng.Intn(4)]
+	}
+	if rng.Float64() < 0.25 {
+		q.Hints.Workers = 1 + rng.Intn(3)
+	}
+	return q
+}
+
+func canonTuples(ts [][]int64) [][]int64 {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return ts
+}
+
+// TestDifferentialVsBruteForce evaluates ≥100 random acyclic queries through
+// the full text → parse → plan → execute pipeline and compares every result
+// against the nested-loop oracle.
+func TestDifferentialVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	opt := optimizer.New()
+	rels := randomRelations(rng)
+	compared := 0
+	for iter := 0; iter < 170; iter++ {
+		if iter%25 == 24 {
+			rels = randomRelations(rng)
+		}
+		q := randomAcyclicQuery(rng)
+		src := q.String()
+
+		want, ok := oracleEval(q, rels)
+		if !ok {
+			continue // oracle budget exceeded; rare
+		}
+
+		// Round-trip through text to exercise the parser too.
+		p, err := Prepare(src, MapResolver(rels))
+		if err != nil {
+			t.Fatalf("iter %d: Prepare(%q): %v", iter, src, err)
+		}
+		execOpt := ExecOptions{Workers: 1 + rng.Intn(2)}
+		if rng.Intn(2) == 0 {
+			execOpt.Optimizer = opt
+		}
+		res, err := p.Execute(context.Background(), execOpt)
+		if err != nil {
+			t.Fatalf("iter %d: Execute(%q): %v", iter, src, err)
+		}
+
+		got := canonTuples(res.Tuples)
+		wantC := canonTuples(want)
+		if len(got) == 0 && len(wantC) == 0 {
+			compared++
+			continue
+		}
+		if !reflect.DeepEqual(got, wantC) {
+			t.Fatalf("iter %d: %q\nengine: %v\noracle: %v\nplan:\n%s", iter, src, got, wantC, res.Plan)
+		}
+		compared++
+	}
+	if compared < 100 {
+		t.Fatalf("only %d queries compared; want ≥ 100", compared)
+	}
+	t.Logf("compared %d random acyclic queries against the oracle", compared)
+}

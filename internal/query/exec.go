@@ -1,0 +1,724 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/acyclic"
+	"repro/internal/joinproject"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+)
+
+// ExecOptions configures one evaluation of a Prepared query.
+type ExecOptions struct {
+	// Optimizer supplies the per-node MM/WCOJ cost decisions; nil falls back
+	// to heuristic-threshold MM folds.
+	Optimizer *optimizer.Optimizer
+	// Workers bounds the parallelism (≤ 0: all cores). A workers hint in the
+	// query overrides it.
+	Workers int
+	// Strategy is the engine-level pin ("", "auto", "mm", "wcoj", "nonmm").
+	// A strategy hint in the query overrides it.
+	Strategy string
+}
+
+// Result is one evaluated query: column labels, distinct output tuples and
+// the plan that produced them (with the actual per-node strategy choices).
+type Result struct {
+	Columns []string
+	Tuples  [][]int64
+	Plan    *Plan
+}
+
+// optPlanner adapts the Section-5 cost-based optimizer to the acyclic
+// composition Planner interface.
+type optPlanner struct {
+	opt *optimizer.Optimizer
+}
+
+func (p optPlanner) ChooseCompose(l, r *relation.Relation, workers int) acyclic.ComposeDecision {
+	d := p.opt.DecideCompose(l, r, workers)
+	if d.UseWCOJ {
+		return acyclic.ComposeDecision{Strategy: acyclic.StrategyWCOJ, EstOut: d.EstOut, OutJoin: d.OutJoin}
+	}
+	return acyclic.ComposeDecision{
+		Strategy: acyclic.StrategyMM,
+		Delta1:   d.Delta1, Delta2: d.Delta2,
+		EstOut: d.EstOut, OutJoin: d.OutJoin,
+	}
+}
+
+// Execute evaluates the prepared query. The context is checked between plan
+// nodes (folds, components), so cancellation takes effect at operator
+// granularity. Execute never mutates the Prepared and is safe to call
+// concurrently on a shared instance.
+func (p *Prepared) Execute(ctx context.Context, opts ExecOptions) (*Result, error) {
+	ex := p.newExecutor(ctx, opts, false)
+	return ex.run()
+}
+
+// Explain builds the predicted plan without executing. Strategy choices that
+// depend on intermediate fold results are reported as "auto" (deferred);
+// first-level choices use the real cost model on the reduced relations.
+func (p *Prepared) Explain(opts ExecOptions) *Plan {
+	ex := p.newExecutor(context.Background(), opts, true)
+	res, err := ex.run()
+	if err != nil || res == nil {
+		return &Plan{Text: p.Text, Predicted: true, Root: &Node{Op: "error", Detail: fmt.Sprint(err), Rows: -1}}
+	}
+	res.Plan.Predicted = true
+	return res.Plan
+}
+
+type executor struct {
+	p    *Prepared
+	ctx  context.Context
+	dry  bool
+	aopt acyclic.Options
+	opt  *optimizer.Optimizer
+	star string // star-node pin: "", "mm" or "nonmm"
+}
+
+func (p *Prepared) newExecutor(ctx context.Context, opts ExecOptions, dry bool) *executor {
+	strategy := opts.Strategy
+	if p.Query.Hints.Strategy != "" {
+		strategy = p.Query.Hints.Strategy
+	}
+	workers := opts.Workers
+	if p.Query.Hints.Workers > 0 {
+		workers = p.Query.Hints.Workers
+	}
+	ex := &executor{p: p, ctx: ctx, dry: dry}
+	ex.aopt = acyclic.Options{Join: joinproject.Options{Workers: workers}}
+	switch strategy {
+	case acyclic.StrategyMM, acyclic.StrategyWCOJ, acyclic.StrategyNonMM:
+		ex.aopt.Force = strategy
+		ex.star = strategy
+		if strategy == acyclic.StrategyWCOJ {
+			ex.star = acyclic.StrategyNonMM // the star algorithm's combinatorial twin
+		}
+	}
+	if opts.Optimizer != nil {
+		ex.aopt.Planner = optPlanner{opt: opts.Optimizer}
+	}
+	ex.opt = opts.Optimizer
+	return ex
+}
+
+func (ex *executor) check() error { return ex.ctx.Err() }
+
+// compResult is one component's contribution: the variables it binds (cols,
+// only head variables), its distinct rows, and its plan subtree.
+type compResult struct {
+	cols []int
+	rows [][]int32
+	node *Node
+}
+
+func (ex *executor) run() (*Result, error) {
+	p, q := ex.p, ex.p.Query
+	res := &Result{Columns: make([]string, len(q.Head))}
+	for i, h := range q.Head {
+		res.Columns[i] = h.String()
+	}
+
+	var producers []*compResult
+	var compNodes []*Node
+	if p.empty {
+		compNodes = append(compNodes, &Node{Op: "empty", Detail: p.emptyWhy, Rows: 0})
+	} else {
+		for _, c := range p.comps {
+			if err := ex.check(); err != nil {
+				return nil, err
+			}
+			cr, err := ex.evalComponent(c)
+			if err != nil {
+				return nil, err
+			}
+			compNodes = append(compNodes, cr.node)
+			if len(cr.cols) > 0 {
+				producers = append(producers, cr)
+			}
+		}
+	}
+
+	// Assemble: cross product of the row-producing components, then map the
+	// joined columns onto the head terms.
+	var cols []int
+	rows := [][]int32{{}}
+	if !ex.dry && !p.empty {
+		for _, pr := range producers {
+			cols = append(cols, pr.cols...)
+			rows = crossRows(rows, pr.rows)
+		}
+	}
+
+	top := &Node{Op: "project", Detail: "[" + headLabels(q) + "]", Rows: -1}
+	if q.CountIndex() >= 0 {
+		top.Op = "aggregate"
+	}
+	switch {
+	case len(compNodes) == 1:
+		top.Children = compNodes
+	default:
+		top.Children = []*Node{{Op: "cross", Rows: -1, Children: compNodes}}
+	}
+	res.Plan = &Plan{Text: p.Text, Root: top}
+	if ex.dry {
+		return res, nil
+	}
+
+	if p.empty {
+		rows = nil
+	}
+	res.Tuples = projectHead(q, p, cols, rows)
+	top.Rows = int64(len(res.Tuples))
+	if len(top.Children) == 1 && top.Children[0].Op == "cross" {
+		top.Children[0].Rows = int64(len(rows))
+	}
+	return res, nil
+}
+
+// headLabels renders the head terms for the plan detail.
+func headLabels(q *Query) string {
+	parts := make([]string, len(q.Head))
+	for i, h := range q.Head {
+		parts[i] = h.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// projectHead maps assembled rows (over the distinct head variables in cols)
+// onto the head-term order, applying the COUNT aggregate when present.
+func projectHead(q *Query, p *Prepared, cols []int, rows [][]int32) [][]int64 {
+	colPos := map[int]int{}
+	for i, v := range cols {
+		colPos[v] = i
+	}
+	pos := make([]int, len(q.Head))
+	for i, h := range q.Head {
+		vi := -1
+		for idx, name := range p.vars {
+			if name == h.Var {
+				vi = idx
+				break
+			}
+		}
+		pos[i] = colPos[vi]
+	}
+
+	ci := q.CountIndex()
+	if ci < 0 {
+		out := make([][]int64, 0, len(rows))
+		for _, r := range rows {
+			t := make([]int64, len(q.Head))
+			for i := range q.Head {
+				t[i] = int64(r[pos[i]])
+			}
+			out = append(out, t)
+		}
+		return out
+	}
+
+	// COUNT(v): rows are distinct over (group vars ∪ {v}), so counting rows
+	// per group yields the distinct-v count.
+	groupPos := make([]int, 0, len(q.Head)-1)
+	for i := range q.Head {
+		if i != ci {
+			groupPos = append(groupPos, pos[i])
+		}
+	}
+	if len(groupPos) == 0 {
+		return [][]int64{{int64(len(rows))}}
+	}
+	type group struct {
+		vals  []int32
+		count int64
+	}
+	var order []string
+	groups := map[string]*group{}
+	var key []byte
+	for _, r := range rows {
+		key = key[:0]
+		vals := make([]int32, len(groupPos))
+		for i, gp := range groupPos {
+			vals[i] = r[gp]
+			key = strconv.AppendInt(key, int64(r[gp]), 10)
+			key = append(key, ',')
+		}
+		k := string(key)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{vals: vals}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.count++
+	}
+	out := make([][]int64, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		t := make([]int64, len(q.Head))
+		gi := 0
+		for i := range q.Head {
+			if i == ci {
+				t[i] = g.count
+			} else {
+				t[i] = int64(g.vals[gi])
+				gi++
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func crossRows(a, b [][]int32) [][]int32 {
+	out := make([][]int32, 0, len(a)*len(b))
+	for _, ra := range a {
+		for _, rb := range b {
+			r := make([]int32, 0, len(ra)+len(rb))
+			r = append(r, ra...)
+			r = append(r, rb...)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// liveEdge is one edge of the working tree during Steiner pruning and
+// degree-2 collapsing, carrying its plan subtree.
+type liveEdge struct {
+	a, b int
+	rel  *relation.Relation // nil in dry runs for folded edges
+	node *Node
+}
+
+// evalComponent evaluates one component tree down to its head variables.
+func (ex *executor) evalComponent(c *component) (*compResult, error) {
+	p := ex.p
+	compNode := &Node{Op: "component", Detail: varNames(p.vars, c.vars), Rows: -1}
+	if len(c.heads) == 0 {
+		compNode.Op = "exists"
+		compNode.Rows = 1
+		return &compResult{node: compNode}, nil
+	}
+
+	heads := map[int]bool{}
+	for _, h := range c.heads {
+		heads[h] = true
+	}
+
+	live := make([]liveEdge, 0, len(c.edges))
+	for i := range c.edges {
+		e := &c.edges[i]
+		detail := fmt.Sprintf("%s → [%s, %s]", e.label, p.vars[e.a], p.vars[e.b])
+		if e.rel.Size() != e.origSize {
+			detail += fmt.Sprintf(" (reduced %d→%d)", e.origSize, e.rel.Size())
+		}
+		live = append(live, liveEdge{a: e.a, b: e.b, rel: e.rel,
+			node: &Node{Op: "scan", Detail: detail, Rows: int64(e.rel.Size())}})
+	}
+
+	// Steiner prune: non-head leaf branches only filter, and the semijoin
+	// reduction has already applied that filter — drop them.
+	var prunedNodes []*Node
+	for {
+		deg := map[int]int{}
+		for _, e := range live {
+			deg[e.a]++
+			deg[e.b]++
+		}
+		removed := false
+		for i := 0; i < len(live); i++ {
+			e := live[i]
+			var leaf int = -1
+			if deg[e.a] == 1 && !heads[e.a] {
+				leaf = e.a
+			} else if deg[e.b] == 1 && !heads[e.b] {
+				leaf = e.b
+			}
+			if leaf < 0 {
+				continue
+			}
+			prunedNodes = append(prunedNodes,
+				&Node{Op: "semijoin", Detail: e.node.Detail + " (filter absorbed by reduction)", Rows: -1})
+			live = append(live[:i], live[i+1:]...)
+			removed = true
+			break
+		}
+		if !removed {
+			break
+		}
+	}
+
+	cr := &compResult{node: compNode}
+	var err error
+	if len(live) == 0 {
+		// A single head variable remains: its reduced domain is the answer.
+		h := c.heads[0]
+		cr.cols = []int{h}
+		dom := c.allowed[h]
+		if !ex.dry {
+			cr.rows = make([][]int32, len(dom))
+			for i, v := range dom {
+				cr.rows[i] = []int32{v}
+			}
+		}
+		compNode.Children = append([]*Node{{
+			Op: "domain", Detail: p.vars[h], Rows: int64(len(dom)),
+		}}, prunedNodes...)
+		compNode.Rows = int64(len(dom))
+		return cr, nil
+	}
+
+	if live, err = ex.collapse(live, heads); err != nil {
+		return nil, err
+	}
+
+	final, err := ex.finalNode(c, live, heads)
+	if err != nil {
+		return nil, err
+	}
+	cr.cols, cr.rows = final.cols, final.rows
+	compNode.Children = append([]*Node{final.node}, prunedNodes...)
+	if !ex.dry {
+		compNode.Rows = int64(len(cr.rows))
+	}
+	return cr, nil
+}
+
+// collapse folds away every non-head degree-2 variable with a planned
+// two-path composition, shrinking the tree until only head variables and
+// branching variables remain.
+func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, error) {
+	p := ex.p
+	for {
+		deg := map[int]int{}
+		for _, e := range live {
+			deg[e.a]++
+			deg[e.b]++
+		}
+		// Lowest-index first keeps plans deterministic: ranging over the
+		// degree map would let Go's map order pick the fold order.
+		v := -1
+		for cand := 0; cand < len(p.vars); cand++ {
+			if deg[cand] == 2 && !heads[cand] {
+				v = cand
+				break
+			}
+		}
+		if v < 0 {
+			return live, nil
+		}
+		if err := ex.check(); err != nil {
+			return nil, err
+		}
+		// Locate the two edges at v and orient them (u→v), (v→w).
+		i1, i2 := -1, -1
+		for i, e := range live {
+			if e.a == v || e.b == v {
+				if i1 < 0 {
+					i1 = i
+				} else {
+					i2 = i
+					break
+				}
+			}
+		}
+		e1, e2 := live[i1], live[i2]
+		r1, u := orient(e1, v, false)
+		r2, w := orient(e2, v, true)
+		folded := liveEdge{a: u, b: w}
+		node := &Node{Op: "fold", Rows: -1, Children: []*Node{e1.node, e2.node}}
+		detail := fmt.Sprintf("π[%s, %s] eliminating %s", p.vars[u], p.vars[w], p.vars[v])
+		if ex.dry {
+			node.Strategy, node.Detail = ex.dryComposeStrategy(r1, r2, &detail)
+		} else {
+			rel, step := acyclic.Compose(r1, r2, ex.aopt)
+			folded.rel = rel
+			node.Strategy = step.Strategy
+			if step.Strategy == acyclic.StrategyMM {
+				detail += fmt.Sprintf(" Δ1=%d Δ2=%d", step.Delta1, step.Delta2)
+			}
+			if step.OutJoin > 0 {
+				detail += fmt.Sprintf(" est|OUT|=%d |OUT⋈|=%d", step.EstOut, step.OutJoin)
+			}
+			node.Detail = detail
+			node.Rows = int64(rel.Size())
+		}
+		folded.node = node
+		// Replace the two edges with the fold (remove the higher index first).
+		if i1 > i2 {
+			i1, i2 = i2, i1
+		}
+		live = append(live[:i2], live[i2+1:]...)
+		live[i1] = folded
+	}
+}
+
+// dryComposeStrategy predicts a fold's strategy without running it.
+func (ex *executor) dryComposeStrategy(r1, r2 *relation.Relation, detail *string) (string, string) {
+	if ex.aopt.Force != "" {
+		return ex.aopt.Force, *detail
+	}
+	if r1 == nil || r2 == nil || ex.aopt.Planner == nil {
+		return "auto", *detail + " (decided at run time)"
+	}
+	dec := ex.aopt.Planner.ChooseCompose(r1, r2, ex.aopt.Join.Workers)
+	d := *detail
+	if dec.Strategy == acyclic.StrategyMM {
+		d += fmt.Sprintf(" Δ1=%d Δ2=%d", dec.Delta1, dec.Delta2)
+	}
+	if dec.OutJoin > 0 {
+		d += fmt.Sprintf(" est|OUT|=%d |OUT⋈|=%d", dec.EstOut, dec.OutJoin)
+	}
+	return dec.Strategy, d
+}
+
+// orient returns e's relation with variable v on the Y side (asHead=false,
+// giving (other→v)) or on the X side (asHead=true, giving (v→other)), along
+// with the other endpoint. Swapping is O(1); dry-run folded edges have a nil
+// relation, which propagates.
+func orient(e liveEdge, v int, asHead bool) (*relation.Relation, int) {
+	other := e.a
+	vOnX := e.a == v
+	if vOnX {
+		other = e.b
+	}
+	rel := e.rel
+	if rel != nil && vOnX != asHead {
+		rel = rel.Swap()
+	}
+	return rel, other
+}
+
+// finalNode turns the collapsed tree into rows: a single edge's pairs, a
+// star around a non-head center, or generic tree enumeration.
+func (ex *executor) finalNode(c *component, live []liveEdge, heads map[int]bool) (*compResult, error) {
+	if len(live) == 1 {
+		e := live[0]
+		cr := &compResult{cols: []int{e.a, e.b}, node: e.node}
+		if !ex.dry {
+			cr.rows = make([][]int32, 0, e.rel.Size())
+			for _, pr := range e.rel.Pairs() {
+				cr.rows = append(cr.rows, []int32{pr.X, pr.Y})
+			}
+		}
+		return cr, nil
+	}
+
+	// Star detection: a common non-head center with head leaves.
+	center := -1
+	for _, cand := range []int{live[0].a, live[0].b} {
+		ok := true
+		for _, e := range live {
+			if e.a != cand && e.b != cand {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			center = cand
+			break
+		}
+	}
+	if center >= 0 && !heads[center] {
+		return ex.starNode(live, center)
+	}
+	return ex.enumerate(c, live, heads)
+}
+
+// starNode runs the Section-3.2 star primitive over the arm views.
+func (ex *executor) starNode(live []liveEdge, center int) (*compResult, error) {
+	p := ex.p
+	if err := ex.check(); err != nil {
+		return nil, err
+	}
+	views := make([]*relation.Relation, len(live))
+	leaves := make([]int, len(live))
+	children := make([]*Node, len(live))
+	ready := true
+	for i, e := range live {
+		// Orient each arm as (leaf, center): the star joins on the Y column.
+		rel, leaf := orient(e, center, false)
+		views[i], leaves[i] = rel, leaf
+		children[i] = e.node
+		if rel == nil {
+			ready = false
+		}
+	}
+	leafNames := make([]string, len(leaves))
+	for i, l := range leaves {
+		leafNames[i] = p.vars[l]
+	}
+	node := &Node{Op: "star", Rows: -1, Children: children,
+		Detail: fmt.Sprintf("center %s leaves [%s]", p.vars[center], strings.Join(leafNames, ", "))}
+	cr := &compResult{cols: leaves, node: node}
+
+	strategy := ex.star
+	jopt := ex.aopt.Join
+	if strategy == "" {
+		if ex.opt != nil && ready {
+			dec := ex.opt.ChooseStar(views, jopt.Workers)
+			if dec.UseWCOJ {
+				strategy = acyclic.StrategyNonMM
+			} else {
+				strategy = acyclic.StrategyMM
+				if jopt.Delta1 == 0 {
+					jopt.Delta1 = dec.Delta1
+				}
+				if jopt.Delta2 == 0 {
+					jopt.Delta2 = dec.Delta2
+				}
+			}
+		} else if ready {
+			strategy = acyclic.StrategyMM
+		}
+	}
+	if ex.dry {
+		if strategy == "" {
+			node.Strategy = "auto"
+			node.Detail += " (decided at run time)"
+		} else {
+			node.Strategy = strategy
+		}
+		return cr, nil
+	}
+	node.Strategy = strategy
+	if strategy == acyclic.StrategyNonMM {
+		cr.rows = joinproject.StarNonMM(views, jopt)
+	} else {
+		cr.rows = joinproject.StarMM(views, jopt)
+	}
+	node.Rows = int64(len(cr.rows))
+	return cr, nil
+}
+
+// enumerate handles the general shape (head variables at interior positions,
+// multiple branching variables): distinct-preserving backtracking over the
+// collapsed tree, with memoized subtree results. This is the combinatorial
+// fallback — the tree analogue of the WCOJ plan.
+func (ex *executor) enumerate(c *component, live []liveEdge, heads map[int]bool) (*compResult, error) {
+	p := ex.p
+	if err := ex.check(); err != nil {
+		return nil, err
+	}
+	type halfEdge struct {
+		e     *liveEdge
+		other int
+	}
+	adj := map[int][]halfEdge{}
+	for i := range live {
+		e := &live[i]
+		adj[e.a] = append(adj[e.a], halfEdge{e: e, other: e.b})
+		adj[e.b] = append(adj[e.b], halfEdge{e: e, other: e.a})
+	}
+	root := c.heads[0]
+
+	// Column order: DFS over the rooted tree, head variables in visit order.
+	var colsOf func(v, parent int) []int
+	colsOf = func(v, parent int) []int {
+		var cols []int
+		if heads[v] {
+			cols = append(cols, v)
+		}
+		for _, h := range adj[v] {
+			if h.other != parent {
+				cols = append(cols, colsOf(h.other, v)...)
+			}
+		}
+		return cols
+	}
+	cols := colsOf(root, -1)
+
+	node := &Node{Op: "enumerate", Strategy: acyclic.StrategyWCOJ, Rows: -1,
+		Detail: "tree backtracking + dedup over " + varNames(p.vars, c.vars)}
+	for i := range live {
+		node.Children = append(node.Children, live[i].node)
+	}
+	cr := &compResult{cols: cols, node: node}
+	if ex.dry {
+		return cr, nil
+	}
+
+	memo := map[int]map[int32][][]int32{}
+	var solve func(v, parent int, val int32) [][]int32
+	solve = func(v, parent int, val int32) [][]int32 {
+		if m := memo[v]; m != nil {
+			if rows, ok := m[val]; ok {
+				return rows
+			}
+		}
+		rows := [][]int32{nil}
+		if heads[v] {
+			rows = [][]int32{{val}}
+		}
+		for _, h := range adj[v] {
+			if h.other == parent {
+				continue
+			}
+			partners := lookupLive(h.e, v, val)
+			var sub [][]int32
+			for _, pv := range partners {
+				sub = append(sub, solve(h.other, v, pv)...)
+			}
+			if !heads[h.other] {
+				// Distinct partner values can project to the same head
+				// tuple once the non-head connector is dropped.
+				sub = dedupRows(sub)
+			}
+			rows = crossRows(rows, sub)
+		}
+		if memo[v] == nil {
+			memo[v] = map[int32][][]int32{}
+		}
+		memo[v][val] = rows
+		return rows
+	}
+
+	var out [][]int32
+	for _, val := range c.allowed[root] {
+		out = append(out, solve(root, -1, val)...)
+	}
+	if !heads[root] {
+		out = dedupRows(out)
+	}
+	cr.rows = out
+	node.Rows = int64(len(out))
+	return cr, nil
+}
+
+// lookupLive returns the partner list of v=val through e.
+func lookupLive(e *liveEdge, v int, val int32) []int32 {
+	if e.a == v {
+		return e.rel.ByX().Lookup(val)
+	}
+	return e.rel.ByY().Lookup(val)
+}
+
+// dedupRows removes duplicate rows (by value).
+func dedupRows(rows [][]int32) [][]int32 {
+	if len(rows) <= 1 {
+		return rows
+	}
+	seen := make(map[string]bool, len(rows))
+	var key []byte
+	out := rows[:0:0]
+	for _, r := range rows {
+		key = key[:0]
+		for _, v := range r {
+			key = strconv.AppendInt(key, int64(v), 10)
+			key = append(key, ',')
+		}
+		k := string(key)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package query
+
+import "testing"
+
+// FuzzParse checks that the parser never panics on arbitrary input and that
+// accepted queries round-trip: Parse → String → Parse yields the same
+// canonical form. `go test` runs the seed corpus; `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"Q(x, z) :- R(x, y), S(y, z)",
+		"Q(x, COUNT(z)) :- R(x, y), S(y, z) WITH strategy=mm, workers=4",
+		"Q() :- R(1, 2).",
+		"Q(a, b, c) :- R(a, y), S(b, y), T(c, y);",
+		"Path(a, d) :- E(a, b), E(b, c), E(c, d) WITH strategy=wcoj",
+		"Q(x) :- R(x, -7), R(x, x)",
+		"q(_x1) :- _r(_x1, 0)",
+		"Q(count) :- R(count, y)",
+		"Q(x):-R(x,y)WITH workers=1",
+		"Q(x, z) :- R(x, y), S(z, y), T(y, 12345)",
+		"Q(x :- R(x, y)",
+		"COUNT(COUNT) :- COUNT(COUNT, COUNT)",
+		":- (((",
+		"Q(x) :- R(x, 99999999999999999999)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input: only requirement is no panic
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, src, err)
+		}
+		if got := q2.String(); got != canon {
+			t.Fatalf("round trip not stable: %q → %q → %q", src, canon, got)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates the token types of the query language.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokImplies // ":-"
+	tokEquals
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokImplies:
+		return "':-'"
+	case tokEquals:
+		return "'='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexed token with its source position (byte offset).
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	pos  int
+}
+
+// lex tokenizes src. Identifiers are [A-Za-z_][A-Za-z0-9_]*, numbers are
+// optionally-signed decimal integers, and the only punctuation is
+// ( ) , = :- plus an optional trailing '.' or ';' terminator.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokEquals, pos: i})
+			i++
+		case c == ':':
+			if i+1 < len(src) && src[i+1] == '-' {
+				toks = append(toks, token{kind: tokImplies, pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: offset %d: ':' must begin ':-'", i)
+			}
+		case c == '.' || c == ';':
+			// Optional terminator: must be the last non-space rune.
+			for j := i + 1; j < len(src); j++ {
+				if !unicode.IsSpace(rune(src[j])) {
+					return nil, fmt.Errorf("query: offset %d: %q terminator must end the query", i, c)
+				}
+			}
+			i = len(src)
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' {
+				j++
+				if j >= len(src) || src[j] < '0' || src[j] > '9' {
+					return nil, fmt.Errorf("query: offset %d: '-' must begin a number", i)
+				}
+			}
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			n, err := strconv.ParseInt(src[i:j], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("query: offset %d: constant %q out of int32 range", i, src[i:j])
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], num: n, pos: i})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: offset %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

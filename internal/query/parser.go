@@ -1,0 +1,233 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses one rule of the query language into its AST. The grammar
+// (keywords case-insensitive, see README.md):
+//
+//	query    = ident "(" [ headterm { "," headterm } ] ")" ":-"
+//	           atom { "," atom } [ "WITH" hint { "," hint } ] [ "." | ";" ]
+//	headterm = ident | "COUNT" "(" ident ")"
+//	atom     = ident "(" term "," term ")"
+//	term     = ident | number
+//	hint     = "strategy" "=" ident | "workers" "=" number
+//
+// Beyond the grammar, Parse enforces the semantic invariants the planner
+// relies on: at most one COUNT term, every head variable bound by the body,
+// and well-formed hint values.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("query: offset %d: expected %v, found %v", t.pos, k, describe(t))
+	}
+	return t, nil
+}
+
+func describe(t token) string {
+	if t.kind == tokIdent || t.kind == tokNumber {
+		return fmt.Sprintf("%v %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	q.Name = name.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokRParen {
+		for {
+			h, err := p.parseHeadTerm()
+			if err != nil {
+				return nil, err
+			}
+			q.Head = append(q.Head, h)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokImplies); err != nil {
+		return nil, err
+	}
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, a)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "with") {
+		p.next()
+		if err := p.parseHints(&q.Hints); err != nil {
+			return nil, err
+		}
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: offset %d: unexpected %v after query", t.pos, describe(t))
+	}
+	return q, nil
+}
+
+func (p *parser) parseHeadTerm() (HeadTerm, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return HeadTerm{}, err
+	}
+	if strings.EqualFold(t.text, "count") && p.peek().kind == tokLParen {
+		p.next()
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return HeadTerm{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return HeadTerm{}, err
+		}
+		return HeadTerm{Var: v.text, Count: true}, nil
+	}
+	return HeadTerm{Var: t.text}, nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Rel: name.text}
+	if _, err := p.expect(tokLParen); err != nil {
+		return a, err
+	}
+	for k := 0; k < 2; k++ {
+		if k == 1 {
+			if _, err := p.expect(tokComma); err != nil {
+				return a, err
+			}
+		}
+		t := p.next()
+		switch t.kind {
+		case tokIdent:
+			a.Args[k] = Term{Var: t.text}
+		case tokNumber:
+			a.Args[k] = Term{Value: int32(t.num), IsConst: true}
+		default:
+			return a, fmt.Errorf("query: offset %d: expected variable or constant, found %v", t.pos, describe(t))
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseHints(h *Hints) error {
+	for {
+		key, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return err
+		}
+		switch strings.ToLower(key.text) {
+		case "strategy":
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			s := strings.ToLower(v.text)
+			switch s {
+			case "auto", "mm", "wcoj", "nonmm":
+				h.Strategy = s
+			default:
+				return fmt.Errorf("query: offset %d: unknown strategy %q (want auto, mm, wcoj or nonmm)", v.pos, v.text)
+			}
+		case "workers":
+			v, err := p.expect(tokNumber)
+			if err != nil {
+				return err
+			}
+			if v.num < 1 || v.num > 1<<16 {
+				return fmt.Errorf("query: offset %d: workers=%d out of range", v.pos, v.num)
+			}
+			h.Workers = int(v.num)
+		default:
+			return fmt.Errorf("query: offset %d: unknown hint %q (want strategy or workers)", key.pos, key.text)
+		}
+		if p.peek().kind != tokComma {
+			return nil
+		}
+		p.next()
+	}
+}
+
+// validate enforces the semantic invariants of a parsed query.
+func validate(q *Query) error {
+	bound := map[string]bool{}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if !t.IsConst {
+				bound[t.Var] = true
+			}
+		}
+	}
+	counts := 0
+	for _, h := range q.Head {
+		if h.Count {
+			counts++
+			if counts > 1 {
+				return fmt.Errorf("query: at most one COUNT aggregate is allowed in the head")
+			}
+		}
+		if !bound[h.Var] {
+			return fmt.Errorf("query: head variable %q is not bound by the body", h.Var)
+		}
+	}
+	return nil
+}

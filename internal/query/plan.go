@@ -1,0 +1,106 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one operator of an explainable plan tree.
+type Node struct {
+	// Op names the operator: "project", "aggregate", "cross", "exists",
+	// "domain", "pairs", "fold", "star", "enumerate", "scan", "semijoin".
+	Op string
+	// Detail is free-form operator context (variables, thresholds, sizes).
+	Detail string
+	// Strategy is the per-node algorithm choice where one applies: "mm",
+	// "wcoj" or "nonmm" for fold and star nodes, "auto" when the choice is
+	// deferred to run time (predicted plans only).
+	Strategy string
+	// Rows is the operator's output cardinality; -1 when not known (e.g. in
+	// a predicted plan for a node that has not run).
+	Rows int64
+	// Children are the operator inputs.
+	Children []*Node
+}
+
+// line renders the node's own EXPLAIN line.
+func (n *Node) line() string {
+	var b strings.Builder
+	b.WriteString(n.Op)
+	if n.Strategy != "" {
+		fmt.Fprintf(&b, " strategy=%s", n.Strategy)
+	}
+	if n.Detail != "" {
+		b.WriteByte(' ')
+		b.WriteString(n.Detail)
+	}
+	if n.Rows >= 0 {
+		fmt.Fprintf(&b, " rows=%d", n.Rows)
+	}
+	return b.String()
+}
+
+// Plan is an explainable evaluation plan for one query.
+type Plan struct {
+	// Text is the canonical query text the plan was built for.
+	Text string
+	// Root is the plan tree.
+	Root *Node
+	// Predicted is true for plans built by Explain without executing: node
+	// strategies deeper than the first composition level are deferred.
+	Predicted bool
+	// CacheHit reports whether the compiled query came from the plan cache.
+	CacheHit bool
+}
+
+// String renders the plan as an indented EXPLAIN tree.
+func (p *Plan) String() string {
+	var b strings.Builder
+	b.WriteString("query: ")
+	b.WriteString(p.Text)
+	if p.CacheHit {
+		b.WriteString("  [plan cache hit]")
+	}
+	if p.Predicted {
+		b.WriteString("  [predicted]")
+	}
+	b.WriteByte('\n')
+	if p.Root != nil {
+		renderNode(&b, p.Root, "", true)
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	b.WriteString(prefix)
+	b.WriteString(branch)
+	b.WriteString(n.line())
+	b.WriteByte('\n')
+	for i, c := range n.Children {
+		renderNode(b, c, childPrefix, i == len(n.Children)-1)
+	}
+}
+
+// Strategies returns every concrete per-node strategy choice in the plan, in
+// tree order — the compact summary tests and the EXPLAIN endpoint assert on.
+func (p *Plan) Strategies() []string {
+	var out []string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Strategy != "" {
+			out = append(out, n.Op+"="+n.Strategy)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return out
+}

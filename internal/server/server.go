@@ -1,0 +1,330 @@
+// Package server exposes the query engine over HTTP/JSON: query evaluation,
+// EXPLAIN, and catalog management, with per-query timeouts and bounded
+// admission so a burst of heavy queries degrades to queueing instead of
+// memory blow-up. cmd/joinmmd is the thin main wrapping this package.
+//
+// Endpoints (all JSON):
+//
+//	POST   /query              {"query": "...", "timeout_ms": 0}  → result
+//	POST   /explain            {"query": "...", "analyze": false} → plan
+//	GET    /catalog                                               → listing
+//	POST   /catalog/relations  {"name": "R", "pairs": [[x,y],...]}
+//	                           or {"name": "R", "path": "file"}   → stats
+//	DELETE /catalog/relations/{name}
+//	GET    /healthz
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine evaluates the queries; nil builds a default engine.
+	Engine *core.Engine
+	// Timeout bounds each query's evaluation (default 30s). A request may
+	// lower (never raise) it via timeout_ms.
+	Timeout time.Duration
+	// MaxInFlight bounds concurrently evaluating queries; further requests
+	// wait (up to their timeout) for an admission slot. Default: the
+	// engine's worker count (all cores).
+	MaxInFlight int
+}
+
+// Server handles the HTTP API.
+type Server struct {
+	eng     *core.Engine
+	timeout time.Duration
+	sem     chan struct{}
+}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	eng := cfg.Engine
+	if eng == nil {
+		eng = core.NewEngine()
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	slots := cfg.MaxInFlight
+	if slots <= 0 {
+		slots = par.Workers(0)
+	}
+	return &Server{eng: eng, timeout: timeout, sem: make(chan struct{}, slots)}
+}
+
+// Engine returns the wrapped engine (for preloading relations).
+func (s *Server) Engine() *core.Engine { return s.eng }
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("GET /catalog", s.handleCatalog)
+	mux.HandleFunc("POST /catalog/relations", s.handleRegister)
+	mux.HandleFunc("DELETE /catalog/relations/{name}", s.handleDrop)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+type queryRequest struct {
+	Query string `json:"query"`
+	// TimeoutMs lowers the server's per-query timeout for this request.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Analyze on /explain executes the query and returns the actual plan.
+	Analyze bool `json:"analyze,omitempty"`
+}
+
+type queryResponse struct {
+	Columns   []string  `json:"columns"`
+	Tuples    [][]int64 `json:"tuples"`
+	Rows      int       `json:"rows"`
+	Plan      string    `json:"plan"`
+	PlanCache bool      `json:"plan_cached"`
+	ElapsedMs float64   `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// requestTimeout resolves the effective timeout for one request.
+func (s *Server) requestTimeout(req queryRequest) time.Duration {
+	t := s.timeout
+	if req.TimeoutMs > 0 {
+		if rt := time.Duration(req.TimeoutMs) * time.Millisecond; rt < t {
+			t = rt
+		}
+	}
+	return t
+}
+
+// admit acquires an evaluation slot, giving up when the context expires.
+// The explicit Err check first keeps an already-expired deadline from racing
+// a free slot in the select.
+func (s *Server) admit(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// evaluate runs one query under timeout + admission. The evaluation happens
+// in this goroutine (no orphaned work on timeout: the executor polls the
+// context between plan operators).
+func (s *Server) evaluate(r *http.Request, req queryRequest) (*query.Result, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
+	defer cancel()
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return s.eng.QueryContext(ctx, req.Query)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	res, err := s.evaluate(r, req)
+	if err != nil {
+		writeError(w, statusFor(err), "query failed: %v", err)
+		return
+	}
+	tuples := res.Tuples
+	if tuples == nil {
+		tuples = [][]int64{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Columns:   res.Columns,
+		Tuples:    tuples,
+		Rows:      len(res.Tuples),
+		Plan:      res.Plan.String(),
+		PlanCache: res.Plan.CacheHit,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+type explainResponse struct {
+	Plan       string   `json:"plan"`
+	Strategies []string `json:"strategies"`
+	Predicted  bool     `json:"predicted"`
+	PlanCache  bool     `json:"plan_cached"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var plan *query.Plan
+	if req.Analyze {
+		res, err := s.evaluate(r, req)
+		if err != nil {
+			writeError(w, statusFor(err), "explain analyze failed: %v", err)
+			return
+		}
+		plan = res.Plan
+	} else {
+		// Compilation runs the full semijoin reduction, so EXPLAIN goes
+		// through the same admission gate as query evaluation.
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
+		defer cancel()
+		if err := s.admit(ctx); err != nil {
+			writeError(w, statusFor(err), "explain failed: %v", err)
+			return
+		}
+		p, err := s.eng.ExplainQuery(req.Query)
+		s.release()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "explain failed: %v", err)
+			return
+		}
+		plan = p
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		Plan:       plan.String(),
+		Strategies: plan.Strategies(),
+		Predicted:  plan.Predicted,
+		PlanCache:  plan.CacheHit,
+	})
+}
+
+type catalogResponse struct {
+	Epoch     uint64         `json:"epoch"`
+	Relations []relationInfo `json:"relations"`
+	CacheHits uint64         `json:"plan_cache_hits"`
+	CacheMiss uint64         `json:"plan_cache_misses"`
+	CacheSize int            `json:"plan_cache_size"`
+}
+
+type relationInfo struct {
+	Name       string  `json:"name"`
+	Tuples     int     `json:"tuples"`
+	Sets       int     `json:"sets"`
+	Domain     int     `json:"domain"`
+	AvgSetSize float64 `json:"avg_set_size"`
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	cat := s.eng.Catalog()
+	infos := cat.List()
+	out := catalogResponse{Epoch: cat.Epoch(), Relations: make([]relationInfo, 0, len(infos))}
+	out.CacheHits, out.CacheMiss, out.CacheSize = cat.CacheStats()
+	for _, in := range infos {
+		out.Relations = append(out.Relations, relationInfo{
+			Name: in.Name, Tuples: in.Stats.Tuples, Sets: in.Stats.NumSets,
+			Domain: in.Stats.DomainSize, AvgSetSize: in.Stats.AvgSetSize,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type registerRequest struct {
+	Name  string     `json:"name"`
+	Pairs [][2]int32 `json:"pairs,omitempty"`
+	Path  string     `json:"path,omitempty"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "relation name is required")
+		return
+	}
+	// Stats come from the relation we just registered, not a catalog
+	// re-fetch — a concurrent DELETE must not turn this into a nil deref.
+	cat := s.eng.Catalog()
+	var rel *relation.Relation
+	switch {
+	case req.Path != "":
+		r, err := cat.LoadFile(req.Name, req.Path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rel = r
+	default:
+		ps := make([]relation.Pair, len(req.Pairs))
+		for i, p := range req.Pairs {
+			ps[i] = relation.Pair{X: p[0], Y: p[1]}
+		}
+		r, err := cat.RegisterPairs(req.Name, ps)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rel = r
+	}
+	st := rel.Stats()
+	writeJSON(w, http.StatusOK, relationInfo{
+		Name: req.Name, Tuples: st.Tuples, Sets: st.NumSets,
+		Domain: st.DomainSize, AvgSetSize: st.AvgSetSize,
+	})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.eng.Catalog().Drop(name) {
+		writeError(w, http.StatusNotFound, "unknown relation %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}

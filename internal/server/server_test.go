@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func registerChain(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	for _, spec := range []struct {
+		name  string
+		pairs [][2]int32
+	}{
+		{"R", [][2]int32{{1, 10}, {1, 11}, {2, 10}}},
+		{"S", [][2]int32{{10, 5}, {11, 6}, {10, 6}}},
+	} {
+		code := post(t, ts, "/catalog/relations", map[string]any{"name": spec.name, "pairs": spec.pairs}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("register %s: status %d", spec.name, code)
+		}
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+
+	var res queryResponse
+	code := post(t, ts, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if res.Rows != 4 || len(res.Tuples) != 4 || len(res.Columns) != 2 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.Plan == "" {
+		t.Fatal("missing plan")
+	}
+
+	// Bad query → 400 with a JSON error.
+	var er errorResponse
+	if code := post(t, ts, "/query", map[string]any{"query": "nope("}, &er); code != http.StatusBadRequest || er.Error == "" {
+		t.Fatalf("bad query: status %d err %q", code, er.Error)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+	var res explainResponse
+	if code := post(t, ts, "/explain", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, &res); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !res.Predicted || res.Plan == "" {
+		t.Fatalf("unexpected explain: %+v", res)
+	}
+	// EXPLAIN ANALYZE executes and reports concrete per-node choices.
+	if code := post(t, ts, "/explain", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)", "analyze": true}, &res); code != http.StatusOK {
+		t.Fatalf("analyze status %d", code)
+	}
+	if res.Predicted || len(res.Strategies) == 0 {
+		t.Fatalf("unexpected analyze: %+v", res)
+	}
+}
+
+func TestCatalogEndpoints(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+	resp, err := http.Get(ts.URL + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr catalogResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Relations) != 2 {
+		t.Fatalf("catalog: %+v", cr)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/catalog/relations/R", nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", dr.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/catalog/relations/R", nil)
+	dr, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete status %d", dr.StatusCode)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	// A 1ns server timeout expires before evaluation starts; the executor's
+	// context poll turns it into a deterministic 504.
+	ts := newTestServer(t, Config{Timeout: time.Nanosecond})
+	var er errorResponse
+	code := post(t, ts, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, &er)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (err %q), want 504", code, er.Error)
+	}
+}
+
+// TestConcurrentClients hammers the server from many goroutines (mixed
+// queries, explains, catalog reads and registrations); run under -race this
+// is the acceptance check for race-clean serving.
+func TestConcurrentClients(t *testing.T) {
+	eng := core.NewEngine(core.WithWorkers(2))
+	ts := newTestServer(t, Config{Engine: eng, MaxInFlight: 3})
+	registerChain(t, ts)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				switch g % 4 {
+				case 0:
+					var res queryResponse
+					if code := post(t, ts, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, &res); code != http.StatusOK {
+						t.Errorf("query status %d", code)
+						return
+					}
+				case 1:
+					var res queryResponse
+					q := fmt.Sprintf("Q(x, COUNT(z)) :- R(x, y), S(y, z), S(y, %d)", 5+i%2)
+					if code := post(t, ts, "/query", map[string]any{"query": q}, &res); code != http.StatusOK {
+						t.Errorf("count query status %d", code)
+						return
+					}
+				case 2:
+					var res explainResponse
+					if code := post(t, ts, "/explain", map[string]any{"query": "Q(a, c) :- R(a, b), R(b, c)"}, &res); code != http.StatusOK {
+						t.Errorf("explain status %d", code)
+						return
+					}
+				default:
+					name := fmt.Sprintf("T%d", g)
+					if code := post(t, ts, "/catalog/relations",
+						map[string]any{"name": name, "pairs": [][2]int32{{int32(i), 10}}}, nil); code != http.StatusOK {
+						t.Errorf("register status %d", code)
+						return
+					}
+					resp, err := http.Get(ts.URL + "/catalog")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

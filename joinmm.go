@@ -15,13 +15,29 @@
 // worst-case optimal join (sparse inputs) or the degree-partitioned matrix
 // multiplication algorithm (dense inputs), exactly as Section 5 of the
 // paper prescribes; WithStrategy pins either choice.
+//
+// Beyond the hardcoded shapes, the engine evaluates arbitrary acyclic
+// join-project queries written in a compact Datalog-style text language,
+// against relations registered in its catalog:
+//
+//	eng.Register("R", pairs)
+//	res, _ := eng.Query("Q(x, z) :- R(x, y), R(y, z) WITH strategy=auto")
+//	plan, _ := eng.ExplainQuery("Q(x, COUNT(z)) :- R(x, y), R(y, z)")
+//
+// Queries are GYO-decomposed into a tree of the paper's two-path and star
+// primitives, semijoin-reduced Yannakakis-style, with the calibrated cost
+// model choosing MM vs WCOJ per plan node; compiled plans are cached per
+// (query, catalog epoch). See internal/query/README.md for the grammar, and
+// cmd/joinmmd for the HTTP/JSON server exposing the same surface.
 package joinmm
 
 import (
 	"repro/internal/bsi"
+	"repro/internal/catalog"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/joinproject"
+	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/scj"
 	"repro/internal/ssj"
@@ -81,6 +97,23 @@ type GroupCount = joinproject.GroupCount
 // CompressedView is the factorized representation of a join-project result:
 // light pairs explicit, heavy pairs kept as bit-matrix factors.
 type CompressedView = compress.View
+
+// ParsedQuery is the AST of one text query (see ParseQuery).
+type ParsedQuery = query.Query
+
+// QueryResult is an evaluated text query: column labels, distinct tuples and
+// the executed plan with its per-node strategy choices.
+type QueryResult = query.Result
+
+// QueryPlan is an explainable plan tree for a text query.
+type QueryPlan = query.Plan
+
+// Catalog is the engine's named-relation registry with its LRU plan cache.
+type Catalog = catalog.Catalog
+
+// ParseQuery parses one rule of the text query language, e.g.
+// "Q(x, z) :- R(x, y), S(y, z), T(z, w) WITH strategy=auto".
+func ParseQuery(src string) (*ParsedQuery, error) { return query.Parse(src) }
 
 // New builds an engine. With no options it plans automatically on all
 // cores.
