@@ -13,6 +13,7 @@ package catalog
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -167,9 +168,25 @@ func (c *Catalog) LoadFiles(specs map[string]string) error {
 	return <-errs
 }
 
+// MaxCachedMaterializedRows bounds the compile-time bag rows the plan cache
+// may pin in aggregate, across all cached plans: cyclic queries materialize
+// their decomposition bags during compilation, and an LRU bounded only by
+// entry count would otherwise hold unbounded memory. When inserting a plan
+// would exceed the budget, least-recently-used entries are evicted first; a
+// single plan above the whole budget is never cached (it still runs — it is
+// just recompiled per request).
+const MaxCachedMaterializedRows = 1 << 20
+
 // Prepare compiles query text against the current catalog snapshot, serving
 // repeats from the LRU plan cache. The second result reports a cache hit.
 func (c *Catalog) Prepare(src string) (*query.Prepared, bool, error) {
+	return c.PrepareContext(context.Background(), src)
+}
+
+// PrepareContext is Prepare with cancellation: compiling a cyclic query
+// materializes decomposition bags, so the context deadline applies to
+// compilation too, not just execution.
+func (c *Catalog) PrepareContext(ctx context.Context, src string) (*query.Prepared, bool, error) {
 	q, err := query.Parse(src)
 	if err != nil {
 		return nil, false, err
@@ -179,7 +196,7 @@ func (c *Catalog) Prepare(src string) (*query.Prepared, bool, error) {
 	if p := c.cacheGet(key); p != nil {
 		return p, true, nil
 	}
-	p, err := query.Compile(q, query.MapResolver(snap))
+	p, err := query.CompileContext(ctx, q, query.MapResolver(snap))
 	if err != nil {
 		return nil, false, err
 	}
@@ -219,21 +236,28 @@ type planKey struct {
 	epoch uint64
 }
 
-// planLRU is a minimal LRU over compiled plans (not safe for concurrent use;
-// the catalog serializes access).
+// planLRU is a minimal LRU over compiled plans, bounded both by entry count
+// and by the aggregate weight (materialized bag rows) the entries pin. Not
+// safe for concurrent use; the catalog serializes access.
 type planLRU struct {
-	cap     int
-	order   *list.List // front = most recent; values are *lruEntry
-	entries map[planKey]*list.Element
+	cap       int
+	weightCap int
+	weight    int        // total weight of cached entries
+	order     *list.List // front = most recent; values are *lruEntry
+	entries   map[planKey]*list.Element
 }
 
 type lruEntry struct {
-	key planKey
-	p   *query.Prepared
+	key    planKey
+	p      *query.Prepared
+	weight int
 }
 
 func newPlanLRU(capacity int) *planLRU {
-	return &planLRU{cap: capacity, order: list.New(), entries: map[planKey]*list.Element{}}
+	return &planLRU{
+		cap: capacity, weightCap: MaxCachedMaterializedRows,
+		order: list.New(), entries: map[planKey]*list.Element{},
+	}
 }
 
 func (l *planLRU) len() int { return l.order.Len() }
@@ -248,18 +272,24 @@ func (l *planLRU) get(key planKey) *query.Prepared {
 }
 
 func (l *planLRU) put(key planKey, p *query.Prepared) {
-	if l.cap <= 0 {
+	w := p.MaterializedRows()
+	if l.cap <= 0 || w > l.weightCap {
 		return
 	}
 	if el, ok := l.entries[key]; ok {
-		el.Value.(*lruEntry).p = p
+		e := el.Value.(*lruEntry)
+		l.weight += w - e.weight
+		e.p, e.weight = p, w
 		l.order.MoveToFront(el)
-		return
+	} else {
+		l.entries[key] = l.order.PushFront(&lruEntry{key: key, p: p, weight: w})
+		l.weight += w
 	}
-	l.entries[key] = l.order.PushFront(&lruEntry{key: key, p: p})
-	for l.order.Len() > l.cap {
+	for l.order.Len() > l.cap || l.weight > l.weightCap {
 		back := l.order.Back()
+		e := back.Value.(*lruEntry)
 		l.order.Remove(back)
-		delete(l.entries, back.Value.(*lruEntry).key)
+		delete(l.entries, e.key)
+		l.weight -= e.weight
 	}
 }

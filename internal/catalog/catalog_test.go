@@ -157,3 +157,64 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCyclicPlansCachedAndWeightBounded covers the PR-3 cache interaction:
+// cyclic plans carry compile-time materialized bag rows, are cached like any
+// plan while small, and the LRU evicts by aggregate weight, never holding
+// more than MaxCachedMaterializedRows bag rows in total.
+func TestCyclicPlansCachedAndWeightBounded(t *testing.T) {
+	c := New()
+	if _, err := c.RegisterPairs("R", pairs([2]int32{1, 2}, [2]int32{2, 3}, [2]int32{3, 1})); err != nil {
+		t.Fatal(err)
+	}
+	src := "Q(x, z) :- R(x, y), R(y, z), R(z, x)"
+	p1, hit, err := c.Prepare(src)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if hit {
+		t.Fatal("first Prepare must miss")
+	}
+	if p1.MaterializedRows() == 0 {
+		t.Fatal("cyclic plan should report materialized bag rows")
+	}
+	if _, hit, _ := c.Prepare(src); !hit {
+		t.Fatal("second Prepare of a small cyclic plan must hit the cache")
+	}
+
+	// The weight-bounded LRU: lighter entries evict older ones to stay
+	// within the aggregate budget. planLRU weights come from
+	// Prepared.MaterializedRows, so drive it with real compiled cyclic
+	// plans: each distinct renaming of the triangle query materializes the
+	// same 3 bag rows, so 5 insertions (weight 15) against a cap of 10
+	// must evict the oldest entries.
+	l := newPlanLRU(100)
+	l.weightCap = 10
+	mk := func(i int) planKey {
+		return planKey{text: fmt.Sprintf("Q(a%d, c%d) :- R(a%d, b%d), R(b%d, c%d), R(c%d, a%d)",
+			i, i, i, i, i, i, i, i)}
+	}
+	for i := 0; i < 5; i++ {
+		key := mk(i)
+		p, _, err := c.Prepare(key.text)
+		if err != nil {
+			t.Fatalf("Prepare(%s): %v", key.text, err)
+		}
+		if w := p.MaterializedRows(); w != 3 {
+			t.Fatalf("triangle plan weight = %d; want 3", w)
+		}
+		l.put(key, p)
+	}
+	if l.weight > l.weightCap {
+		t.Fatalf("cache weight %d exceeds cap %d", l.weight, l.weightCap)
+	}
+	if l.len() != 3 {
+		t.Fatalf("cached entries = %d; want 3 (two evicted by weight)", l.len())
+	}
+	if l.get(mk(0)) != nil || l.get(mk(1)) != nil {
+		t.Fatal("oldest entries should have been evicted by aggregate weight")
+	}
+	if l.get(mk(4)) == nil {
+		t.Fatal("most recent entry should remain cached")
+	}
+}

@@ -371,16 +371,19 @@ func strategyName(s Strategy) string {
 }
 
 // Query parses, plans and evaluates one text query against the catalog.
-// Any acyclic join-project query over registered relations is supported;
-// compiled plans are cached per (query, catalog epoch).
+// Any join-project query over registered relations is supported — acyclic
+// queries run the GYO fold pipeline, cyclic ones (triangles, cycles,
+// cliques) are admitted via hypertree decomposition; compiled plans are
+// cached per (query, catalog epoch).
 func (e *Engine) Query(src string) (*query.Result, error) {
 	return e.QueryContext(context.Background(), src)
 }
 
 // QueryContext is Query with cancellation: the context is checked between
-// plan operators.
+// plan operators and during the compile-time bag materialization of cyclic
+// queries.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*query.Result, error) {
-	p, hit, err := e.cat.Prepare(src)
+	p, hit, err := e.cat.PrepareContext(ctx, src)
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +399,14 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*query.Result, e
 // executing it. Per-node MM/WCOJ choices whose inputs exist at compile time
 // are concrete; choices depending on intermediate results are deferred.
 func (e *Engine) ExplainQuery(src string) (*query.Plan, error) {
-	p, hit, err := e.cat.Prepare(src)
+	return e.ExplainQueryContext(context.Background(), src)
+}
+
+// ExplainQueryContext is ExplainQuery with cancellation: compilation (which
+// includes semijoin reduction and, for cyclic queries, bag materialization)
+// honors the context deadline.
+func (e *Engine) ExplainQueryContext(ctx context.Context, src string) (*query.Plan, error) {
+	p, hit, err := e.cat.PrepareContext(ctx, src)
 	if err != nil {
 		return nil, err
 	}

@@ -76,6 +76,7 @@ type Regression struct {
 	Ratio    float64
 }
 
+// String renders the regression as one human-readable gate-failure line.
 func (r Regression) String() string {
 	return fmt.Sprintf("%s: %d → %d ns/op (%.1f%% slower)", r.Name, r.Baseline, r.Current, (r.Ratio-1)*100)
 }

@@ -42,7 +42,8 @@ type QuerySnapshot struct {
 }
 
 // DefaultQuerySuite is the canned -query suite: one query per planner shape
-// (2-path, chain fold, star, snowflake-ish tree, aggregate, hinted).
+// (2-path, chain fold, star, snowflake-ish tree, aggregate, hinted, and a
+// cyclic triangle exercising the hypertree-decomposition path).
 func DefaultQuerySuite() []string {
 	return []string{
 		"Q(x, z) :- R(x, y), S(y, z)",
@@ -51,6 +52,7 @@ func DefaultQuerySuite() []string {
 		"Q(a, d) :- R(a, b), S(b, c), T(c, d), U(c, e)",
 		"Q(x, COUNT(z)) :- R(x, y), S(y, z)",
 		"Q(x, z) :- R(x, y), S(y, z) WITH strategy=wcoj",
+		"Q(x, z) :- R(x, y), S(y, z), T(z, x)",
 	}
 }
 

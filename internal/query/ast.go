@@ -1,9 +1,12 @@
 // Package query is the text front-end of the engine: a compact Datalog-style
-// language for acyclic join-project queries over the binary relations of the
-// catalog, a parser to a small AST, and a generic planner/executor that
-// GYO-decomposes any acyclic query into a tree of the paper's two-path, star
-// and path-fold primitives (the direction "Output-sensitive Conjunctive Query
-// Evaluation" generalizes the SIGMOD 2020 algorithms in).
+// language for join-project queries over the binary relations of the
+// catalog, a parser to a small AST, and a generic planner/executor.
+// Acyclic queries are GYO-decomposed into a tree of the paper's two-path,
+// star and path-fold primitives (the direction "Output-sensitive Conjunctive
+// Query Evaluation" generalizes the SIGMOD 2020 algorithms in); cyclic
+// queries are admitted via generalized hypertree decomposition
+// (internal/hypertree) and evaluated with the same fold machinery over
+// materialized bag relations.
 //
 // A query is a single rule:
 //

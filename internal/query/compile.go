@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -34,6 +35,11 @@ type edge struct {
 	label string // source atoms, for EXPLAIN
 	// origSize is the tuple count before semijoin reduction.
 	origSize int
+	// bag marks an edge holding a materialized GHD bag relation rather than
+	// a source atom; bagStrategy records how it was materialized ("mm",
+	// "wcoj" or "nonmm"), for EXPLAIN.
+	bag         bool
+	bagStrategy string
 }
 
 // component is one connected component of the join graph: a tree of edges
@@ -45,12 +51,21 @@ type component struct {
 	heads   []int           // head variables in this component
 	allowed map[int][]int32 // per variable: sorted globally consistent domain
 	pruned  []string        // labels of edges outside the Steiner tree (filters only)
+	// ghd summarizes the hypertree decomposition a cyclic component went
+	// through, for EXPLAIN; empty for components that were trees already.
+	ghd string
+	// bags, when non-nil, holds the reduced k-ary bag tree of a cyclic
+	// component whose bags keep ≥ 3 variables each; the executor joins it
+	// directly instead of the binary-edge machinery.
+	bags []*bagInfo
 }
 
 // Prepared is a compiled query: parsed, resolved against one catalog
-// snapshot, validated acyclic, and semijoin-reduced. A Prepared is immutable
-// and safe for concurrent Execute calls; the catalog caches them per
-// (query text, catalog epoch).
+// snapshot, and semijoin-reduced. Acyclic join graphs compile directly;
+// cyclic ones are admitted through a generalized hypertree decomposition
+// whose bags are materialized at compile time (see decompose). A Prepared is
+// immutable and safe for concurrent Execute calls; the catalog caches them
+// per (query text, catalog epoch).
 type Prepared struct {
 	// Query is the parsed AST.
 	Query *Query
@@ -61,12 +76,21 @@ type Prepared struct {
 	comps    []*component
 	empty    bool   // proven empty during reduction
 	emptyWhy string // what emptied it, for EXPLAIN
+	matRows  int    // total bag rows materialized for cyclic components
 }
 
 // Compile parses nothing: it takes a parsed query and resolves, validates and
 // reduces it against the relations the resolver provides. Use Prepare to go
 // straight from text.
 func Compile(q *Query, resolve Resolver) (*Prepared, error) {
+	return CompileContext(context.Background(), q, resolve)
+}
+
+// CompileContext is Compile with cancellation: compiling a cyclic query
+// materializes hypertree-decomposition bags, which can dominate the whole
+// evaluation, so the context is polled during that work and a deadline
+// abandons compilation mid-bag.
+func CompileContext(ctx context.Context, q *Query, resolve Resolver) (*Prepared, error) {
 	p := &Prepared{Query: q, Text: q.String()}
 
 	varIdx := map[string]int{}
@@ -227,15 +251,8 @@ func Compile(q *Query, resolve Resolver) (*Prepared, error) {
 		compOf[find(e.a)].edges = append(compOf[find(e.a)].edges, e)
 	}
 
-	// Acyclicity: every component (connected by construction) must be a tree.
-	for _, c := range p.comps {
-		if len(c.edges) != len(c.vars)-1 {
-			return nil, fmt.Errorf("query: cyclic query — the join graph over %s is not a tree (GYO reduction fails)",
-				varNames(p.vars, c.vars))
-		}
-	}
-
-	// Head variables must be bound (validate checked) — map them.
+	// Head variables must be bound (validate checked) — map them before
+	// decomposition, which needs to know what each component must keep.
 	for _, name := range q.HeadVars() {
 		v, ok := varIdx[name]
 		if !ok {
@@ -245,9 +262,27 @@ func Compile(q *Query, resolve Resolver) (*Prepared, error) {
 		c.heads = append(c.heads, v)
 	}
 
-	// Yannakakis semijoin reduction per component.
+	// Acyclicity: components that are trees (GYO-reducible) pass straight
+	// through; cyclic ones are admitted via generalized hypertree
+	// decomposition — their edges are replaced by materialized bag
+	// relations, turning them into acyclic instances (or a reduced k-ary
+	// bag tree when bags must keep ≥ 3 variables).
+	for _, c := range p.comps {
+		if len(c.edges) == len(c.vars)-1 {
+			continue
+		}
+		if err := p.decompose(ctx, c, unary, hasUnary, addUnary); err != nil {
+			return nil, err
+		}
+	}
+
+	// Yannakakis semijoin reduction per component (bag-tree components were
+	// fully reduced during decomposition).
 	if !p.empty {
 		for _, c := range p.comps {
+			if c.bags != nil {
+				continue
+			}
 			if why, ok := p.reduce(c, unary, hasUnary); !ok {
 				p.empty = true
 				p.emptyWhy = why
@@ -260,12 +295,22 @@ func Compile(q *Query, resolve Resolver) (*Prepared, error) {
 
 // Prepare parses and compiles query text in one step.
 func Prepare(src string, resolve Resolver) (*Prepared, error) {
+	return PrepareContext(context.Background(), src, resolve)
+}
+
+// PrepareContext is Prepare with cancellation (see CompileContext).
+func PrepareContext(ctx context.Context, src string, resolve Resolver) (*Prepared, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Compile(q, resolve)
+	return CompileContext(ctx, q, resolve)
 }
+
+// MaterializedRows returns the total number of bag rows materialized at
+// compile time for cyclic components — zero for acyclic queries. The
+// catalog uses it to keep giant compiled artifacts out of the plan cache.
+func (p *Prepared) MaterializedRows() int { return p.matRows }
 
 // Vars returns the query's variable names in first-appearance order.
 func (p *Prepared) Vars() []string { return append([]string(nil), p.vars...) }

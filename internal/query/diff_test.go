@@ -244,6 +244,178 @@ func canonTuples(ts [][]int64) [][]int64 {
 	return ts
 }
 
+// cyclicShapes is the fixed cyclic-query corpus of the differential suite:
+// triangles, longer cycles, chords, bowties, thetas, cliques and mixes with
+// trees, constants, self-loops, aggregates and hints — ≥ 20 shapes covering
+// both the binary GHD rewrite and the k-ary bag-tree fallback.
+var cyclicShapes = []string{
+	"Q(x, z) :- R(x, y), S(y, z), T(z, x)",                                      // triangle, endpoints
+	"Q(x) :- R(x, y), S(y, z), T(z, x)",                                         // triangle, one head
+	"Q() :- R(x, y), S(y, z), T(z, x)",                                          // boolean triangle
+	"Q(x, y, z) :- R(x, y), S(y, z), T(z, x)",                                   // triangle, full head (k-ary bag)
+	"Q(x, COUNT(z)) :- R(x, y), S(y, z), T(z, x)",                               // counting triangle
+	"Q(z, x) :- R(x, y), S(y, z), T(x, z)",                                      // triangle, mixed orientation
+	"Q(a, c) :- R(a, b), S(b, c), T(c, d), U(d, a)",                             // 4-cycle
+	"Q(a) :- R(a, b), S(b, c), T(c, d), U(d, a)",                                // 4-cycle, one head
+	"Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d), U(d, a)",                       // 4-cycle, full head
+	"Q(a, c) :- R(a, b), S(b, c), T(c, d), U(d, a), R(a, c)",                    // diamond (4-cycle + chord)
+	"Q(a, c) :- R(a, b), S(b, c), T(c, d), U(d, e), R(e, a)",                    // 5-cycle
+	"Q(a, d) :- R(a, b), S(b, c), T(c, d), U(d, e), R(e, f), S(f, a)",           // 6-cycle
+	"Q(x, u) :- R(x, y), S(y, z), T(z, x), U(z, u), R(u, v), S(v, z)",           // bowtie, outer heads
+	"Q(z) :- R(x, y), S(y, z), T(z, x), U(z, u), R(u, v), S(v, z)",              // bowtie, shared vertex
+	"Q(a, b) :- R(a, x), S(x, b), T(a, y), U(y, b), R(a, z), S(z, b)",           // theta: three 2-paths a→b
+	"Q(a, b, c, d) :- R(a, b), S(a, c), T(a, d), U(b, c), R(b, d), S(c, d)",     // K4, full head
+	"Q(a, b) :- R(a, b), S(a, c), T(a, d), U(b, c), R(b, d), S(c, d)",           // K4, two heads
+	"Q(h) :- R(h, a), S(h, b), T(h, c), U(a, b), R(b, c)",                       // hub + rim (wheel fragment)
+	"Q(x, z) :- R(x, y), S(y, z), T(z, x), U(z, w)",                             // triangle + pendant tree edge
+	"Q(x, w) :- R(x, y), S(y, z), T(z, x), U(z, w)",                             // triangle + pendant, head on tail
+	"Q(x, z) :- R(x, y), S(y, z), T(z, x), R(x, 3)",                             // triangle + constant selection
+	"Q(x, z) :- R(x, y), S(y, z), T(z, x), S(y, y)",                             // triangle + self-loop on cycle var
+	"Q(x, z) :- R(x, y), S(y, z), T(z, x), U(x, z)",                             // triangle + parallel closing atom
+	"Q(x, a) :- R(x, y), S(y, z), T(z, x), U(a, b)",                             // cyclic × acyclic cross product
+	"Q(x, COUNT(a)) :- R(x, y), S(y, z), T(z, x), U(x, a)",                      // aggregate over cyclic + arm
+	"Q(x, z) :- R(x, y), S(y, z), T(z, x) WITH strategy=wcoj",                   // strategy pin through bags
+	"Q(a, c) :- R(a, b), S(b, c), T(c, d), U(d, a) WITH strategy=mm, workers=2", // pinned MM folds
+}
+
+// smallRelations builds a catalog small enough for the nested-loop oracle to
+// finish the dense cyclic shapes (K4, theta) within its step budget.
+func smallRelations(rng *rand.Rand) map[string]*relation.Relation {
+	rels := map[string]*relation.Relation{}
+	for _, name := range []string{"R", "S", "T", "U"} {
+		n := 4 + rng.Intn(20)
+		ps := make([]relation.Pair, n)
+		for i := range ps {
+			ps[i] = relation.Pair{X: int32(rng.Intn(9)), Y: int32(rng.Intn(9))}
+		}
+		rels[name] = relation.FromPairs(name, ps)
+	}
+	return rels
+}
+
+// TestDifferentialCyclicShapes runs every cyclic shape against several
+// random catalogs and compares engine results with the nested-loop oracle.
+func TestDifferentialCyclicShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260731))
+	opt := optimizer.New()
+	comparedBy := make([]int, len(cyclicShapes))
+	for round := 0; round < 6; round++ {
+		rels := smallRelations(rng)
+		for si, src := range cyclicShapes {
+			q, err := Parse(src)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", src, err)
+			}
+			want, ok := oracleEval(q, rels)
+			if !ok {
+				continue
+			}
+			p, err := Prepare(src, MapResolver(rels))
+			if err != nil {
+				t.Fatalf("round %d: Prepare(%q): %v", round, src, err)
+			}
+			execOpt := ExecOptions{Workers: 1}
+			if si%2 == 0 {
+				execOpt.Optimizer = opt
+			}
+			res, err := p.Execute(context.Background(), execOpt)
+			if err != nil {
+				t.Fatalf("round %d: Execute(%q): %v", round, src, err)
+			}
+			got, wantC := canonTuples(res.Tuples), canonTuples(want)
+			if len(got) != 0 || len(wantC) != 0 {
+				if !reflect.DeepEqual(got, wantC) {
+					t.Fatalf("round %d: %q\nengine: %v\noracle: %v\nplan:\n%s", round, src, got, wantC, res.Plan)
+				}
+			}
+			comparedBy[si]++
+		}
+	}
+	for si, n := range comparedBy {
+		if n == 0 {
+			t.Errorf("shape %q never compared (oracle budget)", cyclicShapes[si])
+		}
+	}
+}
+
+// randomCyclicQuery closes a random acyclic query with 1–2 extra atoms
+// between already-used variables, creating cycles of arbitrary shape.
+func randomCyclicQuery(rng *rand.Rand) *Query {
+	q := randomAcyclicQuery(rng)
+	var vars []string
+	seen := map[string]bool{}
+	for _, a := range q.Atoms {
+		for _, term := range a.Args {
+			if !term.IsConst && !seen[term.Var] {
+				seen[term.Var] = true
+				vars = append(vars, term.Var)
+			}
+		}
+	}
+	if len(vars) < 2 {
+		return q
+	}
+	relNames := []string{"R", "S", "T", "U"}
+	extra := 1 + rng.Intn(2)
+	for i := 0; i < extra; i++ {
+		u := vars[rng.Intn(len(vars))]
+		w := vars[rng.Intn(len(vars))]
+		if u == w {
+			continue
+		}
+		q.Atoms = append(q.Atoms, Atom{
+			Rel:  relNames[rng.Intn(len(relNames))],
+			Args: [2]Term{{Var: u}, {Var: w}},
+		})
+	}
+	return q
+}
+
+// TestDifferentialRandomCyclic fuzzes the decomposition path with randomly
+// closed queries, compared against the oracle.
+func TestDifferentialRandomCyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260801))
+	opt := optimizer.New()
+	rels := smallRelations(rng)
+	compared := 0
+	for iter := 0; iter < 120; iter++ {
+		if iter%20 == 19 {
+			rels = smallRelations(rng)
+		}
+		q := randomCyclicQuery(rng)
+		src := q.String()
+		want, ok := oracleEval(q, rels)
+		if !ok {
+			continue
+		}
+		p, err := Prepare(src, MapResolver(rels))
+		if err != nil {
+			t.Fatalf("iter %d: Prepare(%q): %v", iter, src, err)
+		}
+		execOpt := ExecOptions{Workers: 1 + rng.Intn(2)}
+		if rng.Intn(2) == 0 {
+			execOpt.Optimizer = opt
+		}
+		res, err := p.Execute(context.Background(), execOpt)
+		if err != nil {
+			t.Fatalf("iter %d: Execute(%q): %v", iter, src, err)
+		}
+		got, wantC := canonTuples(res.Tuples), canonTuples(want)
+		if len(got) == 0 && len(wantC) == 0 {
+			compared++
+			continue
+		}
+		if !reflect.DeepEqual(got, wantC) {
+			t.Fatalf("iter %d: %q\nengine: %v\noracle: %v\nplan:\n%s", iter, src, got, wantC, res.Plan)
+		}
+		compared++
+	}
+	if compared < 60 {
+		t.Fatalf("only %d cyclic queries compared; want ≥ 60", compared)
+	}
+	t.Logf("compared %d random cyclic queries against the oracle", compared)
+}
+
 // TestDifferentialVsBruteForce evaluates ≥100 random acyclic queries through
 // the full text → parse → plan → execute pipeline and compares every result
 // against the nested-loop oracle.

@@ -300,7 +300,14 @@ type liveEdge struct {
 // evalComponent evaluates one component tree down to its head variables.
 func (ex *executor) evalComponent(c *component) (*compResult, error) {
 	p := ex.p
-	compNode := &Node{Op: "component", Detail: varNames(p.vars, c.vars), Rows: -1}
+	if c.bags != nil {
+		return ex.evalBagTree(c)
+	}
+	detail := varNames(p.vars, c.vars)
+	if c.ghd != "" {
+		detail += " " + c.ghd
+	}
+	compNode := &Node{Op: "component", Detail: detail, Rows: -1}
 	if len(c.heads) == 0 {
 		compNode.Op = "exists"
 		compNode.Rows = 1
@@ -319,8 +326,12 @@ func (ex *executor) evalComponent(c *component) (*compResult, error) {
 		if e.rel.Size() != e.origSize {
 			detail += fmt.Sprintf(" (reduced %d→%d)", e.origSize, e.rel.Size())
 		}
+		op, strategy := "scan", ""
+		if e.bag {
+			op, strategy = "bag", e.bagStrategy
+		}
 		live = append(live, liveEdge{a: e.a, b: e.b, rel: e.rel,
-			node: &Node{Op: "scan", Detail: detail, Rows: int64(e.rel.Size())}})
+			node: &Node{Op: op, Strategy: strategy, Detail: detail, Rows: int64(e.rel.Size())}})
 	}
 
 	// Steiner prune: non-head leaf branches only filter, and the semijoin
@@ -689,6 +700,66 @@ func (ex *executor) enumerate(c *component, live []liveEdge, heads map[int]bool)
 	}
 	cr.rows = out
 	node.Rows = int64(len(out))
+	return cr, nil
+}
+
+// evalBagTree evaluates a cyclic component compiled to a k-ary bag tree:
+// the bags were materialized and Yannakakis-reduced at compile time, so
+// execution is a pure hash join along the tree followed by head projection
+// and dedup.
+func (ex *executor) evalBagTree(c *component) (*compResult, error) {
+	p := ex.p
+	if err := ex.check(); err != nil {
+		return nil, err
+	}
+	compNode := &Node{Op: "component", Detail: varNames(p.vars, c.vars) + " " + c.ghd, Rows: -1}
+	bagNodes := make([]*Node, len(c.bags))
+	root := -1
+	for i, b := range c.bags {
+		kept := make([]string, len(b.needed))
+		for k, v := range b.needed {
+			kept[k] = p.vars[v]
+		}
+		bagNodes[i] = &Node{
+			Op: "bag", Strategy: b.strategy,
+			Detail: fmt.Sprintf("%s → [%s]", b.label, strings.Join(kept, ", ")),
+			Rows:   int64(len(b.rows)),
+		}
+		if b.parent < 0 {
+			root = i
+		}
+	}
+	join := &Node{Op: "bagjoin", Detail: c.ghd, Rows: -1, Children: bagNodes}
+	compNode.Children = []*Node{join}
+
+	if len(c.heads) == 0 {
+		// The compile-time full reduction proved satisfiability: non-empty
+		// reduced bags always extend to a full solution.
+		compNode.Op = "exists"
+		compNode.Rows = 1
+		return &compResult{node: compNode}, nil
+	}
+	cr := &compResult{cols: c.heads, node: compNode}
+	if ex.dry {
+		return cr, nil
+	}
+
+	cols, rows, err := joinBagTree(ex.ctx, c.bags, root)
+	if err != nil {
+		return nil, err
+	}
+	join.Rows = int64(len(rows))
+	headPos := varPositions(cols, c.heads)
+	cr.rows = make([][]int32, 0, len(rows))
+	for _, r := range rows {
+		t := make([]int32, len(headPos))
+		for i, hp := range headPos {
+			t[i] = r[hp]
+		}
+		cr.rows = append(cr.rows, t)
+	}
+	cr.rows = dedupRows(cr.rows)
+	compNode.Rows = int64(len(cr.rows))
 	return cr, nil
 }
 

@@ -8,7 +8,9 @@ import (
 // Node is one operator of an explainable plan tree.
 type Node struct {
 	// Op names the operator: "project", "aggregate", "cross", "exists",
-	// "domain", "pairs", "fold", "star", "enumerate", "scan", "semijoin".
+	// "domain", "pairs", "fold", "star", "enumerate", "scan", "semijoin",
+	// "bag" (a materialized hypertree-decomposition bag relation) or
+	// "bagjoin" (the k-ary join over a reduced bag tree).
 	Op string
 	// Detail is free-form operator context (variables, thresholds, sizes).
 	Detail string

@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -87,13 +88,30 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestCyclicRejected(t *testing.T) {
+// TestCyclicAccepted pins the PR-3 behavior change: cyclic queries used to
+// be rejected at compile time ("cyclic query — ... GYO reduction fails");
+// they now compile via hypertree decomposition and EXPLAIN shows the bag
+// plan.
+func TestCyclicAccepted(t *testing.T) {
 	rels := map[string]*relation.Relation{
-		"R": rel(t, "R", [2]int32{1, 2}),
+		"R": rel(t, "R", [2]int32{1, 2}, [2]int32{2, 3}, [2]int32{3, 1}),
 	}
-	_, err := Prepare("Q(x) :- R(x, y), R(y, z), R(z, x)", MapResolver(rels))
-	if err == nil || !strings.Contains(err.Error(), "cyclic") {
-		t.Fatalf("expected cyclic error, got %v", err)
+	p, err := Prepare("Q(x) :- R(x, y), R(y, z), R(z, x)", MapResolver(rels))
+	if err != nil {
+		t.Fatalf("cyclic query must compile now, got %v", err)
+	}
+	plan := p.Explain(ExecOptions{})
+	if !strings.Contains(plan.String(), "bag") || !strings.Contains(plan.String(), "ghd") {
+		t.Fatalf("EXPLAIN of a cyclic query must show the GHD bag plan:\n%s", plan)
+	}
+	res, err := p.Execute(context.Background(), ExecOptions{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	sortTuples(res.Tuples)
+	want := [][]int64{{1}, {2}, {3}}
+	if !reflect.DeepEqual(res.Tuples, want) {
+		t.Fatalf("triangle Q(x) = %v; want %v\nplan:\n%s", res.Tuples, want, res.Plan)
 	}
 }
 

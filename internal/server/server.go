@@ -220,18 +220,19 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		plan = res.Plan
 	} else {
-		// Compilation runs the full semijoin reduction, so EXPLAIN goes
-		// through the same admission gate as query evaluation.
+		// Compilation runs the full semijoin reduction (and, for cyclic
+		// queries, bag materialization), so EXPLAIN goes through the same
+		// admission gate and timeout as query evaluation.
 		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 		defer cancel()
 		if err := s.admit(ctx); err != nil {
 			writeError(w, statusFor(err), "explain failed: %v", err)
 			return
 		}
-		p, err := s.eng.ExplainQuery(req.Query)
+		p, err := s.eng.ExplainQueryContext(ctx, req.Query)
 		s.release()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "explain failed: %v", err)
+			writeError(w, statusFor(err), "explain failed: %v", err)
 			return
 		}
 		plan = p

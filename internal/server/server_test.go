@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -197,4 +198,63 @@ func TestConcurrentClients(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestCyclicQueryEndToEnd drives a triangle query through the full HTTP
+// path: relation registration, evaluation, and EXPLAIN showing the GHD bag
+// plan — the workload class PR 3 opens.
+func TestCyclicQueryEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, spec := range []struct {
+		name  string
+		pairs [][2]int32
+	}{
+		{"E", [][2]int32{{1, 2}, {2, 3}, {3, 1}, {2, 1}, {3, 2}, {1, 3}, {4, 5}}},
+	} {
+		if code := post(t, ts, "/catalog/relations", map[string]any{"name": spec.name, "pairs": spec.pairs}, nil); code != http.StatusOK {
+			t.Fatalf("register %s: status %d", spec.name, code)
+		}
+	}
+
+	// All directed triangles in E.
+	var res queryResponse
+	code := post(t, ts, "/query", map[string]any{"query": "Q(x, z) :- E(x, y), E(y, z), E(z, x)"}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, res)
+	}
+	// Every ordered pair of distinct vertices among {1,2,3} closes a
+	// triangle through the third vertex; (x,x) would need a self-loop.
+	wantPairs := map[[2]int64]bool{}
+	for _, x := range []int64{1, 2, 3} {
+		for _, z := range []int64{1, 2, 3} {
+			if x != z {
+				wantPairs[[2]int64{x, z}] = true
+			}
+		}
+	}
+	if res.Rows != len(wantPairs) {
+		t.Fatalf("triangle rows = %d (%v); want %d", res.Rows, res.Tuples, len(wantPairs))
+	}
+	for _, tup := range res.Tuples {
+		if !wantPairs[[2]int64{tup[0], tup[1]}] {
+			t.Fatalf("unexpected triangle endpoint pair %v", tup)
+		}
+	}
+
+	var exp explainResponse
+	if code := post(t, ts, "/explain", map[string]any{"query": "Q(x, z) :- E(x, y), E(y, z), E(z, x)"}, &exp); code != http.StatusOK {
+		t.Fatalf("explain status %d", code)
+	}
+	if !strings.Contains(exp.Plan, "ghd") || !strings.Contains(exp.Plan, "bag") {
+		t.Fatalf("EXPLAIN must show the GHD bag plan:\n%s", exp.Plan)
+	}
+	hasBagStrategy := false
+	for _, s := range exp.Strategies {
+		if strings.HasPrefix(s, "bag=") {
+			hasBagStrategy = true
+		}
+	}
+	if !hasBagStrategy {
+		t.Fatalf("strategies %v missing bag node", exp.Strategies)
+	}
 }

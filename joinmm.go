@@ -16,19 +16,24 @@
 // multiplication algorithm (dense inputs), exactly as Section 5 of the
 // paper prescribes; WithStrategy pins either choice.
 //
-// Beyond the hardcoded shapes, the engine evaluates arbitrary acyclic
-// join-project queries written in a compact Datalog-style text language,
-// against relations registered in its catalog:
+// Beyond the hardcoded shapes, the engine evaluates arbitrary join-project
+// queries — acyclic or cyclic — written in a compact Datalog-style text
+// language, against relations registered in its catalog:
 //
 //	eng.Register("R", pairs)
 //	res, _ := eng.Query("Q(x, z) :- R(x, y), R(y, z) WITH strategy=auto")
+//	tri, _ := eng.Query("Q(x, z) :- R(x, y), R(y, z), R(z, x)")
 //	plan, _ := eng.ExplainQuery("Q(x, COUNT(z)) :- R(x, y), R(y, z)")
 //
-// Queries are GYO-decomposed into a tree of the paper's two-path and star
-// primitives, semijoin-reduced Yannakakis-style, with the calibrated cost
-// model choosing MM vs WCOJ per plan node; compiled plans are cached per
-// (query, catalog epoch). See internal/query/README.md for the grammar, and
-// cmd/joinmmd for the HTTP/JSON server exposing the same surface.
+// Acyclic queries are GYO-decomposed into a tree of the paper's two-path and
+// star primitives, semijoin-reduced Yannakakis-style, with the calibrated
+// cost model choosing MM vs WCOJ per plan node; cyclic queries (triangles,
+// cycles, cliques) are admitted via generalized hypertree decomposition and
+// run through the same fold machinery over materialized bag relations.
+// Compiled plans are cached per (query, catalog epoch). See
+// internal/query/README.md for the grammar, docs/ARCHITECTURE.md for a
+// worked walk-through, and cmd/joinmmd for the HTTP/JSON server exposing
+// the same surface.
 package joinmm
 
 import (
