@@ -10,6 +10,7 @@
 //	joinbench -json -baseline BENCH_kernels.json     # + regression gate
 //	joinbench -query "Q(x, z) :- R(x, y), S(y, z)"   # query pipeline bench
 //	joinbench -query suite                           # canned query suite
+//	joinbench -views                                 # view maintenance bench
 //
 // Each experiment prints the same rows/series the paper's corresponding
 // table or figure reports (dataset × algorithm × running time, or a
@@ -45,11 +46,19 @@ func main() {
 		baseline  = flag.String("baseline", "", "with -json: compare against this snapshot and fail on regressions")
 		tolerance = flag.Float64("tolerance", 0.10, "with -baseline: allowed ns/op regression fraction")
 		queryStr  = flag.String("query", "", "benchmark end-to-end query evaluation: a query string, or 'suite'")
+		viewsMode = flag.Bool("views", false, "benchmark incremental view maintenance vs full recompute; writes BENCH_views.json")
 	)
 	flag.Parse()
 
 	if *queryStr != "" {
 		runQueryBench(*queryStr, *scale)
+		if *exp == "" && !*list && !*jsonOut && !*viewsMode {
+			return
+		}
+	}
+
+	if *viewsMode {
+		runViewBench(*scale)
 		if *exp == "" && !*list && !*jsonOut {
 			return
 		}
@@ -129,6 +138,28 @@ func main() {
 		res.Render(os.Stdout)
 		fmt.Printf("-- %s completed in %v (scale %g)\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
 	}
+}
+
+// runViewBench measures the canned view-maintenance suite (register views,
+// stream update batches, time maintenance vs full recompute) and writes
+// BENCH_views.json.
+func runViewBench(scale float64) {
+	snap, err := experiments.ViewBenchSnapshot(scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_views.json", snap, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	table, err := experiments.RenderViewSnapshot(snap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(table)
+	fmt.Println("wrote BENCH_views.json")
 }
 
 // runQueryBench measures one query (or the canned suite) and merges the

@@ -1,11 +1,15 @@
 // Command joinmmd serves the join-project query engine over HTTP/JSON:
-// text queries, EXPLAIN, and catalog management (see internal/server for
-// the endpoint reference).
+// text queries, EXPLAIN, catalog management, tuple-level mutations and live
+// incrementally-maintained views (see internal/server for the endpoint
+// reference).
 //
 // Usage:
 //
 //	joinmmd -addr :8080 -load R=friends.rel -load S=follows.rel
 //	curl -d '{"query": "Q(x, z) :- R(x, y), S(y, z)"}' localhost:8080/query
+//	curl -d '{"name": "v", "query": "V(x, z) :- R(x, y), S(y, z)"}' localhost:8080/views
+//	curl -d '{"pairs": [[1, 2]]}' localhost:8080/catalog/relations/R/insert
+//	curl 'localhost:8080/views/v?limit=100'
 //
 // Flags:
 //

@@ -1,14 +1,18 @@
 // Package catalog is the engine's relation namespace: a thread-safe registry
-// of named, immutable relations, with concurrent bulk loading and an LRU
-// plan cache keyed on (query text, catalog epoch).
+// of named, immutable relations, with concurrent bulk loading, a tuple-level
+// mutation API that publishes coalesced deltas to subscribers (the view
+// maintenance layer), and an LRU plan cache keyed on (query text, versions of
+// the relations the query reads).
 //
-// Relations are immutable once registered, so readers never lock them; the
-// catalog itself uses a copy-on-write map, which lets Prepare compile a
+// Relations are immutable once registered, so readers never lock them;
+// mutations (InsertPairs, DeletePairs, Mutate) build a new immutable relation
+// and swap it in under a copy-on-write map, which lets Prepare compile a
 // query against one consistent snapshot without holding any lock during the
-// (potentially expensive) compile. Every mutation bumps the epoch, which
-// invalidates cached plans implicitly: a plan compiled at epoch e embeds
-// epoch-e relation pointers, so the cache key includes e and stale entries
-// simply age out of the LRU.
+// (potentially expensive) compile. Every mutation bumps the global epoch and
+// the per-relation version. Cached plans embed relation pointers, so the
+// cache key includes the version of every relation the query references —
+// mutating R invalidates plans over R implicitly (their key no longer
+// matches) while plans over untouched relations keep hitting.
 package catalog
 
 import (
@@ -16,6 +20,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/query"
@@ -31,11 +37,44 @@ type Info struct {
 	Stats relation.Stats `json:"stats"`
 }
 
+// Mutation describes one catalog change to relation Name, as published to
+// subscribers. For tuple-level mutations (InsertPairs, DeletePairs, Mutate)
+// Added and Removed carry the coalesced effective delta: duplicates are
+// merged, inserts of already-present tuples and deletes of absent tuples are
+// dropped, and a tuple both inserted and deleted in one batch nets out. For
+// wholesale changes (Register, Drop) Reset is true and no delta is computed —
+// consumers diff Old against New themselves if they need one.
+type Mutation struct {
+	// Name is the mutated relation.
+	Name string
+	// Added and Removed are the effective tuple delta (nil when Reset).
+	Added, Removed []relation.Pair
+	// Reset marks a wholesale replacement (Register) or removal (Drop).
+	Reset bool
+	// Old and New are the relation before and after; either may be nil when
+	// the relation was absent on that side.
+	Old, New *relation.Relation
+	// Version is Name's new per-relation version.
+	Version uint64
+	// Epoch is the catalog epoch after the change.
+	Epoch uint64
+}
+
+// Empty reports whether the mutation changed nothing (fully coalesced away).
+func (m Mutation) Empty() bool { return !m.Reset && len(m.Added) == 0 && len(m.Removed) == 0 }
+
 // Catalog is a concurrent name → relation registry with a plan cache.
 type Catalog struct {
 	mu    sync.RWMutex
 	rels  map[string]*relation.Relation // copy-on-write: replaced wholesale on mutation
+	vers  map[string]uint64             // per-relation versions (monotonic, survive drops)
 	epoch uint64
+	subs  []func(Mutation)
+
+	// mutMu serializes whole mutations (delta computation + swap +
+	// subscriber notification), so subscribers observe mutations in the
+	// order they were applied.
+	mutMu sync.Mutex
 
 	cacheMu sync.Mutex
 	cache   *planLRU
@@ -49,7 +88,11 @@ func New() *Catalog { return NewWithCacheSize(DefaultPlanCacheSize) }
 // NewWithCacheSize returns an empty catalog whose plan cache holds up to n
 // compiled queries (n ≤ 0 disables caching).
 func NewWithCacheSize(n int) *Catalog {
-	return &Catalog{rels: map[string]*relation.Relation{}, cache: newPlanLRU(n)}
+	return &Catalog{
+		rels:  map[string]*relation.Relation{},
+		vers:  map[string]uint64{},
+		cache: newPlanLRU(n),
+	}
 }
 
 // snapshot returns the current relation map and epoch. The map must not be
@@ -60,8 +103,32 @@ func (c *Catalog) snapshot() (map[string]*relation.Relation, uint64) {
 	return c.rels, c.epoch
 }
 
-// mutate clones the relation map, applies fn, and bumps the epoch.
-func (c *Catalog) mutate(fn func(map[string]*relation.Relation)) {
+// Snapshot returns one consistent view of the catalog: the relation map (not
+// to be mutated), the per-relation versions, and the epoch. The view
+// registry uses it to seed a new view without racing concurrent mutations.
+func (c *Catalog) Snapshot() (rels map[string]*relation.Relation, vers map[string]uint64, epoch uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	vers = make(map[string]uint64, len(c.vers))
+	for k, v := range c.vers {
+		vers[k] = v
+	}
+	return c.rels, vers, c.epoch
+}
+
+// Subscribe registers fn to be called synchronously after every catalog
+// change, in application order. Subscribers must not mutate the catalog from
+// within the callback.
+func (c *Catalog) Subscribe(fn func(Mutation)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subs = append(c.subs, fn)
+}
+
+// mutate clones the relation map, applies fn, bumps the epoch and the
+// versions of the named relations, and returns the new (version, epoch) of
+// the first name.
+func (c *Catalog) mutate(fn func(map[string]*relation.Relation), names ...string) (uint64, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	next := make(map[string]*relation.Relation, len(c.rels)+1)
@@ -71,9 +138,29 @@ func (c *Catalog) mutate(fn func(map[string]*relation.Relation)) {
 	fn(next)
 	c.rels = next
 	c.epoch++
+	var ver uint64
+	for i, name := range names {
+		c.vers[name]++
+		if i == 0 {
+			ver = c.vers[name]
+		}
+	}
+	return ver, c.epoch
 }
 
-// Register binds name to r, replacing any existing binding.
+// notify delivers m to every subscriber. Callers hold mutMu, so deliveries
+// are ordered; c.mu is not held.
+func (c *Catalog) notify(m Mutation) {
+	c.mu.RLock()
+	subs := c.subs
+	c.mu.RUnlock()
+	for _, fn := range subs {
+		fn(m)
+	}
+}
+
+// Register binds name to r, replacing any existing binding. Subscribers see
+// it as a Reset mutation (no tuple delta).
 func (c *Catalog) Register(name string, r *relation.Relation) error {
 	if name == "" {
 		return fmt.Errorf("catalog: empty relation name")
@@ -81,7 +168,11 @@ func (c *Catalog) Register(name string, r *relation.Relation) error {
 	if r == nil {
 		return fmt.Errorf("catalog: nil relation for %q", name)
 	}
-	c.mutate(func(m map[string]*relation.Relation) { m[name] = r })
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	old, _ := c.Get(name)
+	ver, epoch := c.mutate(func(m map[string]*relation.Relation) { m[name] = r }, name)
+	c.notify(Mutation{Name: name, Reset: true, Old: old, New: r, Version: ver, Epoch: epoch})
 	return nil
 }
 
@@ -94,14 +185,93 @@ func (c *Catalog) RegisterPairs(name string, pairs []relation.Pair) (*relation.R
 	return r, nil
 }
 
-// Drop removes name, reporting whether it was present.
+// Drop removes name, reporting whether it was present. Subscribers see a
+// Reset mutation with a nil New relation.
 func (c *Catalog) Drop(name string) bool {
-	present := false
-	c.mutate(func(m map[string]*relation.Relation) {
-		_, present = m[name]
-		delete(m, name)
-	})
-	return present
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	old, present := c.Get(name)
+	if !present {
+		return false
+	}
+	ver, epoch := c.mutate(func(m map[string]*relation.Relation) { delete(m, name) }, name)
+	c.notify(Mutation{Name: name, Reset: true, Old: old, Version: ver, Epoch: epoch})
+	return true
+}
+
+// Mutate applies one coalesced tuple-level change to relation name: the new
+// contents are (old ∪ insert) \ delete — a tuple appearing in both slices is
+// net-deleted if it was present and a no-op otherwise. The returned Mutation
+// carries the effective delta; a fully coalesced-away batch leaves the
+// catalog (and its epoch) untouched. Subscribers are notified synchronously
+// in mutation order, which is how registered views stay fresh.
+func (c *Catalog) Mutate(name string, insert, del []relation.Pair) (Mutation, error) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	old, ok := c.Get(name)
+	if !ok {
+		return Mutation{}, fmt.Errorf("catalog: mutate unknown relation %q", name)
+	}
+	delSet := make(map[relation.Pair]struct{}, len(del))
+	var added, removed []relation.Pair
+	for _, p := range del {
+		if _, dup := delSet[p]; dup {
+			continue
+		}
+		delSet[p] = struct{}{}
+		if old.Contains(p.X, p.Y) {
+			removed = append(removed, p)
+		}
+	}
+	insSeen := make(map[relation.Pair]struct{}, len(insert))
+	for _, p := range insert {
+		if _, dup := insSeen[p]; dup {
+			continue
+		}
+		insSeen[p] = struct{}{}
+		if _, gone := delSet[p]; gone {
+			continue // delete wins within one batch: new = (old ∪ ins) \ del
+		}
+		if !old.Contains(p.X, p.Y) {
+			added = append(added, p)
+		}
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		c.mu.RLock()
+		ver, epoch := c.vers[name], c.epoch
+		c.mu.RUnlock()
+		return Mutation{Name: name, Old: old, New: old, Version: ver, Epoch: epoch}, nil
+	}
+	// Linear-merge rebuild: O(N + Δ log Δ), no full re-sort.
+	next := relation.ApplyDelta(old, name, added, removed)
+	ver, epoch := c.mutate(func(m map[string]*relation.Relation) { m[name] = next }, name)
+	mut := Mutation{
+		Name: name, Added: added, Removed: removed,
+		Old: old, New: next, Version: ver, Epoch: epoch,
+	}
+	c.notify(mut)
+	return mut, nil
+}
+
+// InsertPairs adds tuples to relation name, returning the effective
+// (coalesced) mutation.
+func (c *Catalog) InsertPairs(name string, pairs []relation.Pair) (Mutation, error) {
+	return c.Mutate(name, pairs, nil)
+}
+
+// DeletePairs removes tuples from relation name, returning the effective
+// (coalesced) mutation.
+func (c *Catalog) DeletePairs(name string, pairs []relation.Pair) (Mutation, error) {
+	return c.Mutate(name, nil, pairs)
+}
+
+// Version returns name's per-relation version: 0 until first registered,
+// bumped by every Register, Drop, and effective tuple mutation. Plan-cache
+// keys are built from the versions of the relations a query reads.
+func (c *Catalog) Version(name string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.vers[name]
 }
 
 // Get returns the relation bound to name.
@@ -191,8 +361,11 @@ func (c *Catalog) PrepareContext(ctx context.Context, src string) (*query.Prepar
 	if err != nil {
 		return nil, false, err
 	}
-	snap, epoch := c.snapshot()
-	key := planKey{text: q.String(), epoch: epoch}
+	c.mu.RLock()
+	snap := c.rels
+	sig := versionSignature(q, c.vers)
+	c.mu.RUnlock()
+	key := planKey{text: q.String(), sig: sig}
 	if p := c.cacheGet(key); p != nil {
 		return p, true, nil
 	}
@@ -202,6 +375,31 @@ func (c *Catalog) PrepareContext(ctx context.Context, src string) (*query.Prepar
 	}
 	c.cachePut(key, p)
 	return p, false, nil
+}
+
+// versionSignature renders the versions of the relations q references, e.g.
+// "R@3\x00S@7". Only those versions participate in the plan-cache key, so
+// mutating an unrelated relation never evicts a still-valid prepared plan.
+func versionSignature(q *query.Query, vers map[string]uint64) string {
+	names := make([]string, 0, len(q.Atoms))
+	seen := map[string]bool{}
+	for _, a := range q.Atoms {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			names = append(names, a.Rel)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(n)
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatUint(vers[n], 10))
+	}
+	return b.String()
 }
 
 // CacheStats returns plan-cache hit/miss counters and current size.
@@ -228,12 +426,13 @@ func (c *Catalog) cachePut(key planKey, p *query.Prepared) {
 	c.cache.put(key, p)
 }
 
-// planKey identifies one cached plan: canonical query text at one catalog
-// epoch. Epoch participation means a catalog change implicitly invalidates
-// every cached plan without touching the cache.
+// planKey identifies one cached plan: canonical query text plus the version
+// signature of the relations it reads. Mutating any referenced relation
+// changes the signature, so stale plans are implicitly invalidated (they age
+// out of the LRU) while plans over untouched relations keep hitting.
 type planKey struct {
-	text  string
-	epoch uint64
+	text string
+	sig  string
 }
 
 // planLRU is a minimal LRU over compiled plans, bounded both by entry count

@@ -86,12 +86,101 @@ func TestPlanCacheHitAndEpochInvalidation(t *testing.T) {
 	if hits != 1 || misses != 1 || size != 1 {
 		t.Fatalf("stats = %d/%d/%d", hits, misses, size)
 	}
-	// Any catalog change bumps the epoch and misses the cache.
+	// Registering an unrelated relation bumps the epoch but must NOT evict
+	// the still-valid plan over R: cache keys are per-relation versions.
 	if _, err := c.RegisterPairs("S", pairs([2]int32{5, 9})); err != nil {
 		t.Fatal(err)
 	}
+	if _, hit, _ := c.Prepare(src); !hit {
+		t.Fatal("mutating an untouched relation must not evict the cached plan")
+	}
+	// Mutating R itself invalidates it.
+	if _, err := c.InsertPairs("R", pairs([2]int32{2, 10})); err != nil {
+		t.Fatal(err)
+	}
 	if _, hit, _ := c.Prepare(src); hit {
-		t.Fatal("epoch change should invalidate cached plan")
+		t.Fatal("mutating a referenced relation must invalidate the cached plan")
+	}
+}
+
+// TestMutateDeltasAndCoalescing covers the tuple-level mutation API: effective
+// deltas, batch coalescing, version bumps and subscriber ordering.
+func TestMutateDeltasAndCoalescing(t *testing.T) {
+	c := New()
+	var seen []Mutation
+	c.Subscribe(func(m Mutation) { seen = append(seen, m) })
+	if _, err := c.RegisterPairs("R", pairs([2]int32{1, 2}, [2]int32{3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.Version("R")
+	if v1 == 0 {
+		t.Fatal("version should advance on register")
+	}
+
+	// Insert one new + one already-present tuple: delta keeps only the new one.
+	m, err := c.InsertPairs("R", pairs([2]int32{1, 2}, [2]int32{5, 6}, [2]int32{5, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Added) != 1 || m.Added[0] != (relation.Pair{X: 5, Y: 6}) || len(m.Removed) != 0 {
+		t.Fatalf("insert delta = %+v", m)
+	}
+	if m.Version != v1+1 || c.Version("R") != v1+1 {
+		t.Fatalf("version = %d, want %d", m.Version, v1+1)
+	}
+	if r, _ := c.Get("R"); r.Size() != 3 || !r.Contains(5, 6) {
+		t.Fatalf("R not updated: %v", r.Stats())
+	}
+
+	// Delete one present + one absent tuple.
+	m, err = c.DeletePairs("R", pairs([2]int32{3, 4}, [2]int32{9, 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Removed) != 1 || m.Removed[0] != (relation.Pair{X: 3, Y: 4}) || len(m.Added) != 0 {
+		t.Fatalf("delete delta = %+v", m)
+	}
+
+	// Insert+delete of the same absent tuple in one batch nets out entirely.
+	e0 := c.Epoch()
+	m, err = c.Mutate("R", pairs([2]int32{7, 7}), pairs([2]int32{7, 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Empty() {
+		t.Fatalf("coalesced batch should be empty: %+v", m)
+	}
+	if c.Epoch() != e0 {
+		t.Fatal("no-op mutation must not bump the epoch")
+	}
+
+	// Insert+delete of a present tuple: delete wins.
+	m, err = c.Mutate("R", pairs([2]int32{1, 2}), pairs([2]int32{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Removed) != 1 || len(m.Added) != 0 {
+		t.Fatalf("delete-wins batch delta = %+v", m)
+	}
+	if r, _ := c.Get("R"); r.Contains(1, 2) {
+		t.Fatal("tuple should be net-deleted")
+	}
+
+	if _, err := c.Mutate("missing", nil, nil); err == nil {
+		t.Fatal("mutating an unknown relation should error")
+	}
+
+	// Subscribers saw every effective change in order: register + 3 mutations.
+	if len(seen) != 4 {
+		t.Fatalf("subscriber saw %d mutations, want 4", len(seen))
+	}
+	if !seen[0].Reset || seen[0].Name != "R" {
+		t.Fatalf("first mutation should be the register reset: %+v", seen[0])
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i].Version <= seen[i-1].Version {
+			t.Fatalf("mutation versions not monotonic: %d then %d", seen[i-1].Version, seen[i].Version)
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/scj"
 	"repro/internal/ssj"
+	"repro/internal/view"
 )
 
 // Strategy selects how the engine plans join-project queries.
@@ -90,9 +91,10 @@ func WithSketchRefinement(budget int64) Option {
 
 // Engine evaluates join-project queries and their applications.
 type Engine struct {
-	cfg Config
-	opt *optimizer.Optimizer
-	cat *catalog.Catalog
+	cfg   Config
+	opt   *optimizer.Optimizer
+	cat   *catalog.Catalog
+	views *view.Registry
 }
 
 // NewEngine builds an engine; calibration of the optimizer's machine
@@ -102,7 +104,16 @@ func NewEngine(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Engine{cfg: cfg, opt: optimizer.New(), cat: catalog.New()}
+	e := &Engine{cfg: cfg, opt: optimizer.New(), cat: catalog.New()}
+	e.views = view.NewRegistry(view.Config{
+		Catalog:   e.cat,
+		Optimizer: e.opt,
+		Workers:   cfg.Workers,
+		Evaluate: func(ctx context.Context, src string) (*query.Result, error) {
+			return e.QueryContext(ctx, src)
+		},
+	})
+	return e
 }
 
 // Plan describes how a query was (or would be) evaluated.
@@ -346,6 +357,31 @@ func (e *Engine) Register(name string, pairs []relation.Pair) (*relation.Relatio
 func (e *Engine) RegisterRelation(r *relation.Relation) error {
 	return e.cat.Register(r.Name(), r)
 }
+
+// Mutate applies one coalesced insert/delete batch to a registered relation:
+// the catalog swaps in the new immutable relation, plans over it are
+// implicitly invalidated (plans over untouched relations stay cached), and
+// every registered view reading it is patched by delta propagation before
+// Mutate returns.
+func (e *Engine) Mutate(name string, insert, del []relation.Pair) (catalog.Mutation, error) {
+	return e.cat.Mutate(name, insert, del)
+}
+
+// RegisterView registers src as a named materialized view: it is evaluated
+// once now, then kept fresh under Mutate — incrementally for acyclic
+// single-component bodies, by flagged full refresh otherwise.
+func (e *Engine) RegisterView(ctx context.Context, name, src string) (*view.View, error) {
+	return e.views.Register(ctx, name, src)
+}
+
+// View returns the registered view bound to name.
+func (e *Engine) View(name string) (*view.View, bool) { return e.views.Get(name) }
+
+// Views summarizes every registered view, sorted by name.
+func (e *Engine) Views() []view.Info { return e.views.List() }
+
+// DropView removes the view bound to name, reporting whether it existed.
+func (e *Engine) DropView(name string) bool { return e.views.Drop(name) }
 
 // execOptions maps the engine configuration onto query execution options;
 // WITH-clause hints in the query itself take precedence inside the executor.

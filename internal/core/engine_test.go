@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -297,5 +299,77 @@ func TestEngineKWaySimilar(t *testing.T) {
 		if len(tp.Sets) != 3 || tp.Overlap < 2 {
 			t.Fatalf("bad k-way tuple %+v", tp)
 		}
+	}
+}
+
+// TestEngineViewsAndMutations covers the engine façade of the view
+// subsystem: register, serve, maintain under Mutate, explain, list, drop —
+// and that mutations keep plan caching per-relation.
+func TestEngineViewsAndMutations(t *testing.T) {
+	eng := NewEngine(WithWorkers(2))
+	pairs := func(ps ...[2]int32) []relation.Pair {
+		out := make([]relation.Pair, len(ps))
+		for i, p := range ps {
+			out[i] = relation.Pair{X: p[0], Y: p[1]}
+		}
+		return out
+	}
+	if _, err := eng.Register("R", pairs([2]int32{1, 10}, [2]int32{2, 10})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Register("S", pairs([2]int32{10, 5})); err != nil {
+		t.Fatal(err)
+	}
+	v, err := eng.RegisterView(context.Background(), "vp", "V(x, z) :- R(x, y), S(y, z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tuples, _, err := v.Result(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("initial view rows = %d, want 2", len(tuples))
+	}
+
+	// Mutations patch the view.
+	if _, err := eng.Mutate("S", pairs([2]int32{10, 6}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Mutate("R", nil, pairs([2]int32{2, 10})); err != nil {
+		t.Fatal(err)
+	}
+	_, tuples, fresh, err := v.Result(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 { // (1,5), (1,6)
+		t.Fatalf("maintained view rows = %v", tuples)
+	}
+	if fresh.Mode != "incremental" || fresh.Stale {
+		t.Fatalf("freshness = %+v", fresh)
+	}
+	if plan := v.MaintenancePlan().String(); !strings.Contains(plan, "deltafold") {
+		t.Fatalf("maintenance plan missing deltafold:\n%s", plan)
+	}
+
+	if infos := eng.Views(); len(infos) != 1 || infos[0].Name != "vp" {
+		t.Fatalf("Views() = %+v", infos)
+	}
+	if _, ok := eng.View("vp"); !ok {
+		t.Fatal("View lookup failed")
+	}
+
+	// The query path agrees with the view store.
+	res, err := eng.Query("V(x, z) :- R(x, y), S(y, z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != len(tuples) {
+		t.Fatalf("query rows %d != view rows %d", len(res.Tuples), len(tuples))
+	}
+
+	if !eng.DropView("vp") || eng.DropView("vp") {
+		t.Fatal("DropView semantics")
 	}
 }

@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -80,6 +81,12 @@ type executor struct {
 	aopt acyclic.Options
 	opt  *optimizer.Optimizer
 	star string // star-node pin: "", "mm" or "nonmm"
+	// pushGroup marks a head of the form (g, COUNT(v)) whose component
+	// structure lets the aggregate run inside the final fold (a weighted
+	// two-path composition) instead of materializing the distinct pairs and
+	// grouping them afterwards; groupVar/countVar are the variable indices.
+	pushGroup          bool
+	groupVar, countVar int
 }
 
 func (p *Prepared) newExecutor(ctx context.Context, opts ExecOptions, dry bool) *executor {
@@ -105,17 +112,77 @@ func (p *Prepared) newExecutor(ctx context.Context, opts ExecOptions, dry bool) 
 		ex.aopt.Planner = optPlanner{opt: opts.Optimizer}
 	}
 	ex.opt = opts.Optimizer
+	ex.detectGroupPush()
 	return ex
+}
+
+// detectGroupPush decides whether the COUNT aggregate can be evaluated
+// inside the final fold: the head must be exactly (g, COUNT(v)) over two
+// distinct variables living in the same component, with every other
+// component head-free (a pure filter). When it applies, the final
+// composition runs the counting kernel (TwoPathGroupBy) and the distinct
+// (g, v) pairs are never materialized — the aggregate is output-sensitive
+// in the count column.
+func (ex *executor) detectGroupPush() {
+	p, q := ex.p, ex.p.Query
+	ci := q.CountIndex()
+	if ci < 0 || len(q.Head) != 2 {
+		return
+	}
+	gi := 1 - ci
+	if q.Head[gi].Count || q.Head[gi].Var == q.Head[ci].Var {
+		return
+	}
+	g, cv := -1, -1
+	for i, name := range p.vars {
+		if name == q.Head[gi].Var {
+			g = i
+		}
+		if name == q.Head[ci].Var {
+			cv = i
+		}
+	}
+	if g < 0 || cv < 0 {
+		return
+	}
+	var home *component
+	for _, c := range p.comps {
+		hasG, hasCV := false, false
+		for _, h := range c.heads {
+			if h == g {
+				hasG = true
+			}
+			if h == cv {
+				hasCV = true
+			}
+		}
+		switch {
+		case hasG && hasCV:
+			home = c
+		case hasG || hasCV:
+			return // split across components: the cross product must group
+		case len(c.heads) > 0:
+			return // another component produces rows
+		}
+	}
+	if home == nil || home.bags != nil {
+		return // bag-tree components project after the k-ary join
+	}
+	ex.pushGroup, ex.groupVar, ex.countVar = true, g, cv
 }
 
 func (ex *executor) check() error { return ex.ctx.Err() }
 
 // compResult is one component's contribution: the variables it binds (cols,
-// only head variables), its distinct rows, and its plan subtree.
+// only head variables), its distinct rows, and its plan subtree. A grouped
+// result carries the pushed-down COUNT aggregate instead: rows hold the
+// group values (one column) and counts the distinct-partner count per row.
 type compResult struct {
-	cols []int
-	rows [][]int32
-	node *Node
+	cols    []int
+	rows    [][]int32
+	node    *Node
+	grouped bool
+	counts  []int64
 }
 
 func (ex *executor) run() (*Result, error) {
@@ -146,10 +213,15 @@ func (ex *executor) run() (*Result, error) {
 	}
 
 	// Assemble: cross product of the row-producing components, then map the
-	// joined columns onto the head terms.
+	// joined columns onto the head terms. A grouped producer (pushed-down
+	// COUNT) is necessarily alone and maps straight onto the head.
+	var grouped *compResult
+	if len(producers) == 1 && producers[0].grouped {
+		grouped = producers[0]
+	}
 	var cols []int
 	rows := [][]int32{{}}
-	if !ex.dry && !p.empty {
+	if !ex.dry && !p.empty && grouped == nil {
 		for _, pr := range producers {
 			cols = append(cols, pr.cols...)
 			rows = crossRows(rows, pr.rows)
@@ -159,6 +231,9 @@ func (ex *executor) run() (*Result, error) {
 	top := &Node{Op: "project", Detail: "[" + headLabels(q) + "]", Rows: -1}
 	if q.CountIndex() >= 0 {
 		top.Op = "aggregate"
+		if grouped != nil || (ex.dry && ex.pushGroup) {
+			top.Detail += " (count pushed into fold)"
+		}
 	}
 	switch {
 	case len(compNodes) == 1:
@@ -174,7 +249,18 @@ func (ex *executor) run() (*Result, error) {
 	if p.empty {
 		rows = nil
 	}
-	res.Tuples = projectHead(q, p, cols, rows)
+	if grouped != nil {
+		ci := q.CountIndex()
+		res.Tuples = make([][]int64, len(grouped.rows))
+		for i, r := range grouped.rows {
+			row := make([]int64, 2)
+			row[1-ci] = int64(r[0])
+			row[ci] = grouped.counts[i]
+			res.Tuples[i] = row
+		}
+	} else {
+		res.Tuples = projectHead(q, p, cols, rows)
+	}
 	top.Rows = int64(len(res.Tuples))
 	if len(top.Children) == 1 && top.Children[0].Op == "cross" {
 		top.Children[0].Rows = int64(len(rows))
@@ -386,15 +472,17 @@ func (ex *executor) evalComponent(c *component) (*compResult, error) {
 		return cr, nil
 	}
 
-	if live, err = ex.collapse(live, heads); err != nil {
+	var groupedCR *compResult
+	if live, groupedCR, err = ex.collapse(live, heads); err != nil {
 		return nil, err
 	}
-
-	final, err := ex.finalNode(c, live, heads)
-	if err != nil {
-		return nil, err
+	final := groupedCR
+	if final == nil {
+		if final, err = ex.finalNode(c, live, heads); err != nil {
+			return nil, err
+		}
 	}
-	cr.cols, cr.rows = final.cols, final.rows
+	cr.cols, cr.rows, cr.counts, cr.grouped = final.cols, final.rows, final.counts, final.grouped
 	compNode.Children = append([]*Node{final.node}, prunedNodes...)
 	if !ex.dry {
 		compNode.Rows = int64(len(cr.rows))
@@ -404,8 +492,11 @@ func (ex *executor) evalComponent(c *component) (*compResult, error) {
 
 // collapse folds away every non-head degree-2 variable with a planned
 // two-path composition, shrinking the tree until only head variables and
-// branching variables remain.
-func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, error) {
+// branching variables remain. When the last fold would produce exactly the
+// (group, count) pair of a pushed-down aggregate, it runs the counting
+// kernel instead and returns the grouped result (second value) without
+// materializing the distinct pairs.
+func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, *compResult, error) {
 	p := ex.p
 	for {
 		deg := map[int]int{}
@@ -423,10 +514,10 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, e
 			}
 		}
 		if v < 0 {
-			return live, nil
+			return live, nil, nil
 		}
 		if err := ex.check(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Locate the two edges at v and orient them (u→v), (v→w).
 		i1, i2 := -1, -1
@@ -441,6 +532,9 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, e
 			}
 		}
 		e1, e2 := live[i1], live[i2]
+		if cr := ex.tryGroupedFold(live, e1, e2, v); cr != nil {
+			return nil, cr, nil
+		}
 		r1, u := orient(e1, v, false)
 		r2, w := orient(e2, v, true)
 		folded := liveEdge{a: u, b: w}
@@ -469,6 +563,65 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, e
 		live = append(live[:i2], live[i2+1:]...)
 		live[i1] = folded
 	}
+}
+
+// tryGroupedFold runs the final fold of a pushed-down aggregate as a
+// weighted two-path composition: the counting kernel delivers per-group
+// distinct-partner counts directly, so the distinct (group, count-var)
+// pairs are never materialized. Returns nil when this fold is not the
+// aggregate's final fold.
+func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) *compResult {
+	if !ex.pushGroup || len(live) != 2 {
+		return nil
+	}
+	p := ex.p
+	// Orient both edges with the eliminated variable on the Y side, as the
+	// counting 2-path π_{x,z}(R(x,y) ⋈ S(z,y)) expects.
+	r1, u := orient(e1, v, false)
+	r2, w := orient(e2, v, false)
+	if u == w {
+		return nil
+	}
+	g, cv := ex.groupVar, ex.countVar
+	if !(u == g && w == cv) && !(u == cv && w == g) {
+		return nil
+	}
+	node := &Node{Op: "groupfold", Rows: -1, Children: []*Node{e1.node, e2.node}}
+	detail := fmt.Sprintf("γ[%s; COUNT(%s)] eliminating %s (count pushed into fold)",
+		p.vars[g], p.vars[cv], p.vars[v])
+	cr := &compResult{grouped: true, cols: []int{g}, node: node}
+	strategy := acyclic.StrategyMM
+	jopt := ex.aopt.Join
+	if f := ex.aopt.Force; f == acyclic.StrategyWCOJ || f == acyclic.StrategyNonMM {
+		strategy = f
+	}
+	if ex.dry {
+		node.Strategy, node.Detail = strategy, detail
+		return cr
+	}
+	gRel, cvRel := r1, r2
+	if u == cv {
+		gRel, cvRel = r2, r1
+	}
+	if strategy != acyclic.StrategyMM {
+		// Thresholds that classify everything as light turn the counting
+		// kernel into the plain indexed join with stamp dedup.
+		t := gRel.Size()
+		if cvRel.Size() > t {
+			t = cvRel.Size()
+		}
+		jopt.Delta1, jopt.Delta2 = t+1, t+1
+	}
+	groups := joinproject.TwoPathGroupBy(gRel, cvRel, jopt)
+	cr.rows = make([][]int32, len(groups))
+	cr.counts = make([]int64, len(groups))
+	for i, gc := range groups {
+		cr.rows[i] = []int32{gc.X}
+		cr.counts[i] = gc.Distinct
+	}
+	node.Strategy, node.Detail = strategy, detail
+	node.Rows = int64(len(groups))
+	return cr
 }
 
 // dryComposeStrategy predicts a fold's strategy without running it.
@@ -512,6 +665,27 @@ func orient(e liveEdge, v int, asHead bool) (*relation.Relation, int) {
 func (ex *executor) finalNode(c *component, live []liveEdge, heads map[int]bool) (*compResult, error) {
 	if len(live) == 1 {
 		e := live[0]
+		g, cv := ex.groupVar, ex.countVar
+		if ex.pushGroup && ((e.a == g && e.b == cv) || (e.a == cv && e.b == g)) {
+			// The aggregate over a single remaining edge is its index
+			// degree profile: COUNT(cv) per g is the g-side partner count.
+			rel, _ := orient(e, cv, false) // (g, cv) orientation
+			node := &Node{Op: "groupfold", Rows: -1, Children: []*Node{e.node},
+				Detail: fmt.Sprintf("γ[%s; COUNT(%s)] from index degrees (count pushed into scan)",
+					ex.p.vars[g], ex.p.vars[cv])}
+			cr := &compResult{grouped: true, cols: []int{g}, node: node}
+			if !ex.dry {
+				ix := rel.ByX()
+				cr.rows = make([][]int32, ix.NumKeys())
+				cr.counts = make([]int64, ix.NumKeys())
+				for i := 0; i < ix.NumKeys(); i++ {
+					cr.rows[i] = []int32{ix.Key(i)}
+					cr.counts[i] = int64(ix.Degree(i))
+				}
+				node.Rows = int64(ix.NumKeys())
+			}
+			return cr, nil
+		}
 		cr := &compResult{cols: []int{e.a, e.b}, node: e.node}
 		if !ex.dry {
 			cr.rows = make([][]int32, 0, e.rel.Size())
@@ -769,6 +943,19 @@ func lookupLive(e *liveEdge, v int, val int32) []int32 {
 		return e.rel.ByX().Lookup(val)
 	}
 	return e.rel.ByY().Lookup(val)
+}
+
+// SortTuples orders result tuples lexicographically — the canonical serving
+// order the server's pagination and the view store rely on.
+func SortTuples(tuples [][]int64) {
+	sort.Slice(tuples, func(i, j int) bool {
+		for k := range tuples[i] {
+			if tuples[i][k] != tuples[j][k] {
+				return tuples[i][k] < tuples[j][k]
+			}
+		}
+		return false
+	})
 }
 
 // dedupRows removes duplicate rows (by value).

@@ -8,9 +8,12 @@ import (
 // Node is one operator of an explainable plan tree.
 type Node struct {
 	// Op names the operator: "project", "aggregate", "cross", "exists",
-	// "domain", "pairs", "fold", "star", "enumerate", "scan", "semijoin",
-	// "bag" (a materialized hypertree-decomposition bag relation) or
-	// "bagjoin" (the k-ary join over a reduced bag tree).
+	// "domain", "pairs", "fold", "groupfold" (a COUNT aggregate pushed into
+	// the final fold as a weighted two-path composition), "star",
+	// "enumerate", "scan", "semijoin", "bag" (a materialized hypertree-
+	// decomposition bag relation) or "bagjoin" (the k-ary join over a
+	// reduced bag tree). View maintenance plans add "maintain", "deltafold",
+	// "deltastar", "deltatree" and "refresh" (see internal/view).
 	Op string
 	// Detail is free-form operator context (variables, thresholds, sizes).
 	Detail string

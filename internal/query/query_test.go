@@ -176,6 +176,57 @@ func TestStarQuery(t *testing.T) {
 	}
 }
 
+// TestCountPushdown checks that the (g, COUNT(v)) head runs the aggregate
+// inside the final fold (the groupfold operator) instead of materializing
+// the distinct pairs, on the shapes where the push-down applies, and that a
+// non-pushable head still takes the generic path.
+func TestCountPushdown(t *testing.T) {
+	rels := map[string]*relation.Relation{
+		"R": rel(t, "R", [2]int32{1, 10}, [2]int32{1, 11}, [2]int32{2, 10}),
+		"S": rel(t, "S", [2]int32{10, 5}, [2]int32{11, 5}, [2]int32{10, 6}),
+		"T": rel(t, "T", [2]int32{5, 7}, [2]int32{6, 7}, [2]int32{6, 8}),
+	}
+	cases := []struct {
+		src  string
+		want [][]int64
+	}{
+		// Two-path: the canonical weighted fold.
+		{"Q(x, COUNT(z)) :- R(x, y), S(y, z)", [][]int64{{1, 2}, {2, 2}}},
+		// COUNT column first.
+		{"Q(COUNT(z), x) :- R(x, y), S(y, z)", [][]int64{{2, 1}, {2, 2}}},
+		// Chain of three: the last fold groups.
+		{"Q(x, COUNT(w)) :- R(x, y), S(y, z), T(z, w)", [][]int64{{1, 2}, {2, 2}}},
+		// Single atom: grouped straight off the index degrees.
+		{"Q(x, COUNT(y)) :- R(x, y)", [][]int64{{1, 2}, {2, 1}}},
+	}
+	for _, tc := range cases {
+		p, err := Prepare(tc.src, MapResolver(rels))
+		if err != nil {
+			t.Fatalf("Prepare(%q): %v", tc.src, err)
+		}
+		res, err := p.Execute(context.Background(), ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("Execute(%q): %v", tc.src, err)
+		}
+		sortTuples(res.Tuples)
+		if !reflect.DeepEqual(res.Tuples, tc.want) {
+			t.Fatalf("%q = %v; want %v\nplan:\n%s", tc.src, res.Tuples, tc.want, res.Plan)
+		}
+		if !strings.Contains(res.Plan.String(), "groupfold") {
+			t.Fatalf("%q should push the count into the fold:\n%s", tc.src, res.Plan)
+		}
+		// The predicted plan shows the push-down too.
+		if dry := p.Explain(ExecOptions{Workers: 1}); !strings.Contains(dry.String(), "groupfold") {
+			t.Fatalf("EXPLAIN of %q should predict groupfold:\n%s", tc.src, dry)
+		}
+	}
+	// Three head terms: grouping must stay in the generic aggregate.
+	res := evalText(t, "Q(x, z, COUNT(w)) :- R(x, y), S(y, z), T(z, w)", rels)
+	if strings.Contains(res.Plan.String(), "groupfold") {
+		t.Fatalf("three-term head must not push down:\n%s", res.Plan)
+	}
+}
+
 func TestCountAggregate(t *testing.T) {
 	rels := map[string]*relation.Relation{
 		"R": rel(t, "R", [2]int32{1, 10}, [2]int32{1, 11}, [2]int32{2, 10}),

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -307,5 +308,65 @@ func TestQuickFullJoinSize(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestApplyDeltaDifferential cross-checks the linear-merge delta rebuild
+// against FromPairs over many random mutations.
+func TestApplyDeltaDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	randPairs := func(n, dom int) []Pair {
+		out := make([]Pair, n)
+		for i := range out {
+			out[i] = Pair{X: int32(rng.Intn(dom)), Y: int32(rng.Intn(dom))}
+		}
+		return out
+	}
+	for round := 0; round < 200; round++ {
+		dom := 2 + rng.Intn(20)
+		base := randPairs(rng.Intn(60), dom)
+		old := FromPairs("R", base)
+		added := randPairs(rng.Intn(10), dom)
+		var removed []Pair
+		ps := old.Pairs()
+		for i := 0; i < rng.Intn(8) && len(ps) > 0; i++ {
+			removed = append(removed, ps[rng.Intn(len(ps))])
+		}
+		removed = append(removed, randPairs(rng.Intn(3), dom)...) // some misses
+		// Tuples both added and removed are removed (delete wins).
+		got := ApplyDelta(old, "R", added, removed)
+
+		rmSet := map[Pair]bool{}
+		for _, p := range removed {
+			rmSet[p] = true
+		}
+		var want []Pair
+		for _, p := range old.Pairs() {
+			if !rmSet[p] {
+				want = append(want, p)
+			}
+		}
+		for _, p := range added {
+			if !rmSet[p] {
+				want = append(want, p)
+			}
+		}
+		ref := FromPairs("R", want)
+		if got.Size() != ref.Size() {
+			t.Fatalf("round %d: size %d, want %d", round, got.Size(), ref.Size())
+		}
+		if !reflect.DeepEqual(got.Pairs(), ref.Pairs()) {
+			t.Fatalf("round %d: pairs diverged\n got %v\nwant %v", round, got.Pairs(), ref.Pairs())
+		}
+		// Mirror index agrees too.
+		for i := 0; i < ref.ByY().NumKeys(); i++ {
+			y := ref.ByY().Key(i)
+			if !reflect.DeepEqual(got.ByY().Lookup(y), ref.ByY().Lookup(y)) {
+				t.Fatalf("round %d: ByY(%d) diverged", round, y)
+			}
+		}
+		if got.ByY().NumKeys() != ref.ByY().NumKeys() {
+			t.Fatalf("round %d: ByY key counts diverged", round)
+		}
 	}
 }

@@ -1,31 +1,50 @@
 // Package server exposes the query engine over HTTP/JSON: query evaluation,
-// EXPLAIN, and catalog management, with per-query timeouts and bounded
-// admission so a burst of heavy queries degrades to queueing instead of
-// memory blow-up. cmd/joinmmd is the thin main wrapping this package.
+// EXPLAIN, catalog management, tuple-level mutations and live materialized
+// views, with per-query timeouts and bounded admission so a burst of heavy
+// queries degrades to queueing instead of memory blow-up. cmd/joinmmd is the
+// thin main wrapping this package.
 //
 // Endpoints (all JSON):
 //
-//	POST   /query              {"query": "...", "timeout_ms": 0}  → result
+//	POST   /query              {"query": "...", "timeout_ms": 0,
+//	                            "limit": 0, "cursor": ""}         → result page
 //	POST   /explain            {"query": "...", "analyze": false} → plan
 //	GET    /catalog                                               → listing
 //	POST   /catalog/relations  {"name": "R", "pairs": [[x,y],...]}
 //	                           or {"name": "R", "path": "file"}   → stats
 //	DELETE /catalog/relations/{name}
+//	POST   /catalog/relations/{name}/insert  {"pairs": [[x,y],...]} → delta
+//	POST   /catalog/relations/{name}/delete  {"pairs": [[x,y],...]} → delta
+//	POST   /views              {"name": "v", "query": "..."}      → view info
+//	GET    /views                                                 → listing
+//	GET    /views/{name}?limit=N&cursor=C    → result page + freshness
+//	GET    /views/{name}/explain             → maintenance plan
+//	DELETE /views/{name}
 //	GET    /healthz
+//
+// Query and view results are paginated when limit is set: tuples are served
+// in canonical sorted order and the response carries an opaque next_cursor
+// until the result is exhausted, so large outputs never materialize one
+// giant JSON body.
 package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/par"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/view"
 )
 
 // Config configures a Server.
@@ -76,6 +95,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /catalog", s.handleCatalog)
 	mux.HandleFunc("POST /catalog/relations", s.handleRegister)
 	mux.HandleFunc("DELETE /catalog/relations/{name}", s.handleDrop)
+	mux.HandleFunc("POST /catalog/relations/{name}/insert", s.handleMutate(false))
+	mux.HandleFunc("POST /catalog/relations/{name}/delete", s.handleMutate(true))
+	mux.HandleFunc("POST /views", s.handleCreateView)
+	mux.HandleFunc("GET /views", s.handleListViews)
+	mux.HandleFunc("GET /views/{name}", s.handleGetView)
+	mux.HandleFunc("GET /views/{name}/explain", s.handleExplainView)
+	mux.HandleFunc("DELETE /views/{name}", s.handleDropView)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -88,15 +114,22 @@ type queryRequest struct {
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	// Analyze on /explain executes the query and returns the actual plan.
 	Analyze bool `json:"analyze,omitempty"`
+	// Limit > 0 paginates the result: tuples are served in canonical sorted
+	// order, at most Limit per response, with an opaque next_cursor.
+	Limit int `json:"limit,omitempty"`
+	// Cursor resumes a paginated result from a previous next_cursor.
+	Cursor string `json:"cursor,omitempty"`
 }
 
 type queryResponse struct {
 	Columns   []string  `json:"columns"`
 	Tuples    [][]int64 `json:"tuples"`
-	Rows      int       `json:"rows"`
+	Rows      int       `json:"rows"` // total result size, not the page size
 	Plan      string    `json:"plan"`
 	PlanCache bool      `json:"plan_cached"`
 	ElapsedMs float64   `json:"elapsed_ms"`
+	// NextCursor resumes the next page; empty when the result is exhausted.
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 type errorResponse struct {
@@ -189,14 +222,57 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if tuples == nil {
 		tuples = [][]int64{}
 	}
+	total := len(tuples)
+	next := ""
+	if req.Limit > 0 || req.Cursor != "" {
+		query.SortTuples(tuples)
+		tuples, next, err = paginate(tuples, req.Limit, req.Cursor)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Columns:   res.Columns,
-		Tuples:    tuples,
-		Rows:      len(res.Tuples),
-		Plan:      res.Plan.String(),
-		PlanCache: res.Plan.CacheHit,
-		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		Columns:    res.Columns,
+		Tuples:     tuples,
+		Rows:       total,
+		Plan:       res.Plan.String(),
+		PlanCache:  res.Plan.CacheHit,
+		ElapsedMs:  float64(time.Since(start).Microseconds()) / 1000,
+		NextCursor: next,
 	})
+}
+
+// cursorPrefix versions the opaque pagination cursor.
+const cursorPrefix = "v1:"
+
+// paginate slices one page out of the sorted result: limit tuples starting
+// at the cursor's offset (limit ≤ 0 with a cursor serves the remainder).
+// The returned cursor resumes after the page, or is empty at the end.
+func paginate(tuples [][]int64, limit int, cursor string) ([][]int64, string, error) {
+	offset := 0
+	if cursor != "" {
+		raw, err := base64.URLEncoding.DecodeString(cursor)
+		if err != nil || !strings.HasPrefix(string(raw), cursorPrefix) {
+			return nil, "", fmt.Errorf("malformed cursor %q", cursor)
+		}
+		offset, err = strconv.Atoi(strings.TrimPrefix(string(raw), cursorPrefix))
+		if err != nil || offset < 0 {
+			return nil, "", fmt.Errorf("malformed cursor %q", cursor)
+		}
+	}
+	if offset > len(tuples) {
+		offset = len(tuples)
+	}
+	end := len(tuples)
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	next := ""
+	if end < len(tuples) {
+		next = base64.URLEncoding.EncodeToString([]byte(cursorPrefix + strconv.Itoa(end)))
+	}
+	return tuples[offset:end], next, nil
 }
 
 type explainResponse struct {
@@ -325,6 +401,183 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.eng.Catalog().Drop(name) {
 		writeError(w, http.StatusNotFound, "unknown relation %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+type mutateRequest struct {
+	Pairs [][2]int32 `json:"pairs"`
+}
+
+type mutateResponse struct {
+	Name string `json:"name"`
+	// Added and Removed count the effective (coalesced) tuple delta.
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	Tuples  int    `json:"tuples"`
+	Version uint64 `json:"version"`
+	Epoch   uint64 `json:"epoch"`
+	// ElapsedMs includes synchronous view maintenance.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// handleMutate serves POST /catalog/relations/{name}/insert|delete. The
+// response reports the effective delta; registered views are maintained
+// synchronously before it is written.
+func (s *Server) handleMutate(del bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req mutateRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		name := r.PathValue("name")
+		ps := make([]relation.Pair, len(req.Pairs))
+		for i, p := range req.Pairs {
+			ps[i] = relation.Pair{X: p[0], Y: p[1]}
+		}
+		start := time.Now()
+		var m catalog.Mutation
+		var err error
+		if del {
+			m, err = s.eng.Mutate(name, nil, ps)
+		} else {
+			m, err = s.eng.Mutate(name, ps, nil)
+		}
+		if err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, mutateResponse{
+			Name:      name,
+			Added:     len(m.Added),
+			Removed:   len(m.Removed),
+			Tuples:    m.New.Size(),
+			Version:   m.Version,
+			Epoch:     m.Epoch,
+			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+}
+
+type createViewRequest struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+}
+
+type viewInfoResponse struct {
+	Name      string         `json:"name"`
+	Query     string         `json:"query"`
+	Rows      int            `json:"rows"`
+	Freshness view.Freshness `json:"freshness"`
+}
+
+func (s *Server) handleCreateView(w http.ResponseWriter, r *http.Request) {
+	var req createViewRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	if err := s.admit(ctx); err != nil {
+		writeError(w, statusFor(err), "create view failed: %v", err)
+		return
+	}
+	v, err := s.eng.RegisterView(ctx, req.Name, req.Query)
+	s.release()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewInfoResponse{
+		Name: v.Name(), Query: v.Text(), Rows: v.Rows(), Freshness: v.Freshness(),
+	})
+}
+
+func (s *Server) handleListViews(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"views": s.eng.Views()})
+}
+
+type viewResultResponse struct {
+	Name    string    `json:"name"`
+	Query   string    `json:"query"`
+	Columns []string  `json:"columns"`
+	Tuples  [][]int64 `json:"tuples"`
+	Rows    int       `json:"rows"` // total result size, not the page size
+	// Freshness is the maintenance metadata the result was served under.
+	Freshness  view.Freshness `json:"freshness"`
+	NextCursor string         `json:"next_cursor,omitempty"`
+}
+
+// handleGetView serves one view's materialized result with freshness
+// metadata, paginated via ?limit=N&cursor=C (the view store keeps tuples in
+// canonical sorted order, so pages are consistent for a fixed view state).
+func (s *Server) handleGetView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	v, ok := s.eng.View(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown view %q", name)
+		return
+	}
+	limit := 0
+	if lq := r.URL.Query().Get("limit"); lq != "" {
+		n, err := strconv.Atoi(lq)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "malformed limit %q", lq)
+			return
+		}
+		limit = n
+	}
+	// Reading a stale refresh-mode view recomputes it from scratch, so the
+	// read goes through the same admission gate as query evaluation.
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	if err := s.admit(ctx); err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	cols, tuples, fresh, err := v.Result(ctx)
+	s.release()
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	total := len(tuples)
+	next := ""
+	if cursor := r.URL.Query().Get("cursor"); limit > 0 || cursor != "" {
+		tuples, next, err = paginate(tuples, limit, cursor)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, viewResultResponse{
+		Name: name, Query: v.Text(), Columns: cols, Tuples: tuples,
+		Rows: total, Freshness: fresh, NextCursor: next,
+	})
+}
+
+// handleExplainView serves the view's maintenance plan (EXPLAIN for the
+// update path: how deltas propagate, with predicted per-delta costs).
+func (s *Server) handleExplainView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	v, ok := s.eng.View(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown view %q", name)
+		return
+	}
+	plan := v.MaintenancePlan()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"plan":      plan.String(),
+		"mode":      v.Mode(),
+		"freshness": v.Freshness(),
+	})
+}
+
+func (s *Server) handleDropView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.eng.DropView(name) {
+		writeError(w, http.StatusNotFound, "unknown view %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})

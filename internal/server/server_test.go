@@ -258,3 +258,168 @@ func TestCyclicQueryEndToEnd(t *testing.T) {
 		t.Fatalf("strategies %v missing bag node", exp.Strategies)
 	}
 }
+
+func get(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestMutationAndViewEndpoints drives the full update surface over HTTP:
+// create a view, mutate base relations, read the maintained result with
+// freshness metadata and the maintenance EXPLAIN, and drop it.
+func TestMutationAndViewEndpoints(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+
+	var vi viewInfoResponse
+	if code := post(t, ts, "/views", map[string]any{
+		"name": "vp", "query": "V(x, z) :- R(x, y), S(y, z)",
+	}, &vi); code != http.StatusOK {
+		t.Fatalf("create view: status %d", code)
+	}
+	if vi.Freshness.Mode != "incremental" || vi.Rows == 0 {
+		t.Fatalf("view info = %+v", vi)
+	}
+
+	// Mutate R: one effective insert, one coalesced no-op duplicate.
+	var mr mutateResponse
+	if code := post(t, ts, "/catalog/relations/R/insert", map[string]any{
+		"pairs": [][2]int32{{3, 11}, {1, 10}},
+	}, &mr); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+	if mr.Added != 1 || mr.Removed != 0 || mr.Version == 0 {
+		t.Fatalf("insert response = %+v", mr)
+	}
+	if code := post(t, ts, "/catalog/relations/R/delete", map[string]any{
+		"pairs": [][2]int32{{2, 10}},
+	}, &mr); code != http.StatusOK || mr.Removed != 1 {
+		t.Fatalf("delete: status %d resp %+v", code, mr)
+	}
+	if code := post(t, ts, "/catalog/relations/Missing/insert", map[string]any{
+		"pairs": [][2]int32{{1, 1}},
+	}, nil); code != http.StatusNotFound {
+		t.Fatalf("mutating unknown relation: status %d", code)
+	}
+
+	// The maintained view reflects both mutations: (1,5), (1,6), (3,6).
+	var vr viewResultResponse
+	if code := get(t, ts, "/views/vp", &vr); code != http.StatusOK {
+		t.Fatalf("get view: status %d", code)
+	}
+	if vr.Rows != 3 || len(vr.Tuples) != 3 {
+		t.Fatalf("view result = %+v", vr)
+	}
+	if vr.Freshness.Stale || vr.Freshness.Updates == 0 {
+		t.Fatalf("freshness = %+v", vr.Freshness)
+	}
+
+	// Pagination: two pages of two.
+	var page viewResultResponse
+	if code := get(t, ts, "/views/vp?limit=2", &page); code != http.StatusOK {
+		t.Fatalf("paginated view: status %d", code)
+	}
+	if len(page.Tuples) != 2 || page.NextCursor == "" || page.Rows != 3 {
+		t.Fatalf("page 1 = %+v", page)
+	}
+	var page2 viewResultResponse
+	if code := get(t, ts, "/views/vp?limit=2&cursor="+page.NextCursor, &page2); code != http.StatusOK {
+		t.Fatalf("page 2: status %d", code)
+	}
+	if len(page2.Tuples) != 1 || page2.NextCursor != "" {
+		t.Fatalf("page 2 = %+v", page2)
+	}
+	if fmt.Sprint(page.Tuples) == fmt.Sprint(page2.Tuples) {
+		t.Fatal("pages must not overlap")
+	}
+	if code := get(t, ts, "/views/vp?limit=2&cursor=garbage", nil); code != http.StatusBadRequest {
+		t.Fatal("malformed cursor should 400")
+	}
+
+	// Maintenance EXPLAIN.
+	var ex struct {
+		Plan string `json:"plan"`
+		Mode string `json:"mode"`
+	}
+	if code := get(t, ts, "/views/vp/explain", &ex); code != http.StatusOK {
+		t.Fatalf("explain view: status %d", code)
+	}
+	if !strings.Contains(ex.Plan, "deltafold") || ex.Mode != "incremental" {
+		t.Fatalf("maintenance explain = %+v", ex)
+	}
+
+	// Listing and deletion.
+	var list struct {
+		Views []viewInfoResponse `json:"views"`
+	}
+	if code := get(t, ts, "/views", &list); code != http.StatusOK || len(list.Views) != 1 {
+		t.Fatalf("list views = %+v", list)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/views/vp", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete view: status %d", resp.StatusCode)
+	}
+	if code := get(t, ts, "/views/vp", nil); code != http.StatusNotFound {
+		t.Fatal("dropped view should 404")
+	}
+}
+
+// TestQueryPagination covers limit/cursor on POST /query.
+func TestQueryPagination(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+	src := "Q(x, z) :- R(x, y), S(y, z)"
+	var full queryResponse
+	if code := post(t, ts, "/query", map[string]any{"query": src}, &full); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	var seen [][]int64
+	cursor := ""
+	pages := 0
+	for {
+		req := map[string]any{"query": src, "limit": 2}
+		if cursor != "" {
+			req["cursor"] = cursor
+		}
+		var page queryResponse
+		if code := post(t, ts, "/query", req, &page); code != http.StatusOK {
+			t.Fatalf("page: status %d", code)
+		}
+		if page.Rows != full.Rows {
+			t.Fatalf("page total %d != full %d", page.Rows, full.Rows)
+		}
+		if len(page.Tuples) > 2 {
+			t.Fatalf("page size %d > limit", len(page.Tuples))
+		}
+		seen = append(seen, page.Tuples...)
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(seen) != full.Rows || pages < 2 {
+		t.Fatalf("paged %d tuples over %d pages, want %d tuples", len(seen), pages, full.Rows)
+	}
+	// Pages are sorted and distinct.
+	for i := 1; i < len(seen); i++ {
+		if fmt.Sprint(seen[i-1]) >= fmt.Sprint(seen[i]) {
+			t.Fatalf("pages not in canonical order: %v", seen)
+		}
+	}
+}

@@ -1,0 +1,573 @@
+// Package view is the incremental view maintenance layer of the engine: a
+// registry where clients register join-project queries as named views, the
+// engine materializes each view once through the normal query pipeline, and
+// catalog mutations (InsertPairs/DeletePairs) keep the materialization fresh
+// by propagating per-relation deltas instead of recomputing from scratch.
+//
+// The maintenance algebra exploits the paper's central observation in the
+// other direction: a two-path join-project is a (Boolean) matrix product,
+// and matrix products are linear, so
+//
+//	Δ(R∘S) = ΔR∘S' + R∘ΔS
+//
+// where primes denote post-mutation relations and deltas carry signs
+// (+1 inserts, −1 deletes). Every maintained view stores its result with
+// multiplicity counts — the number of join witnesses per output tuple, the
+// count-carrying fold of "Output-sensitive Conjunctive Query Evaluation"
+// (Deep et al., 2024) — so deletions are maintainable too: an output tuple
+// dies exactly when its support count reaches zero.
+//
+// Views inside the incrementally-maintainable fragment (single-component
+// acyclic bodies over pure binary atoms) apply deltas with the generic
+// slot-at-a-time rule ΔQ = Σ_j Q(S₁'…S'_{j-1}, ΔS_j, S_{j+1}…S_k); two-path
+// views additionally run large deltas through the MM/WCOJ kernels of
+// internal/joinproject with a per-delta cost-model strategy choice. Views
+// outside the fragment (cyclic bodies, constants, cross products) fall back
+// to flagged full refresh with a configurable staleness bound.
+package view
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/joinproject"
+	"repro/internal/optimizer"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Maintenance modes.
+const (
+	// ModeIncremental marks a view maintained by delta propagation.
+	ModeIncremental = "incremental"
+	// ModeRefresh marks a view outside the maintainable fragment, kept
+	// fresh by full recomputation (lazily on read, eagerly once the
+	// staleness bound is hit).
+	ModeRefresh = "refresh"
+)
+
+// kernelDeltaMin is the delta size at which a two-path maintenance fold
+// switches from direct indexed expansion (the WCOJ-style plan, optimal for
+// tiny deltas) to building delta matrices for the cost-model-planned
+// MM/WCOJ kernels. Below it, the positional-index build of the kernel path
+// would dominate the delta work itself.
+const kernelDeltaMin = 128
+
+// entry is one live (or transiently dead) output tuple of a counted view
+// materialization: its head values and its support count (join witnesses).
+type entry struct {
+	vals  []int32
+	count int64
+}
+
+// Freshness is the metadata served alongside a view's materialized result.
+type Freshness struct {
+	// Mode is ModeIncremental or ModeRefresh.
+	Mode string `json:"mode"`
+	// Reason explains a refresh fallback (why the view is outside the
+	// incrementally-maintainable fragment); empty for incremental views.
+	Reason string `json:"reason,omitempty"`
+	// Stale reports whether mutations are pending that the materialization
+	// does not yet reflect (refresh views only; incremental views are
+	// always fresh).
+	Stale bool `json:"stale"`
+	// PendingBatches counts mutation batches since the last refresh.
+	PendingBatches int `json:"pending_batches"`
+	// Updates counts maintenance batches applied since registration.
+	Updates uint64 `json:"updates"`
+	// LastMaintainNs is the duration of the last maintenance (or refresh).
+	LastMaintainNs int64 `json:"last_maintain_ns"`
+	// Strategies records the per-delta strategy choices of the last
+	// maintenance batch (e.g. "Δfold mm |Δ|=512").
+	Strategies []string `json:"strategies,omitempty"`
+}
+
+// View is one registered, materialized, maintained query. All methods are
+// safe for concurrent use; readers are only blocked for the duration of a
+// result-cache rebuild, never for the maintenance work itself on other
+// views.
+type View struct {
+	name string
+	q    *query.Query
+	text string
+	mode string
+
+	mu     sync.RWMutex
+	plan   *maintPlan // nil for refresh views
+	reason string     // refresh fallback reason
+
+	counts map[string]*entry
+	cur    map[string]*relation.Relation // view's belief of its base relations
+	curVer map[string]uint64
+
+	dirty  bool
+	cached [][]int64
+	cols   []string
+
+	stale        bool
+	pending      int
+	refreshAfter int
+	refreshErr   error
+
+	updates    uint64
+	lastDur    time.Duration
+	lastStrats []string
+
+	opt      *optimizer.Optimizer
+	workers  int
+	evaluate func(context.Context, string) (*query.Result, error)
+}
+
+// Name returns the view's registered name.
+func (v *View) Name() string { return v.name }
+
+// Text returns the canonical query text of the view definition.
+func (v *View) Text() string { return v.text }
+
+// Mode returns ModeIncremental or ModeRefresh.
+func (v *View) Mode() string { return v.mode }
+
+// key packs head values into a map key.
+func key(vals []int32) string {
+	b := make([]byte, 4*len(vals))
+	for i, val := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(val))
+	}
+	return string(b)
+}
+
+// bump adjusts one output tuple's support count, creating and retiring
+// entries as the count crosses zero.
+func (v *View) bump(vals []int32, delta int64) {
+	k := key(vals)
+	e, ok := v.counts[k]
+	if !ok {
+		e = &entry{vals: append([]int32(nil), vals...)}
+		v.counts[k] = e
+	}
+	e.count += delta
+	if e.count == 0 {
+		delete(v.counts, k)
+	}
+}
+
+// emptyRel is the relation an absent (or dropped) base relation reads as.
+func emptyRel(name string) *relation.Relation { return relation.FromPairs(name, nil) }
+
+// applyMutation folds one base-relation delta into the counted store. old
+// and next are the relation before and after; added/removed is the
+// effective tuple delta. Callers hold v.mu.
+func (v *View) applyMutation(name string, old, next *relation.Relation, added, removed []relation.Pair) {
+	start := time.Now()
+	v.lastStrats = v.lastStrats[:0]
+	relFor := func(i, j int) *relation.Relation {
+		s := v.plan.slots[i]
+		if s.rel != name {
+			return v.cur[s.rel]
+		}
+		if i < j {
+			return next
+		}
+		return old
+	}
+	for j, s := range v.plan.slots {
+		if s.rel != name {
+			continue
+		}
+		if v.plan.shape == ShapeTwoPath && len(added)+len(removed) >= kernelDeltaMin {
+			v.twoPathKernelDelta(j, added, removed, relFor(1-j, j))
+		} else {
+			if len(added)+len(removed) > 0 {
+				v.lastStrats = append(v.lastStrats,
+					fmt.Sprintf("Δ%s slot=%d wcoj |Δ|=%d", name, j, len(added)+len(removed)))
+			}
+			v.backtrackDelta(j, added, +1, relFor)
+			v.backtrackDelta(j, removed, -1, relFor)
+		}
+	}
+	v.cur[name] = next
+	v.updates++
+	v.lastDur = time.Since(start)
+	v.dirty = true
+}
+
+// backtrackDelta extends every delta tuple of slot j through the remaining
+// slots (the precomputed order) and adjusts head-tuple counts by sign. This
+// is the delta twin of the executor's enumerate plan: work is proportional
+// to the delta's actual join fan-out, so only the affected branch of the
+// tree is re-folded.
+func (v *View) backtrackDelta(j int, pairs []relation.Pair, sign int64, relFor func(i, j int) *relation.Relation) {
+	if len(pairs) == 0 {
+		return
+	}
+	plan := v.plan
+	order := plan.orders[j]
+	vals := make([]int32, len(plan.vars))
+	head := make([]int32, len(plan.headVars))
+	rels := make([]*relation.Relation, len(order))
+	for k, st := range order {
+		rels[k] = relFor(st.slot, j)
+	}
+	var extend func(k int)
+	extend = func(k int) {
+		if k == len(order) {
+			for i, hv := range plan.headVars {
+				head[i] = vals[hv]
+			}
+			v.bump(head, sign)
+			return
+		}
+		st := order[k]
+		s := plan.slots[st.slot]
+		r := rels[k]
+		switch st.mode {
+		case stepBoth:
+			if r.Contains(vals[s.a], vals[s.b]) {
+				extend(k + 1)
+			}
+		case stepFromA:
+			for _, y := range r.ByX().Lookup(vals[s.a]) {
+				vals[s.b] = y
+				extend(k + 1)
+			}
+		default: // stepFromB
+			for _, x := range r.ByY().Lookup(vals[s.b]) {
+				vals[s.a] = x
+				extend(k + 1)
+			}
+		}
+	}
+	s := plan.slots[j]
+	for _, p := range pairs {
+		vals[s.a], vals[s.b] = p.X, p.Y
+		extend(0)
+	}
+}
+
+// twoPathKernelDelta runs a large two-path delta through the joinproject
+// kernels: the delta pairs become a small relation, the Section-5 cost
+// model picks MM or WCOJ for (Δ, other), and the counting fold's witness
+// counts are folded into the store with the delta's sign. j is the mutated
+// slot; other is the partner slot's relation under the sequential delta
+// rule (new version for the later slot, old for the earlier).
+func (v *View) twoPathKernelDelta(j int, added, removed []relation.Pair, other *relation.Relation) {
+	plan := v.plan
+	sj, so := plan.slots[j], plan.slots[1-j]
+	headJ, headO := sj.other(plan.shared), so.other(plan.shared)
+	posJ, posO := headPos(plan.headVars, headJ), headPos(plan.headVars, headO)
+	otherOriented := orientSlot(other, so, headO)
+
+	fold := func(pairs []relation.Pair, sign int64) {
+		if len(pairs) == 0 {
+			return
+		}
+		delta := relation.FromPairs("Δ"+sj.rel, orientPairs(pairs, sj, headJ))
+		jopt := joinproject.Options{Workers: v.workers}
+		strat := "mm"
+		if v.opt != nil {
+			dec := v.opt.Choose(delta, otherOriented, v.workers)
+			if dec.UseWCOJ {
+				strat = "wcoj"
+				t := delta.Size()
+				if otherOriented.Size() > t {
+					t = otherOriented.Size()
+				}
+				jopt.Delta1, jopt.Delta2 = t+1, t+1
+			} else {
+				jopt.Delta1, jopt.Delta2 = dec.Delta1, dec.Delta2
+			}
+		}
+		v.lastStrats = append(v.lastStrats,
+			fmt.Sprintf("Δ%s slot=%d %s |Δ|=%d", sj.rel, j, strat, delta.Size()))
+		head := make([]int32, len(plan.headVars))
+		for _, pc := range joinproject.TwoPathMMCounts(delta, otherOriented, jopt) {
+			head[posJ], head[posO] = pc.X, pc.Z
+			v.bump(head, sign*int64(pc.Count))
+		}
+	}
+	fold(added, +1)
+	fold(removed, -1)
+}
+
+// headPos returns v's position in headVars.
+func headPos(headVars []int, v int) int {
+	for i, hv := range headVars {
+		if hv == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// orientSlot returns r with the head variable on the X column and the join
+// variable on Y, as the two-path kernel expects.
+func orientSlot(r *relation.Relation, s slot, headVar int) *relation.Relation {
+	if s.a == headVar {
+		return r
+	}
+	return r.Swap()
+}
+
+// orientPairs reorders delta pairs into (head, join) orientation.
+func orientPairs(pairs []relation.Pair, s slot, headVar int) []relation.Pair {
+	if s.a == headVar {
+		return pairs
+	}
+	out := make([]relation.Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = relation.Pair{X: p.Y, Y: p.X}
+	}
+	return out
+}
+
+// rebuildLocked refreshes the sorted result cache from the counted store,
+// applying the COUNT aggregate when the head carries one. Callers hold v.mu
+// for writing.
+func (v *View) rebuildLocked() {
+	entries := make([]*entry, 0, len(v.counts))
+	for _, e := range v.counts {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].vals, entries[j].vals
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+
+	q, plan := v.q, v.plan
+	if plan.countIdx < 0 {
+		out := make([][]int64, len(entries))
+		for i, e := range entries {
+			row := make([]int64, len(q.Head))
+			for t, pos := range plan.headTermPos {
+				row[t] = int64(e.vals[pos])
+			}
+			out[i] = row
+		}
+		v.cached, v.dirty = out, false
+		return
+	}
+
+	// COUNT(v): entries are distinct over (group vars ∪ {v}); counting
+	// entries per group yields the distinct-v count. Grouping goes through
+	// a map keyed on the group values — the entry sort order is over ALL
+	// head variables, so equal groups need not be adjacent when the COUNT
+	// term is not the last head term.
+	groupPos := make([]int, 0, len(q.Head)-1)
+	for t := range q.Head {
+		if t != plan.countIdx {
+			groupPos = append(groupPos, plan.headTermPos[t])
+		}
+	}
+	if len(groupPos) == 0 {
+		v.cached, v.dirty = [][]int64{{int64(len(entries))}}, false
+		return
+	}
+	groups := map[string]*entry{}
+	var order []*entry
+	gk := make([]int32, len(groupPos))
+	for _, e := range entries {
+		for i, gp := range groupPos {
+			gk[i] = e.vals[gp]
+		}
+		k := key(gk)
+		g, ok := groups[k]
+		if !ok {
+			g = &entry{vals: append([]int32(nil), gk...)}
+			groups[k] = g
+			order = append(order, g)
+		}
+		g.count++
+	}
+	out := make([][]int64, 0, len(order))
+	for _, g := range order {
+		row := make([]int64, len(q.Head))
+		gi := 0
+		for t := range q.Head {
+			if t == plan.countIdx {
+				row[t] = g.count
+			} else {
+				row[t] = int64(g.vals[gi])
+				gi++
+			}
+		}
+		out = append(out, row)
+	}
+	query.SortTuples(out)
+	v.cached, v.dirty = out, false
+}
+
+// Result returns the view's materialized result: column labels, tuples in
+// canonical sorted order, and freshness metadata. Refresh-mode views that
+// are stale are recomputed first; incremental views serve directly from the
+// maintained store. The returned slices are shared — callers must not
+// modify them.
+func (v *View) Result(ctx context.Context) ([]string, [][]int64, Freshness, error) {
+	if v.mode == ModeRefresh {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		if v.stale || v.cached == nil {
+			if err := v.refreshLocked(ctx); err != nil {
+				return nil, nil, v.freshnessLocked(), err
+			}
+		}
+		return v.cols, v.cached, v.freshnessLocked(), nil
+	}
+	// Clean-cache fast path: concurrent readers share the read lock and are
+	// only serialized for the duration of a rebuild after a mutation.
+	v.mu.RLock()
+	if !v.dirty && v.cached != nil {
+		cols, tuples, fresh := v.cols, v.cached, v.freshnessLocked()
+		v.mu.RUnlock()
+		return cols, tuples, fresh, nil
+	}
+	v.mu.RUnlock()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.dirty || v.cached == nil {
+		v.rebuildLocked()
+	}
+	return v.cols, v.cached, v.freshnessLocked(), nil
+}
+
+// Freshness returns the view's current freshness metadata.
+func (v *View) Freshness() Freshness {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.freshnessLocked()
+}
+
+func (v *View) freshnessLocked() Freshness {
+	return Freshness{
+		Mode:           v.mode,
+		Reason:         v.reason,
+		Stale:          v.stale,
+		PendingBatches: v.pending,
+		Updates:        v.updates,
+		LastMaintainNs: v.lastDur.Nanoseconds(),
+		Strategies:     append([]string(nil), v.lastStrats...),
+	}
+}
+
+// refreshLocked recomputes a refresh-mode view from scratch through the
+// engine's normal query pipeline. Callers hold v.mu for writing.
+func (v *View) refreshLocked(ctx context.Context) error {
+	start := time.Now()
+	res, err := v.evaluate(ctx, v.text)
+	if err != nil {
+		v.refreshErr = err
+		return fmt.Errorf("view %q: refresh: %w", v.name, err)
+	}
+	tuples := res.Tuples
+	if tuples == nil {
+		tuples = [][]int64{}
+	}
+	query.SortTuples(tuples)
+	v.cols = res.Columns
+	v.cached = tuples
+	v.stale = false
+	v.pending = 0
+	v.refreshErr = nil
+	v.updates++
+	v.lastDur = time.Since(start)
+	v.lastStrats = []string{"full refresh"}
+	return nil
+}
+
+// Rows returns the current number of live result tuples (before any COUNT
+// grouping for incremental views; the cached row count for refresh views).
+func (v *View) Rows() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.mode == ModeIncremental {
+		return len(v.counts)
+	}
+	return len(v.cached)
+}
+
+// MaintenancePlan renders the view's maintenance plan as an explainable
+// tree: one delta operator per atom slot for incremental views (deltafold
+// for two-path kernels, deltastar for star arms, deltatree for generic tree
+// extension), each with its predicted per-delta-tuple cost, or a refresh
+// node with the fallback reason and staleness bound.
+func (v *View) MaintenancePlan() *query.Plan {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	root := &query.Node{Op: "maintain", Rows: -1,
+		Detail: fmt.Sprintf("view %s mode=%s", v.name, v.mode)}
+	plan := &query.Plan{Text: v.name + " := " + v.text, Root: root, Predicted: true}
+	if v.mode == ModeRefresh {
+		root.Children = []*query.Node{{
+			Op:   "refresh",
+			Rows: -1,
+			Detail: fmt.Sprintf("%s; recompute lazily on read, eagerly after %d pending batches",
+				v.reason, v.refreshAfter),
+		}}
+		return plan
+	}
+	root.Detail += fmt.Sprintf(" shape=%s rows=%d", v.plan.shape, len(v.counts))
+	for j, s := range v.plan.slots {
+		root.Children = append(root.Children, v.deltaNode(j, s))
+	}
+	return plan
+}
+
+// deltaNode renders the maintenance operator for one atom slot.
+func (v *View) deltaNode(j int, s slot) *query.Node {
+	plan := v.plan
+	switch plan.shape {
+	case ShapeTwoPath:
+		so := plan.slots[1-j]
+		cost := avgDegree(v.cur[so.rel], so, plan.shared)
+		return &query.Node{
+			Op: "deltafold", Strategy: "auto", Rows: -1,
+			Detail: fmt.Sprintf("Δ%s ∘ %s via %s (cost model per delta, kernels ≥%d Δtuples) predicted cost/Δtuple≈%.1f",
+				s.rel, so.rel, plan.vars[plan.shared], kernelDeltaMin, cost),
+		}
+	case ShapeStar:
+		arms := make([]string, 0, len(plan.slots)-1)
+		var cost float64 = 1
+		for i, o := range plan.slots {
+			if i != j {
+				arms = append(arms, o.rel)
+				cost *= 1 + avgDegree(v.cur[o.rel], o, plan.shared)
+			}
+		}
+		return &query.Node{
+			Op: "deltastar", Strategy: "wcoj", Rows: -1,
+			Detail: fmt.Sprintf("Δ%s ⋈ [%s] through center %s (affected arm only) predicted cost/Δtuple≈%.1f",
+				s.rel, strings.Join(arms, ", "), plan.vars[plan.shared], cost),
+		}
+	default:
+		return &query.Node{
+			Op: "deltatree", Strategy: "wcoj", Rows: -1,
+			Detail: fmt.Sprintf("Δ%s(%s, %s) extended through %d remaining atoms (backtracking, affected branch only)",
+				s.rel, plan.vars[s.a], plan.vars[s.b], len(plan.orders[j])),
+		}
+	}
+}
+
+// avgDegree estimates the per-delta-tuple fan-out of extending through r via
+// the shared variable: the average partner-list length on r's join side.
+func avgDegree(r *relation.Relation, s slot, shared int) float64 {
+	if r == nil || r.Size() == 0 {
+		return 0
+	}
+	ix := r.ByY()
+	if s.a == shared {
+		ix = r.ByX()
+	}
+	if ix.NumKeys() == 0 {
+		return 0
+	}
+	return float64(r.Size()) / float64(ix.NumKeys())
+}

@@ -30,10 +30,21 @@
 // cost model choosing MM vs WCOJ per plan node; cyclic queries (triangles,
 // cycles, cliques) are admitted via generalized hypertree decomposition and
 // run through the same fold machinery over materialized bag relations.
-// Compiled plans are cached per (query, catalog epoch). See
-// internal/query/README.md for the grammar, docs/ARCHITECTURE.md for a
-// worked walk-through, and cmd/joinmmd for the HTTP/JSON server exposing
-// the same surface.
+// Compiled plans are cached per (query, versions of the relations it reads).
+//
+// The catalog is mutable and views are live: Engine.Mutate applies coalesced
+// insert/delete batches, and views registered with Engine.RegisterView are
+// kept fresh by delta propagation through the same kernels (full refresh
+// with a staleness bound outside the incrementally-maintainable fragment):
+//
+//	v, _ := eng.RegisterView(ctx, "paths", "V(x, z) :- R(x, y), R(y, z)")
+//	eng.Mutate("R", inserts, deletes) // v is patched, not recomputed
+//	cols, tuples, freshness, _ := v.Result(ctx)
+//
+// See internal/query/README.md for the grammar, internal/view/README.md for
+// the maintenance algebra, docs/ARCHITECTURE.md for worked walk-throughs of
+// both the query and the update path, and cmd/joinmmd for the HTTP/JSON
+// server exposing the same surface.
 package joinmm
 
 import (
@@ -46,6 +57,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/scj"
 	"repro/internal/ssj"
+	"repro/internal/view"
 )
 
 // Pair is a single tuple (X, Y) of a binary relation.
@@ -113,8 +125,24 @@ type QueryResult = query.Result
 // QueryPlan is an explainable plan tree for a text query.
 type QueryPlan = query.Plan
 
-// Catalog is the engine's named-relation registry with its LRU plan cache.
+// Catalog is the engine's named-relation registry with its LRU plan cache
+// and the tuple-level mutation API feeding view maintenance.
 type Catalog = catalog.Catalog
+
+// RelationMutation is one coalesced catalog change: the effective tuple
+// delta, the old and new relation, and the bumped per-relation version.
+type RelationMutation = catalog.Mutation
+
+// MaterializedView is one registered live view: materialized once, kept
+// fresh under Engine.Mutate by delta propagation (or flagged refresh).
+type MaterializedView = view.View
+
+// ViewInfo summarizes one registered view (name, query, rows, freshness).
+type ViewInfo = view.Info
+
+// ViewFreshness is the maintenance metadata served with view results:
+// mode, staleness, pending batches, last maintenance cost and strategies.
+type ViewFreshness = view.Freshness
 
 // ParseQuery parses one rule of the text query language, e.g.
 // "Q(x, z) :- R(x, y), S(y, z), T(z, w) WITH strategy=auto".
