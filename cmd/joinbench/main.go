@@ -10,7 +10,9 @@
 //	joinbench -json -baseline BENCH_kernels.json     # + regression gate
 //	joinbench -query "Q(x, z) :- R(x, y), S(y, z)"   # query pipeline bench
 //	joinbench -query suite                           # canned query suite
+//	joinbench -query suite -query-baseline BENCH_queries.json  # + e2e gate
 //	joinbench -views                                 # view maintenance bench
+//	joinbench -recovery                              # replay-vs-recompute bench
 //
 // Each experiment prints the same rows/series the paper's corresponding
 // table or figure reports (dataset × algorithm × running time, or a
@@ -18,9 +20,17 @@
 // DESIGN.md for the dataset substitution rationale.
 //
 // -query measures parse, compile (plan + semijoin reduction) and full
-// parse+plan+execute times for one query string — or the canned suite with
-// "suite" — against a synthetic catalog (relations R, S, T, U, V sized by
-// -scale), and merges the results into BENCH_queries.json.
+// parse+plan+execute times (min-of-reps) for one query string — or the
+// canned suite with "suite" — against a synthetic catalog (relations R, S,
+// T, U, V sized by -scale), and merges the results into BENCH_queries.json.
+// With -query-baseline, the fresh end-to-end times are gated against a
+// committed snapshot exactly like the kernel gate.
+//
+// -recovery builds a durable serving state (relations + views + a logged
+// mutation stream, with and without a mid-stream checkpoint), then times a
+// cold Engine.Open (snapshot load + WAL replay through incremental view
+// maintenance) against recomputing the same state from scratch, writing
+// BENCH_recovery.json.
 //
 // With -json, -baseline compares the fresh kernel measurements against a
 // committed snapshot and exits non-zero when any benchmark regressed by more
@@ -46,19 +56,28 @@ func main() {
 		baseline  = flag.String("baseline", "", "with -json: compare against this snapshot and fail on regressions")
 		tolerance = flag.Float64("tolerance", 0.10, "with -baseline: allowed ns/op regression fraction")
 		queryStr  = flag.String("query", "", "benchmark end-to-end query evaluation: a query string, or 'suite'")
+		queryBase = flag.String("query-baseline", "", "with -query: gate end-to-end times against this BENCH_queries.json snapshot")
 		viewsMode = flag.Bool("views", false, "benchmark incremental view maintenance vs full recompute; writes BENCH_views.json")
+		recovery  = flag.Bool("recovery", false, "benchmark crash recovery (snapshot + WAL replay) vs recompute; writes BENCH_recovery.json")
 	)
 	flag.Parse()
 
 	if *queryStr != "" {
-		runQueryBench(*queryStr, *scale)
-		if *exp == "" && !*list && !*jsonOut && !*viewsMode {
+		runQueryBench(*queryStr, *scale, *queryBase, *tolerance)
+		if *exp == "" && !*list && !*jsonOut && !*viewsMode && !*recovery {
 			return
 		}
 	}
 
 	if *viewsMode {
 		runViewBench(*scale)
+		if *exp == "" && !*list && !*jsonOut && !*recovery {
+			return
+		}
+	}
+
+	if *recovery {
+		runRecoveryBench(*scale)
 		if *exp == "" && !*list && !*jsonOut {
 			return
 		}
@@ -162,12 +181,23 @@ func runViewBench(scale float64) {
 	fmt.Println("wrote BENCH_views.json")
 }
 
-// runQueryBench measures one query (or the canned suite) and merges the
-// results into BENCH_queries.json.
-func runQueryBench(q string, scale float64) {
+// runQueryBench measures one query (or the canned suite), merges the
+// results into BENCH_queries.json, and — when a baseline snapshot is given —
+// gates the end-to-end times against it.
+func runQueryBench(q string, scale float64, baseline string, tolerance float64) {
 	queries := []string{q}
 	if q == "suite" {
 		queries = experiments.DefaultQuerySuite()
+	}
+	// Read the baseline before measuring: the snapshot overwrites the file.
+	var base []byte
+	if baseline != "" {
+		var err error
+		base, err = os.ReadFile(baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
 	}
 	prev, _ := os.ReadFile("BENCH_queries.json")
 	snap, err := experiments.QueryBenchSnapshot(queries, scale, prev)
@@ -186,4 +216,41 @@ func runQueryBench(q string, scale float64) {
 	}
 	fmt.Print(table)
 	fmt.Println("wrote BENCH_queries.json")
+	if base != nil {
+		regs, err := experiments.CompareQuerySnapshots(base, snap, tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "joinbench: %d query e2e regression(s) beyond %.0f%% vs %s:\n",
+				len(regs), tolerance*100, baseline)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no query regressions beyond %.0f%% vs %s\n", tolerance*100, baseline)
+	}
+}
+
+// runRecoveryBench measures replay-vs-recompute and writes
+// BENCH_recovery.json.
+func runRecoveryBench(scale float64) {
+	snap, err := experiments.RecoveryBenchSnapshot(scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_recovery.json", snap, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	table, err := experiments.RenderRecoverySnapshot(snap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(table)
+	fmt.Println("wrote BENCH_recovery.json")
 }

@@ -1,36 +1,58 @@
 // Command joinmmd serves the join-project query engine over HTTP/JSON:
-// text queries, EXPLAIN, catalog management, tuple-level mutations and live
-// incrementally-maintained views (see internal/server for the endpoint
-// reference).
+// text queries, EXPLAIN, catalog management, tuple-level mutations, live
+// incrementally-maintained views, and durable state under a data dir (see
+// internal/server for the endpoint reference).
 //
 // Usage:
 //
 //	joinmmd -addr :8080 -load R=friends.rel -load S=follows.rel
+//	joinmmd -addr :8080 -data-dir /var/lib/joinmmd -fsync always
 //	curl -d '{"query": "Q(x, z) :- R(x, y), S(y, z)"}' localhost:8080/query
 //	curl -d '{"name": "v", "query": "V(x, z) :- R(x, y), S(y, z)"}' localhost:8080/views
 //	curl -d '{"pairs": [[1, 2]]}' localhost:8080/catalog/relations/R/insert
 //	curl 'localhost:8080/views/v?limit=100'
+//	curl -X POST localhost:8080/admin/checkpoint
 //
 // Flags:
 //
-//	-addr            listen address (default :8080)
-//	-timeout         per-query evaluation timeout (default 30s)
-//	-max-in-flight   concurrent query admission bound (default: all cores)
-//	-workers         engine parallelism per query (default: all cores)
-//	-load name=path  preload a relation (repeatable); files are written by
-//	                 (*Relation).Save / cmd/datagen
+//	-addr              listen address (default :8080)
+//	-timeout           per-query evaluation timeout (default 30s)
+//	-max-in-flight     concurrent query admission bound (default: all cores)
+//	-workers           engine parallelism per query (default: all cores)
+//	-load name=path    preload a relation (repeatable); files are written by
+//	                   (*Relation).Save / cmd/datagen. With -data-dir, a
+//	                   name already recovered from the data dir is skipped —
+//	                   the durable state wins over the seed file
+//	-data-dir          durability directory: state is recovered from it on
+//	                   start (snapshot + WAL replay) and every mutation is
+//	                   write-ahead logged to it ("" = ephemeral)
+//	-fsync             WAL fsync policy: always|interval|never (default always)
+//	-fsync-interval    fsync period under -fsync interval (default 100ms)
+//	-checkpoint-every  automatic checkpoint after N logged mutation batches
+//	                   (0 = manual via POST /admin/checkpoint only)
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: the listener closes,
+// in-flight queries drain through the admission semaphore, the WAL is
+// fsynced and closed, and the process exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // loadFlags collects repeated -load name=path specs.
@@ -48,27 +70,109 @@ func (l loadFlags) Set(v string) error {
 }
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("joinmmd: %v", err)
+	}
+}
+
+// run is main with an error return, so graceful shutdown reaches exit code
+// 0 through one path.
+func run() error {
 	loads := loadFlags{}
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
-		inflight = flag.Int("max-in-flight", 0, "max concurrently evaluating queries (0 = all cores)")
-		workers  = flag.Int("workers", 0, "engine workers per query (0 = all cores)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
+		inflight  = flag.Int("max-in-flight", 0, "max concurrently evaluating queries (0 = all cores)")
+		workers   = flag.Int("workers", 0, "engine workers per query (0 = all cores)")
+		dataDir   = flag.String("data-dir", "", "durability directory (recover on start, write-ahead log mutations; \"\" = ephemeral)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
+		ckptEvery = flag.Int("checkpoint-every", 0, "automatic checkpoint after N logged mutation batches (0 = manual only)")
 	)
 	flag.Var(loads, "load", "preload relation, name=path (repeatable)")
 	flag.Parse()
 
 	eng := core.NewEngine(core.WithWorkers(*workers))
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := eng.Open(*dataDir, core.PersistOptions{
+			Fsync: policy, FsyncInterval: *fsyncIvl, CheckpointEvery: *ckptEvery,
+		}); err != nil {
+			return err
+		}
+		rec := eng.RecoveryStats()
+		log.Printf("recovered %s in %v: snapshot lsn=%d (%d relations, %d views), replayed %d wal records (%d mutation batches re-maintained views incrementally)",
+			*dataDir, time.Since(start).Round(time.Millisecond),
+			rec.SnapshotLSN, rec.RestoredRelations, rec.RestoredViews,
+			rec.ReplayedRecords, rec.ReplayedMutations)
+	}
 	if len(loads) > 0 {
+		// With a data dir, -load only seeds relations the recovered state
+		// does not already have: re-registering a recovered relation would
+		// silently discard every acked mutation since the file was written
+		// (and append the full image to the WAL on each restart).
+		skipped := 0
+		for name := range loads {
+			if _, ok := eng.Catalog().Get(name); ok {
+				log.Printf("skipping -load %s: already recovered from %s (delete the relation first to reload)", name, *dataDir)
+				delete(loads, name)
+				skipped++
+			}
+		}
 		start := time.Now()
 		if err := eng.Catalog().LoadFiles(loads); err != nil {
-			log.Fatalf("joinmmd: %v", err)
+			return err
 		}
-		log.Printf("loaded %d relations in %v", len(loads), time.Since(start).Round(time.Millisecond))
+		if len(loads) > 0 {
+			log.Printf("loaded %d relations in %v (%d already recovered)", len(loads), time.Since(start).Round(time.Millisecond), skipped)
+		}
 	}
 	s := server.New(server.Config{Engine: eng, Timeout: *timeout, MaxInFlight: *inflight})
-	log.Printf("joinmmd listening on %s (%d relations, timeout %v)", *addr, eng.Catalog().Len(), *timeout)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
-		log.Fatalf("joinmmd: %v", err)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
 	}
+	log.Printf("joinmmd listening on %s (%d relations, timeout %v, fsync %s)",
+		ln.Addr(), eng.Catalog().Len(), *timeout, *fsync)
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful shutdown: close the listener and wait for handlers, drain the
+	// admission semaphore so no query is mid-evaluation, then fsync + close
+	// the WAL. A second signal is not special-cased: the shutdown deadline
+	// bounds the wait.
+	log.Printf("joinmmd shutting down: draining in-flight queries")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("joinmmd: http shutdown: %v", err)
+	}
+	if err := s.Drain(shutdownCtx); err != nil {
+		log.Printf("joinmmd: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		return fmt.Errorf("closing wal: %w", err)
+	}
+	log.Printf("joinmmd: shutdown complete")
+	return nil
 }

@@ -18,6 +18,7 @@ package catalog
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -30,6 +31,11 @@ import (
 
 // DefaultPlanCacheSize is the LRU capacity New uses.
 const DefaultPlanCacheSize = 128
+
+// ErrUnknownRelation marks a mutation of a relation that is not registered;
+// callers distinguish it (errors.Is) from operational failures such as a
+// durability-sink veto, which must not read as "not found".
+var ErrUnknownRelation = errors.New("unknown relation")
 
 // Info summarizes one registered relation for listings.
 type Info struct {
@@ -63,6 +69,19 @@ type Mutation struct {
 // Empty reports whether the mutation changed nothing (fully coalesced away).
 func (m Mutation) Empty() bool { return !m.Reset && len(m.Added) == 0 && len(m.Removed) == 0 }
 
+// Persistence is the durability sink of the catalog: when set, every
+// effective mutation is offered to the sink BEFORE it is applied and before
+// subscribers run, all under the mutation lock — so the write-ahead log, the
+// in-memory state and the registered views observe exactly the same mutation
+// order. A sink error vetoes the mutation: the catalog stays unchanged and
+// the caller gets the error, so nothing is ever acked that the log refused.
+// The Mutation handed to the sink predates the apply, so its Version and
+// Epoch fields are zero — replay regenerates them.
+type Persistence interface {
+	// LogMutation durably records one effective mutation (or rejects it).
+	LogMutation(m Mutation) error
+}
+
 // Catalog is a concurrent name → relation registry with a plan cache.
 type Catalog struct {
 	mu    sync.RWMutex
@@ -71,15 +90,21 @@ type Catalog struct {
 	epoch uint64
 	subs  []func(Mutation)
 
-	// mutMu serializes whole mutations (delta computation + swap +
-	// subscriber notification), so subscribers observe mutations in the
-	// order they were applied.
-	mutMu sync.Mutex
+	// mutMu serializes whole mutations (delta computation + WAL append +
+	// swap + subscriber notification), so the log and subscribers observe
+	// mutations in the order they were applied.
+	mutMu   sync.Mutex
+	persist Persistence // nil: no durability sink attached
 
 	cacheMu sync.Mutex
 	cache   *planLRU
 	hits    uint64
 	misses  uint64
+
+	resultMu     sync.Mutex
+	results      *resultLRU
+	resultHits   uint64
+	resultMisses uint64
 }
 
 // New returns an empty catalog with the default plan-cache capacity.
@@ -89,10 +114,39 @@ func New() *Catalog { return NewWithCacheSize(DefaultPlanCacheSize) }
 // compiled queries (n ≤ 0 disables caching).
 func NewWithCacheSize(n int) *Catalog {
 	return &Catalog{
-		rels:  map[string]*relation.Relation{},
-		vers:  map[string]uint64{},
-		cache: newPlanLRU(n),
+		rels:    map[string]*relation.Relation{},
+		vers:    map[string]uint64{},
+		cache:   newPlanLRU(n),
+		results: newResultLRU(DefaultResultCacheEntries),
 	}
+}
+
+// SetPersistence attaches (or, with nil, detaches) the durability sink. It
+// synchronizes with in-flight mutations, so recovery can replay the log
+// sink-free and attach the sink before serving.
+func (c *Catalog) SetPersistence(p Persistence) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	c.persist = p
+}
+
+// Freeze runs fn while holding the mutation lock: no mutation (and, because
+// view maintenance runs synchronously inside that lock, no view store
+// change) can land while fn runs. The checkpointer uses it to capture one
+// consistent (relations, view stores, WAL position) triple; fn must not
+// mutate the catalog.
+func (c *Catalog) Freeze(fn func()) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	fn()
+}
+
+// logMutation offers m to the persistence sink. Callers hold mutMu.
+func (c *Catalog) logMutation(m Mutation) error {
+	if c.persist == nil {
+		return nil
+	}
+	return c.persist.LogMutation(m)
 }
 
 // snapshot returns the current relation map and epoch. The map must not be
@@ -171,6 +225,9 @@ func (c *Catalog) Register(name string, r *relation.Relation) error {
 	c.mutMu.Lock()
 	defer c.mutMu.Unlock()
 	old, _ := c.Get(name)
+	if err := c.logMutation(Mutation{Name: name, Reset: true, Old: old, New: r}); err != nil {
+		return fmt.Errorf("catalog: register %q: %w", name, err)
+	}
 	ver, epoch := c.mutate(func(m map[string]*relation.Relation) { m[name] = r }, name)
 	c.notify(Mutation{Name: name, Reset: true, Old: old, New: r, Version: ver, Epoch: epoch})
 	return nil
@@ -186,17 +243,22 @@ func (c *Catalog) RegisterPairs(name string, pairs []relation.Pair) (*relation.R
 }
 
 // Drop removes name, reporting whether it was present. Subscribers see a
-// Reset mutation with a nil New relation.
-func (c *Catalog) Drop(name string) bool {
+// Reset mutation with a nil New relation. With a persistence sink attached,
+// a sink veto leaves the relation in place and returns the sink's error
+// (present is true in that case: the relation still exists).
+func (c *Catalog) Drop(name string) (present bool, err error) {
 	c.mutMu.Lock()
 	defer c.mutMu.Unlock()
 	old, present := c.Get(name)
 	if !present {
-		return false
+		return false, nil
+	}
+	if err := c.logMutation(Mutation{Name: name, Reset: true, Old: old}); err != nil {
+		return true, fmt.Errorf("catalog: drop %q: %w", name, err)
 	}
 	ver, epoch := c.mutate(func(m map[string]*relation.Relation) { delete(m, name) }, name)
 	c.notify(Mutation{Name: name, Reset: true, Old: old, Version: ver, Epoch: epoch})
-	return true
+	return true, nil
 }
 
 // Mutate applies one coalesced tuple-level change to relation name: the new
@@ -210,7 +272,7 @@ func (c *Catalog) Mutate(name string, insert, del []relation.Pair) (Mutation, er
 	defer c.mutMu.Unlock()
 	old, ok := c.Get(name)
 	if !ok {
-		return Mutation{}, fmt.Errorf("catalog: mutate unknown relation %q", name)
+		return Mutation{}, fmt.Errorf("catalog: mutate %q: %w", name, ErrUnknownRelation)
 	}
 	delSet := make(map[relation.Pair]struct{}, len(del))
 	var added, removed []relation.Pair
@@ -241,6 +303,9 @@ func (c *Catalog) Mutate(name string, insert, del []relation.Pair) (Mutation, er
 		ver, epoch := c.vers[name], c.epoch
 		c.mu.RUnlock()
 		return Mutation{Name: name, Old: old, New: old, Version: ver, Epoch: epoch}, nil
+	}
+	if err := c.logMutation(Mutation{Name: name, Added: added, Removed: removed, Old: old}); err != nil {
+		return Mutation{}, fmt.Errorf("catalog: mutate %q: %w", name, err)
 	}
 	// Linear-merge rebuild: O(N + Δ log Δ), no full re-sort.
 	next := relation.ApplyDelta(old, name, added, removed)
@@ -375,6 +440,17 @@ func (c *Catalog) PrepareContext(ctx context.Context, src string) (*query.Prepar
 	}
 	c.cachePut(key, p)
 	return p, false, nil
+}
+
+// Signature renders the version signature of the relations q references
+// against the current catalog — the same key component the plan cache uses.
+// Any effective mutation of a referenced relation changes the signature, so
+// caches keyed on (canonical text, signature) are implicitly invalidated by
+// exactly the mutations that could change the result.
+func (c *Catalog) Signature(q *query.Query) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return versionSignature(q, c.vers)
 }
 
 // versionSignature renders the versions of the relations q references, e.g.

@@ -37,8 +37,11 @@ func TestRegisterGetDropEpoch(t *testing.T) {
 	if got := c.List(); len(got) != 1 || got[0].Name != "R" {
 		t.Fatalf("List = %v", got)
 	}
-	if !c.Drop("R") || c.Drop("R") {
-		t.Fatal("drop semantics")
+	if ok, err := c.Drop("R"); !ok || err != nil {
+		t.Fatalf("drop semantics: ok=%v err=%v", ok, err)
+	}
+	if ok, err := c.Drop("R"); ok || err != nil {
+		t.Fatalf("double drop semantics: ok=%v err=%v", ok, err)
 	}
 	if err := c.Register("", relation.FromPairs("x", nil)); err == nil {
 		t.Fatal("empty name should error")

@@ -1,0 +1,118 @@
+package catalog
+
+import (
+	"container/list"
+)
+
+// Sorted-result cache: pagination serves tuples in canonical sorted order,
+// and before this cache every page request re-evaluated and re-sorted the
+// full result. Entries are keyed exactly like compiled plans — (canonical
+// query text, version signature of the referenced relations) — so a
+// limit/cursor page sequence over an unchanged catalog hits the same sorted
+// slice, and any effective mutation of a referenced relation changes the
+// signature, invalidating precisely the results it could have changed.
+
+// DefaultResultCacheEntries is the sorted-result cache's entry capacity.
+const DefaultResultCacheEntries = 64
+
+// MaxCachedResultRows bounds the aggregate rows the sorted-result cache may
+// pin across all entries; a single result above the whole budget is served
+// but never cached.
+const MaxCachedResultRows = 1 << 20
+
+// SortedResult is one cached (or freshly computed) sorted query result.
+type SortedResult struct {
+	// Columns are the head labels.
+	Columns []string
+	// Tuples are the distinct result tuples in canonical sorted order.
+	// Shared — callers must not modify.
+	Tuples [][]int64
+	// Plan is the rendered plan of the evaluation that produced the result.
+	Plan string
+	// PlanCached reports whether that evaluation hit the plan cache.
+	PlanCached bool
+	// Cached reports whether this result itself came from the cache (the
+	// page was served without re-evaluating or re-sorting).
+	Cached bool
+}
+
+// CachedSortedResult returns the cached sorted result for (text, sig), if
+// any. The returned result has Cached set.
+func (c *Catalog) CachedSortedResult(text, sig string) (SortedResult, bool) {
+	c.resultMu.Lock()
+	defer c.resultMu.Unlock()
+	if r, ok := c.results.get(planKey{text: text, sig: sig}); ok {
+		c.resultHits++
+		r.Cached = true
+		return r, true
+	}
+	c.resultMisses++
+	return SortedResult{}, false
+}
+
+// StoreSortedResult caches one sorted result under (text, sig).
+func (c *Catalog) StoreSortedResult(text, sig string, r SortedResult) {
+	c.resultMu.Lock()
+	defer c.resultMu.Unlock()
+	r.Cached = false
+	c.results.put(planKey{text: text, sig: sig}, r)
+}
+
+// ResultCacheStats returns sorted-result cache hit/miss counters and size.
+func (c *Catalog) ResultCacheStats() (hits, misses uint64, size int) {
+	c.resultMu.Lock()
+	defer c.resultMu.Unlock()
+	return c.resultHits, c.resultMisses, c.results.order.Len()
+}
+
+// resultLRU is a minimal LRU over sorted results, bounded by entry count
+// and aggregate row weight. Not safe for concurrent use; the catalog
+// serializes access.
+type resultLRU struct {
+	cap     int
+	weight  int
+	order   *list.List // front = most recent; values are *resultEntry
+	entries map[planKey]*list.Element
+}
+
+type resultEntry struct {
+	key    planKey
+	res    SortedResult
+	weight int
+}
+
+func newResultLRU(capacity int) *resultLRU {
+	return &resultLRU{cap: capacity, order: list.New(), entries: map[planKey]*list.Element{}}
+}
+
+func (l *resultLRU) get(key planKey) (SortedResult, bool) {
+	el, ok := l.entries[key]
+	if !ok {
+		return SortedResult{}, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*resultEntry).res, true
+}
+
+func (l *resultLRU) put(key planKey, r SortedResult) {
+	w := len(r.Tuples)
+	if l.cap <= 0 || w > MaxCachedResultRows {
+		return
+	}
+	if el, ok := l.entries[key]; ok {
+		e := el.Value.(*resultEntry)
+		l.weight += w - e.weight
+		e.res, e.weight = r, w
+		l.order.MoveToFront(el)
+	} else {
+		l.entries[key] = l.order.PushFront(&resultEntry{key: key, res: r, weight: w})
+		l.weight += w
+	}
+	for l.order.Len() > l.cap || l.weight > MaxCachedResultRows {
+		back := l.order.Back()
+		e := back.Value.(*resultEntry)
+		l.order.Remove(back)
+		delete(l.entries, e.key)
+		l.weight -= e.weight
+	}
+}

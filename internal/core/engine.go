@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/acyclic"
 	"repro/internal/bsi"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/scj"
 	"repro/internal/ssj"
 	"repro/internal/view"
+	"repro/internal/wal"
 )
 
 // Strategy selects how the engine plans join-project queries.
@@ -95,6 +97,9 @@ type Engine struct {
 	opt   *optimizer.Optimizer
 	cat   *catalog.Catalog
 	views *view.Registry
+
+	pmu     sync.Mutex
+	persist *persistence // durability layer; nil until Open
 }
 
 // NewEngine builds an engine; calibration of the optimizer's machine
@@ -369,9 +374,26 @@ func (e *Engine) Mutate(name string, insert, del []relation.Pair) (catalog.Mutat
 
 // RegisterView registers src as a named materialized view: it is evaluated
 // once now, then kept fresh under Mutate — incrementally for acyclic
-// single-component bodies, by flagged full refresh otherwise.
+// single-component bodies, by flagged full refresh otherwise. With a data
+// dir open, the registration is logged to the WAL; a log failure unwinds
+// the registration so durability and memory never disagree.
 func (e *Engine) RegisterView(ctx context.Context, name, src string) (*view.View, error) {
-	return e.views.Register(ctx, name, src)
+	p := e.persistRef()
+	if p != nil {
+		p.opMu.Lock()
+		defer p.opMu.Unlock()
+	}
+	v, err := e.views.Register(ctx, name, src)
+	if err != nil {
+		return nil, err
+	}
+	if p != nil {
+		if err := p.logViewOp(wal.KindRegisterView, name, v.Text()); err != nil {
+			e.views.Drop(name)
+			return nil, fmt.Errorf("core: logging view %q: %w", name, err)
+		}
+	}
+	return v, nil
 }
 
 // View returns the registered view bound to name.
@@ -381,7 +403,25 @@ func (e *Engine) View(name string) (*view.View, bool) { return e.views.Get(name)
 func (e *Engine) Views() []view.Info { return e.views.List() }
 
 // DropView removes the view bound to name, reporting whether it existed.
-func (e *Engine) DropView(name string) bool { return e.views.Drop(name) }
+// With a data dir open, the drop is logged to the WAL BEFORE the registry
+// applies it — a log failure leaves the view registered (present true,
+// error set), so a view never silently resurrects on restart because its
+// drop record was lost, and an operational log error is never conflated
+// with "no such view".
+func (e *Engine) DropView(name string) (present bool, err error) {
+	p := e.persistRef()
+	if p != nil {
+		p.opMu.Lock()
+		defer p.opMu.Unlock()
+		if _, ok := e.views.Get(name); !ok {
+			return false, nil
+		}
+		if err := p.logViewOp(wal.KindDropView, name, ""); err != nil {
+			return true, fmt.Errorf("core: logging drop of view %q: %w", name, err)
+		}
+	}
+	return e.views.Drop(name), nil
+}
 
 // execOptions maps the engine configuration onto query execution options;
 // WITH-clause hints in the query itself take precedence inside the executor.
@@ -429,6 +469,40 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*query.Result, e
 	}
 	res.Plan.CacheHit = hit
 	return res, nil
+}
+
+// QuerySorted evaluates src with the result in canonical sorted order,
+// serving repeats from the catalog's sorted-result cache. The cache key is
+// (canonical query text, version signature of the referenced relations) —
+// the same key family as the plan cache — so a limit/cursor page sequence
+// over an unchanged catalog re-serves one sorted slice instead of
+// re-evaluating and re-sorting per page, and any effective mutation of a
+// referenced relation changes the signature, invalidating exactly the
+// results it could have changed.
+func (e *Engine) QuerySorted(ctx context.Context, src string) (catalog.SortedResult, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return catalog.SortedResult{}, err
+	}
+	text, sig := q.String(), e.cat.Signature(q)
+	if r, ok := e.cat.CachedSortedResult(text, sig); ok {
+		return r, nil
+	}
+	res, err := e.QueryContext(ctx, src)
+	if err != nil {
+		return catalog.SortedResult{}, err
+	}
+	tuples := res.Tuples
+	if tuples == nil {
+		tuples = [][]int64{}
+	}
+	query.SortTuples(tuples)
+	r := catalog.SortedResult{
+		Columns: res.Columns, Tuples: tuples,
+		Plan: res.Plan.String(), PlanCached: res.Plan.CacheHit,
+	}
+	e.cat.StoreSortedResult(text, sig, r)
+	return r, nil
 }
 
 // ExplainQuery compiles a text query and returns its predicted plan without

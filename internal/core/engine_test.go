@@ -369,7 +369,10 @@ func TestEngineViewsAndMutations(t *testing.T) {
 		t.Fatalf("query rows %d != view rows %d", len(res.Tuples), len(tuples))
 	}
 
-	if !eng.DropView("vp") || eng.DropView("vp") {
+	if ok, err := eng.DropView("vp"); !ok || err != nil {
+		t.Fatalf("DropView: ok=%v err=%v", ok, err)
+	}
+	if ok, err := eng.DropView("vp"); ok || err != nil {
 		t.Fatal("DropView semantics")
 	}
 }

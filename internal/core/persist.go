@@ -1,0 +1,396 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/relation"
+	"repro/internal/snapshot"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// ErrNoPersistence marks operations (Checkpoint) that need a data dir on an
+// engine running without one; callers distinguish it (errors.Is) from
+// operational failures of an attached durability layer.
+var ErrNoPersistence = errors.New("persistence not enabled (no data dir)")
+
+// PersistOptions configures Engine.Open.
+type PersistOptions struct {
+	// Fsync is the WAL fsync policy (default wal.FsyncAlways).
+	Fsync wal.Policy
+	// FsyncInterval is the wal.FsyncInterval period (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL rotation threshold (default 64 MiB).
+	SegmentBytes int64
+	// CheckpointEvery triggers an automatic background checkpoint after this
+	// many logged records since the last one (≤ 0 disables; checkpoints can
+	// still be requested via Checkpoint / POST /admin/checkpoint).
+	CheckpointEvery int
+}
+
+// RecoveryStats summarizes what Open recovered, for logs and /healthz.
+type RecoveryStats struct {
+	// SnapshotLSN is the WAL position of the loaded checkpoint (0: none).
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	// RestoredRelations and RestoredViews count the snapshot sections.
+	RestoredRelations int `json:"restored_relations"`
+	// RestoredViews counts views restored from the snapshot (incremental
+	// ones adopt their persisted count stores without recomputation).
+	RestoredViews int `json:"restored_views"`
+	// ReplayedRecords counts WAL records replayed past the snapshot.
+	ReplayedRecords int `json:"replayed_records"`
+	// ReplayedMutations counts the tuple-delta records among them — each one
+	// re-maintained the registered views incrementally through the normal
+	// subscriber path.
+	ReplayedMutations int `json:"replayed_mutations"`
+	// DurationMs is the wall time of the whole recovery.
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// CheckpointInfo summarizes one completed checkpoint.
+type CheckpointInfo struct {
+	// Snapshot is the committed image file name.
+	Snapshot string `json:"snapshot"`
+	// AppliedLSN is the WAL position the image reflects.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// Relations and Views count the image sections.
+	Relations int `json:"relations"`
+	// Views counts the checkpointed view states.
+	Views int `json:"views"`
+	// Bytes is the encoded image size.
+	Bytes int `json:"bytes"`
+	// DurationMs is the wall time of capture + write + log truncation.
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// PersistenceStats is the durability section of /healthz.
+type PersistenceStats struct {
+	// Enabled reports whether the engine runs with a data dir.
+	Enabled bool `json:"enabled"`
+	// Dir is the data directory.
+	Dir string `json:"dir,omitempty"`
+	// WAL is the log's point-in-time summary.
+	WAL wal.Stats `json:"wal,omitzero"`
+	// Checkpoints counts checkpoints since Open.
+	Checkpoints uint64 `json:"checkpoints"`
+	// LastCheckpointLSN is the applied LSN of the newest checkpoint.
+	LastCheckpointLSN uint64 `json:"last_checkpoint_lsn"`
+	// CheckpointEvery echoes the auto-checkpoint threshold (0: manual only).
+	CheckpointEvery int `json:"checkpoint_every"`
+	// Recovery is what Open recovered.
+	Recovery RecoveryStats `json:"recovery"`
+}
+
+// persistence is the engine's durability sink: it owns the WAL, implements
+// catalog.Persistence, logs view registrations, and runs checkpoints.
+type persistence struct {
+	eng  *Engine
+	dir  string
+	w    *wal.WAL
+	opts PersistOptions
+
+	// opMu serializes view-op logging and checkpoint state capture, so a
+	// checkpoint never snapshots a view whose registration record lies past
+	// the checkpoint's applied LSN (catalog mutations are already ordered by
+	// the catalog's own mutation lock, which the capture freeze holds).
+	opMu sync.Mutex
+
+	// ckptMu serializes whole checkpoints (capture + file install + prune +
+	// WAL truncation): a manual POST /admin/checkpoint racing the automatic
+	// one could otherwise prune the snapshot the other's manifest points at.
+	ckptMu sync.Mutex
+
+	mu           sync.Mutex // counters below
+	since        int        // records since last checkpoint
+	checkpointin bool       // auto-checkpoint in flight
+	checkpoints  uint64
+	lastCkptLSN  uint64
+
+	wg       sync.WaitGroup
+	recovery RecoveryStats
+}
+
+// LogMutation implements catalog.Persistence: it runs under the catalog's
+// mutation lock, appending the effective delta (or the full image of a
+// reset) before the catalog applies it.
+func (p *persistence) LogMutation(m catalog.Mutation) error {
+	rec := &wal.Record{Name: m.Name}
+	switch {
+	case m.Reset && m.New != nil:
+		rec.Kind = wal.KindRegister
+		rec.Pairs = m.New.Pairs()
+	case m.Reset:
+		rec.Kind = wal.KindDrop
+	default:
+		rec.Kind = wal.KindMutate
+		rec.Added, rec.Removed = m.Added, m.Removed
+	}
+	if _, err := p.w.Append(rec); err != nil {
+		return err
+	}
+	p.bumpSince()
+	return nil
+}
+
+// logViewOp appends a view registration or drop record.
+func (p *persistence) logViewOp(kind byte, name, text string) error {
+	if _, err := p.w.Append(&wal.Record{Kind: kind, Name: name, Query: text}); err != nil {
+		return err
+	}
+	p.bumpSince()
+	return nil
+}
+
+// bumpSince advances the records-since-checkpoint counter and spawns an
+// automatic background checkpoint at the threshold. The goroutine runs
+// outside the caller's locks (checkpointing takes the catalog freeze, which
+// the logging caller may hold).
+func (p *persistence) bumpSince() {
+	p.mu.Lock()
+	p.since++
+	trigger := p.opts.CheckpointEvery > 0 && p.since >= p.opts.CheckpointEvery && !p.checkpointin
+	if trigger {
+		p.checkpointin = true
+		p.wg.Add(1)
+	}
+	p.mu.Unlock()
+	if trigger {
+		go func() {
+			defer p.wg.Done()
+			_, _ = p.eng.Checkpoint() // errors surface in PersistenceStats counters staying flat
+			p.mu.Lock()
+			p.checkpointin = false
+			p.mu.Unlock()
+		}()
+	}
+}
+
+// Open attaches a durability layer to the engine: it recovers the state
+// persisted in dir (latest snapshot, then the WAL tail replayed through the
+// normal mutation path, so registered views re-maintain incrementally during
+// replay), then logs every subsequent catalog and view mutation to the WAL
+// ahead of applying it. Open must run before the engine holds any state of
+// its own — it is the first call on a serving engine, not a merge.
+func (e *Engine) Open(dir string, opts PersistOptions) error {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	if e.persist != nil {
+		return fmt.Errorf("core: engine already has data dir %s", e.persist.dir)
+	}
+	if e.cat.Len() > 0 || e.views.Len() > 0 {
+		return fmt.Errorf("core: Open on a non-empty engine (%d relations, %d views)", e.cat.Len(), e.views.Len())
+	}
+	start := time.Now()
+	var rec RecoveryStats
+
+	// 1. Latest checkpoint, if any.
+	man, ok, err := snapshot.LoadManifest(dir)
+	if err != nil {
+		return fmt.Errorf("core: open %s: %w", dir, err)
+	}
+	if ok {
+		st, err := snapshot.Load(dir, man)
+		if err != nil {
+			return fmt.Errorf("core: open %s: %w", dir, err)
+		}
+		rec.SnapshotLSN = st.AppliedLSN
+		for _, r := range st.Relations {
+			// Images decode strictly sorted, so index rebuild skips a sort.
+			if err := e.cat.Register(r.Name, relation.FromSortedPairs(r.Name, r.Pairs)); err != nil {
+				return fmt.Errorf("core: restore relation %q: %w", r.Name, err)
+			}
+			rec.RestoredRelations++
+		}
+		for _, v := range st.Views {
+			entries := make([]view.StateEntry, len(v.Entries))
+			for i, t := range v.Entries {
+				entries[i] = view.StateEntry{Vals: t.Vals, Count: t.Count}
+			}
+			if err := e.views.Restore(view.State{
+				Name: v.Name, Text: v.Text, Incremental: v.Incremental, Entries: entries,
+			}); err != nil {
+				return fmt.Errorf("core: restore view %q: %w", v.Name, err)
+			}
+			rec.RestoredViews++
+		}
+	}
+
+	// 2. WAL tail, replayed through the normal mutation path: relations
+	// rebuild by linear delta merges and views re-maintain incrementally,
+	// exactly as they would have live.
+	if err := wal.Replay(dir, rec.SnapshotLSN, func(lsn uint64, r *wal.Record) error {
+		rec.ReplayedRecords++
+		return e.applyRecord(r, &rec)
+	}); err != nil {
+		return fmt.Errorf("core: replaying wal: %w", err)
+	}
+
+	// 3. Open the log for appends (truncating any torn tail) and attach the
+	// sink — from here on every mutation is logged before it is applied.
+	w, err := wal.Open(dir, wal.Options{
+		Policy: opts.Fsync, Interval: opts.FsyncInterval, SegmentBytes: opts.SegmentBytes,
+	})
+	if err != nil {
+		return err
+	}
+	rec.DurationMs = float64(time.Since(start).Microseconds()) / 1000
+	p := &persistence{eng: e, dir: dir, w: w, opts: opts, recovery: rec, lastCkptLSN: rec.SnapshotLSN}
+	e.cat.SetPersistence(p)
+	e.persist = p
+	return nil
+}
+
+// applyRecord replays one WAL record through the engine.
+func (e *Engine) applyRecord(r *wal.Record, rec *RecoveryStats) error {
+	switch r.Kind {
+	case wal.KindMutate:
+		if _, err := e.cat.Mutate(r.Name, r.Added, r.Removed); err != nil {
+			return err
+		}
+		rec.ReplayedMutations++
+	case wal.KindRegister:
+		if err := e.cat.Register(r.Name, relation.FromSortedPairs(r.Name, r.Pairs)); err != nil {
+			return err
+		}
+	case wal.KindDrop:
+		if _, err := e.cat.Drop(r.Name); err != nil {
+			return err
+		}
+	case wal.KindRegisterView:
+		// A checkpoint captured between a view's registration and its log
+		// record can leave the view both in the snapshot and in the tail;
+		// the duplicate registration is benign, prefer the restored store.
+		if _, err := e.views.Register(context.Background(), r.Name, r.Query); err != nil &&
+			!strings.Contains(err.Error(), "already registered") {
+			return err
+		}
+	case wal.KindDropView:
+		e.views.Drop(r.Name)
+	default:
+		return fmt.Errorf("core: unknown wal record kind %d", r.Kind)
+	}
+	return nil
+}
+
+// Checkpoint captures one consistent image of the catalog and every view
+// store under the catalog's mutation freeze, writes it atomically next to
+// the WAL, commits it via the manifest, and reclaims the WAL segments the
+// image supersedes. Serving continues during the write; only the in-memory
+// capture blocks mutations.
+func (e *Engine) Checkpoint() (*CheckpointInfo, error) {
+	p := e.persistRef()
+	if p == nil {
+		return nil, fmt.Errorf("core: %w", ErrNoPersistence)
+	}
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	start := time.Now()
+	var st snapshot.State
+	p.opMu.Lock()
+	e.cat.Freeze(func() {
+		rels, _, _ := e.cat.Snapshot()
+		names := make([]string, 0, len(rels))
+		for name := range rels {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st.Relations = append(st.Relations, snapshot.Relation{Name: name, Pairs: rels[name].Pairs()})
+		}
+		for _, vs := range e.views.ExportStates() {
+			entries := make([]snapshot.CountedTuple, len(vs.Entries))
+			for i, en := range vs.Entries {
+				entries[i] = snapshot.CountedTuple{Vals: en.Vals, Count: en.Count}
+			}
+			st.Views = append(st.Views, snapshot.View{
+				Name: vs.Name, Text: vs.Text, Incremental: vs.Incremental, Entries: entries,
+			})
+		}
+		st.AppliedLSN = p.w.NextLSN() - 1
+	})
+	p.opMu.Unlock()
+
+	name, size, err := snapshot.Write(p.dir, &st)
+	if err != nil {
+		return nil, err
+	}
+	if err := snapshot.WriteManifest(p.dir, snapshot.Manifest{Snapshot: name, AppliedLSN: st.AppliedLSN}); err != nil {
+		return nil, err
+	}
+	if err := snapshot.Prune(p.dir, name); err != nil {
+		return nil, err
+	}
+	if err := p.w.Rotate(); err != nil {
+		return nil, err
+	}
+	if err := p.w.TruncateBefore(st.AppliedLSN + 1); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.checkpoints++
+	p.lastCkptLSN = st.AppliedLSN
+	p.since = 0
+	p.mu.Unlock()
+	return &CheckpointInfo{
+		Snapshot: name, AppliedLSN: st.AppliedLSN,
+		Relations: len(st.Relations), Views: len(st.Views), Bytes: size,
+		DurationMs: float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+// Close detaches the durability layer: no further mutations are logged, the
+// in-flight auto-checkpoint (if any) completes, and the WAL is fsynced and
+// closed. The in-memory engine remains usable (but no longer durable);
+// graceful shutdown calls Close after draining in-flight queries.
+func (e *Engine) Close() error {
+	e.pmu.Lock()
+	p := e.persist
+	e.persist = nil
+	e.pmu.Unlock()
+	if p == nil {
+		return nil
+	}
+	e.cat.SetPersistence(nil)
+	p.wg.Wait()
+	return p.w.Close()
+}
+
+// persistRef returns the current durability layer, or nil.
+func (e *Engine) persistRef() *persistence {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	return e.persist
+}
+
+// RecoveryStats reports what Open recovered; the zero value when the engine
+// runs without a data dir.
+func (e *Engine) RecoveryStats() RecoveryStats {
+	if p := e.persistRef(); p != nil {
+		return p.recovery
+	}
+	return RecoveryStats{}
+}
+
+// PersistenceStats summarizes the durability layer for /healthz.
+func (e *Engine) PersistenceStats() PersistenceStats {
+	p := e.persistRef()
+	if p == nil {
+		return PersistenceStats{}
+	}
+	p.mu.Lock()
+	ckpts, last := p.checkpoints, p.lastCkptLSN
+	p.mu.Unlock()
+	return PersistenceStats{
+		Enabled: true, Dir: p.dir, WAL: p.w.Stats(),
+		Checkpoints: ckpts, LastCheckpointLSN: last,
+		CheckpointEvery: p.opts.CheckpointEvery,
+		Recovery:        p.recovery,
+	}
+}

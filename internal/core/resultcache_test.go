@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestQuerySortedCache pins the pagination result cache: repeats over an
+// unchanged catalog are served from cache (no re-sort), a mutation of a
+// referenced relation invalidates exactly that query's entry, and mutations
+// of unrelated relations leave it hitting.
+func TestQuerySortedCache(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Register("R", []relation.Pair{{X: 1, Y: 10}, {X: 2, Y: 10}, {X: 3, Y: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register("S", []relation.Pair{{X: 10, Y: 5}, {X: 20, Y: 6}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register("T", []relation.Pair{{X: 1, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	const q = "Q(x, z) :- R(x, y), S(y, z)"
+	ctx := context.Background()
+
+	r1, err := e.QuerySorted(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first evaluation reported cached")
+	}
+	if !sort.SliceIsSorted(r1.Tuples, func(i, j int) bool {
+		for k := range r1.Tuples[i] {
+			if r1.Tuples[i][k] != r1.Tuples[j][k] {
+				return r1.Tuples[i][k] < r1.Tuples[j][k]
+			}
+		}
+		return false
+	}) {
+		t.Fatal("result not sorted")
+	}
+
+	r2, err := e.QuerySorted(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("repeat over unchanged catalog missed the result cache")
+	}
+	if !reflect.DeepEqual(r1.Tuples, r2.Tuples) {
+		t.Fatal("cached result differs")
+	}
+
+	// Mutating an unrelated relation must not invalidate.
+	if _, err := e.Mutate("T", []relation.Pair{{X: 2, Y: 2}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := e.QuerySorted(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Cached {
+		t.Fatal("mutation of unrelated relation evicted the cached result")
+	}
+
+	// Mutating a referenced relation must invalidate — and the fresh result
+	// must reflect the mutation.
+	if _, err := e.Mutate("R", []relation.Pair{{X: 4, Y: 20}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := e.QuerySorted(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Cached {
+		t.Fatal("stale result served after mutating a referenced relation")
+	}
+	found := false
+	for _, tup := range r4.Tuples {
+		if tup[0] == 4 && tup[1] == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fresh result misses the inserted tuple's join output: %v", r4.Tuples)
+	}
+
+	// The canonical text is the key: a syntactic variant hits the same entry.
+	r5, err := e.QuerySorted(ctx, "Q(x,z):-R(x,y),S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r5.Cached {
+		t.Fatal("canonicalized variant missed the cache")
+	}
+
+	hits, misses, size := e.Catalog().ResultCacheStats()
+	if hits != 3 || misses != 2 || size == 0 {
+		t.Fatalf("result cache stats hits=%d misses=%d size=%d, want 3/2/>0", hits, misses, size)
+	}
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// RecoveryBench measures one durability scenario: how long a cold
+// Engine.Open takes to rebuild the serving state (snapshot load + WAL tail
+// replay through incremental view maintenance) against recomputing the same
+// state from scratch (register the final relations, evaluate every view
+// through the query pipeline). Both are min-of-reps.
+type RecoveryBench struct {
+	// Relations, Tuples and Views describe the recovered state.
+	Relations int `json:"relations"`
+	// Tuples is the total tuple count across relations.
+	Tuples int `json:"tuples"`
+	// Views is the registered view count.
+	Views int `json:"views"`
+	// MutationBatches is the number of logged update batches in the trace.
+	MutationBatches int `json:"mutation_batches"`
+	// SnapshotLSN and ReplayedRecords describe what recovery actually did.
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	// ReplayedRecords counts WAL records replayed past the snapshot.
+	ReplayedRecords int `json:"replayed_records"`
+	// RecoverNs is the cold Engine.Open time.
+	RecoverNs int64 `json:"recover_ns"`
+	// RecomputeNs is the from-scratch rebuild time.
+	RecomputeNs int64 `json:"recompute_ns"`
+	// Speedup is RecomputeNs / RecoverNs.
+	Speedup float64 `json:"speedup"`
+	// Reps is the measurement repetition count.
+	Reps int `json:"reps"`
+}
+
+// RecoverySnapshot is the machine-readable recovery trajectory cmd/joinbench
+// writes in -recovery mode (BENCH_recovery.json).
+type RecoverySnapshot struct {
+	// GoOS, GoArch and NumCPU identify the measuring machine.
+	GoOS string `json:"goos"`
+	// GoArch is the target architecture.
+	GoArch string `json:"goarch"`
+	// NumCPU is the logical CPU count.
+	NumCPU int `json:"num_cpu"`
+	// Scale is the dataset scale factor.
+	Scale float64 `json:"scale"`
+	// Timestamp is the measurement time.
+	Timestamp string `json:"timestamp"`
+	// Benchmarks maps scenario name → measurement.
+	Benchmarks map[string]RecoveryBench `json:"benchmarks"`
+}
+
+// recoveryBenchBatches shapes the logged update stream.
+const (
+	recoveryBenchBatches   = 40
+	recoveryBenchBatchSize = 32
+)
+
+// buildRecoveryDir lays down one durable serving state: three community
+// relations, the canned view suite, and a logged mutation stream — with an
+// optional mid-stream checkpoint (so recovery loads a snapshot and replays
+// only the tail).
+func buildRecoveryDir(dir string, scale float64, checkpoint bool) (RecoveryBench, error) {
+	var rb RecoveryBench
+	rng := rand.New(rand.NewSource(4242))
+	eng := core.NewEngine()
+	if err := eng.Open(dir, core.PersistOptions{Fsync: wal.FsyncNever}); err != nil {
+		return rb, err
+	}
+	n := int(float64(6000) * scale)
+	if n < 200 {
+		n = 200
+	}
+	rels := []string{"R", "S", "T"}
+	for i, name := range rels {
+		r := dataset.Community(n, 24+4*i, int64(101+i))
+		if _, err := eng.Register(name, r.Pairs()); err != nil {
+			return rb, err
+		}
+	}
+	for name, src := range DefaultViewSuite() {
+		if _, err := eng.RegisterView(context.Background(), name, src); err != nil {
+			return rb, err
+		}
+		rb.Views++
+	}
+	domain := int32(n)
+	for b := 0; b < recoveryBenchBatches; b++ {
+		if checkpoint && b == recoveryBenchBatches/2 {
+			if _, err := eng.Checkpoint(); err != nil {
+				return rb, err
+			}
+		}
+		rel := rels[b%len(rels)]
+		var ins, del []relation.Pair
+		if b%2 == 0 {
+			for i := 0; i < recoveryBenchBatchSize; i++ {
+				ins = append(ins, relation.Pair{X: rng.Int31n(domain), Y: rng.Int31n(domain)})
+			}
+		} else {
+			r, _ := eng.Catalog().Get(rel)
+			ps := r.Pairs()
+			for i := 0; i < recoveryBenchBatchSize && len(ps) > 0; i++ {
+				del = append(del, ps[rng.Intn(len(ps))])
+			}
+		}
+		if _, err := eng.Mutate(rel, ins, del); err != nil {
+			return rb, err
+		}
+	}
+	rb.Relations = len(rels)
+	rb.MutationBatches = recoveryBenchBatches
+	for _, name := range rels {
+		r, _ := eng.Catalog().Get(name)
+		rb.Tuples += r.Size()
+	}
+	return rb, eng.Close()
+}
+
+// recoveryBudget bounds each scenario's measurement time.
+const recoveryBudget = time.Second
+
+// MeasureRecovery builds one durable state in a temp dir and times cold
+// recovery against from-scratch recomputation.
+func MeasureRecovery(scale float64, checkpoint bool) (RecoveryBench, error) {
+	dir, err := os.MkdirTemp("", "joinmm-recovery-*")
+	if err != nil {
+		return RecoveryBench{}, err
+	}
+	defer os.RemoveAll(dir)
+	rb, err := buildRecoveryDir(dir, scale, checkpoint)
+	if err != nil {
+		return rb, err
+	}
+
+	// Recover once to capture the final state (for the recompute baseline)
+	// and the recovery stats.
+	probe := core.NewEngine()
+	if err := probe.Open(dir, core.PersistOptions{Fsync: wal.FsyncNever}); err != nil {
+		return rb, err
+	}
+	rec := probe.RecoveryStats()
+	rb.SnapshotLSN, rb.ReplayedRecords = rec.SnapshotLSN, rec.ReplayedRecords
+	finalPairs := map[string][]relation.Pair{}
+	for _, info := range probe.Catalog().List() {
+		r, _ := probe.Catalog().Get(info.Name)
+		finalPairs[info.Name] = r.Pairs()
+	}
+	if err := probe.Close(); err != nil {
+		return rb, err
+	}
+
+	// Cold recovery: snapshot + WAL replay through the maintenance path.
+	best := int64(1<<63 - 1)
+	reps := 0
+	start := time.Now()
+	for time.Since(start) < recoveryBudget || reps < 3 {
+		e := core.NewEngine()
+		t0 := time.Now()
+		if err := e.Open(dir, core.PersistOptions{Fsync: wal.FsyncNever}); err != nil {
+			return rb, err
+		}
+		if d := time.Since(t0).Nanoseconds(); d < best {
+			best = d
+		}
+		if err := e.Close(); err != nil {
+			return rb, err
+		}
+		reps++
+	}
+	rb.RecoverNs, rb.Reps = best, reps
+
+	// Recompute baseline: register the final relations and evaluate every
+	// view from scratch through the query pipeline.
+	best = int64(1<<63 - 1)
+	start = time.Now()
+	for reps = 0; time.Since(start) < recoveryBudget || reps < 3; reps++ {
+		e := core.NewEngine()
+		t0 := time.Now()
+		for name, ps := range finalPairs {
+			if _, err := e.Register(name, ps); err != nil {
+				return rb, err
+			}
+		}
+		for name, src := range DefaultViewSuite() {
+			if _, err := e.RegisterView(context.Background(), name, src); err != nil {
+				return rb, err
+			}
+		}
+		if d := time.Since(t0).Nanoseconds(); d < best {
+			best = d
+		}
+	}
+	rb.RecomputeNs = best
+	if rb.RecoverNs > 0 {
+		rb.Speedup = float64(rb.RecomputeNs) / float64(rb.RecoverNs)
+	}
+	return rb, nil
+}
+
+// RecoveryBenchSnapshot measures both recovery scenarios (pure WAL replay,
+// and checkpoint + tail replay) and returns the marshaled snapshot.
+func RecoveryBenchSnapshot(scale float64) ([]byte, error) {
+	snap := RecoverySnapshot{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Scale:      scale,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: map[string]RecoveryBench{},
+	}
+	for name, checkpoint := range map[string]bool{"wal_replay": false, "checkpoint_plus_tail": true} {
+		rb, err := MeasureRecovery(scale, checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("recovery %s: %w", name, err)
+		}
+		snap.Benchmarks[name] = rb
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// RenderRecoverySnapshot pretty-prints a recovery snapshot as a table.
+func RenderRecoverySnapshot(data []byte) (string, error) {
+	var snap RecoverySnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return "", err
+	}
+	keys := make([]string, 0, len(snap.Benchmarks))
+	for k := range snap.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := fmt.Sprintf("%-22s %10s %8s %10s %12s %14s %8s\n",
+		"scenario", "tuples", "batches", "snap lsn", "recover ns", "recompute ns", "speedup")
+	for _, k := range keys {
+		b := snap.Benchmarks[k]
+		out += fmt.Sprintf("%-22s %10d %8d %10d %12d %14d %7.1fx\n",
+			k, b.Tuples, b.MutationBatches, b.SnapshotLSN, b.RecoverNs, b.RecomputeNs, b.Speedup)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// TestCheckpointEndpointAndHealthz drives the durability surface over HTTP:
+// healthz exposes WAL/recovery stats, /admin/checkpoint commits a snapshot,
+// and a recovered server serves the same data.
+func TestCheckpointEndpointAndHealthz(t *testing.T) {
+	dir := t.TempDir()
+	eng := core.NewEngine()
+	if err := eng.Open(dir, core.PersistOptions{Fsync: wal.FsyncNever}); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Engine: eng})
+	registerChain(t, ts)
+	if code := post(t, ts, "/catalog/relations/R/insert", map[string]any{"pairs": [][2]int32{{3, 11}}}, nil); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+
+	var health struct {
+		OK          bool                  `json:"ok"`
+		Persistence core.PersistenceStats `json:"persistence"`
+		Extra       map[string]any        `json:"-"`
+	}
+	if code := get(t, ts, "/healthz", &health); code != http.StatusOK || !health.OK {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+	if !health.Persistence.Enabled || health.Persistence.WAL.NextLSN < 4 {
+		t.Fatalf("healthz persistence stats missing: %+v", health.Persistence)
+	}
+
+	var info core.CheckpointInfo
+	if code := post(t, ts, "/admin/checkpoint", map[string]any{}, &info); code != http.StatusOK {
+		t.Fatalf("checkpoint: status %d", code)
+	}
+	if info.Relations != 2 || info.AppliedLSN == 0 {
+		t.Fatalf("checkpoint info %+v", info)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second engine recovers the same catalog and serves it.
+	eng2 := core.NewEngine()
+	if err := eng2.Open(dir, core.PersistOptions{Fsync: wal.FsyncNever}); err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	ts2 := newTestServer(t, Config{Engine: eng2})
+	var res queryResponse
+	if code := post(t, ts2, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, &res); code != http.StatusOK {
+		t.Fatalf("query after recovery: status %d", code)
+	}
+	if res.Rows == 0 {
+		t.Fatal("recovered server served empty result")
+	}
+	var health2 struct {
+		Persistence core.PersistenceStats `json:"persistence"`
+	}
+	get(t, ts2, "/healthz", &health2)
+	if health2.Persistence.Recovery.SnapshotLSN != info.AppliedLSN {
+		t.Fatalf("recovery stats %+v, want snapshot lsn %d", health2.Persistence.Recovery, info.AppliedLSN)
+	}
+}
+
+// TestCheckpointWithoutDataDir pins the 409 on ephemeral servers.
+func TestCheckpointWithoutDataDir(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var e errorResponse
+	if code := post(t, ts, "/admin/checkpoint", map[string]any{}, &e); code != http.StatusConflict {
+		t.Fatalf("checkpoint on ephemeral server: status %d (%+v)", code, e)
+	}
+}
+
+// TestPageSequenceUsesResultCache pins the pagination result cache over
+// HTTP: the second page of a sequence must be served from the cached sorted
+// result, and a mutation must invalidate it.
+func TestPageSequenceUsesResultCache(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+	src := "Q(x, z) :- R(x, y), S(y, z)"
+
+	var p1 queryResponse
+	if code := post(t, ts, "/query", map[string]any{"query": src, "limit": 1}, &p1); code != http.StatusOK {
+		t.Fatalf("page 1: status %d", code)
+	}
+	if p1.ResultCache {
+		t.Fatal("first page reported a result-cache hit")
+	}
+	if p1.NextCursor == "" {
+		t.Fatal("expected more pages")
+	}
+	var p2 queryResponse
+	if code := post(t, ts, "/query", map[string]any{"query": src, "limit": 1, "cursor": p1.NextCursor}, &p2); code != http.StatusOK {
+		t.Fatalf("page 2: status %d", code)
+	}
+	if !p2.ResultCache {
+		t.Fatal("second page re-evaluated instead of hitting the result cache")
+	}
+
+	// Mutating a referenced relation invalidates the cached pages.
+	if code := post(t, ts, "/catalog/relations/R/insert", map[string]any{"pairs": [][2]int32{{9, 10}}}, nil); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+	var p3 queryResponse
+	if code := post(t, ts, "/query", map[string]any{"query": src, "limit": 1}, &p3); code != http.StatusOK {
+		t.Fatalf("page after mutation: status %d", code)
+	}
+	if p3.ResultCache {
+		t.Fatal("stale cached result served after mutation")
+	}
+	// (9, 10) joins S's (10, 5) and (10, 6): two new output tuples.
+	if p3.Rows != p1.Rows+2 {
+		t.Fatalf("post-mutation total %d, want %d", p3.Rows, p1.Rows+2)
+	}
+}
+
+// TestDrain pins the shutdown path: drain with idle slots returns at once;
+// drain with a busy slot waits for it (or times out).
+func TestDrain(t *testing.T) {
+	s := New(Config{MaxInFlight: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("idle drain: %v", err)
+	}
+
+	s2 := New(Config{MaxInFlight: 2})
+	if err := s2.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	shortCtx, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if err := s2.Drain(shortCtx); err == nil {
+		t.Fatal("drain returned with a query in flight")
+	}
+	s2.release()
+	ctx3, cancel3 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel3()
+	if err := s2.Drain(ctx3); err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+}

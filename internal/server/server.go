@@ -20,12 +20,16 @@
 //	GET    /views/{name}?limit=N&cursor=C    → result page + freshness
 //	GET    /views/{name}/explain             → maintenance plan
 //	DELETE /views/{name}
-//	GET    /healthz
+//	POST   /admin/checkpoint                 → durability checkpoint
+//	GET    /healthz                          → ok + WAL/recovery stats
 //
 // Query and view results are paginated when limit is set: tuples are served
 // in canonical sorted order and the response carries an opaque next_cursor
 // until the result is exhausted, so large outputs never materialize one
-// giant JSON body.
+// giant JSON body. Paginated queries go through the engine's sorted-result
+// cache (keyed on query text + referenced relation versions), so a page
+// sequence over an unchanged catalog re-slices one sorted result instead of
+// re-evaluating and re-sorting per page.
 package server
 
 import (
@@ -102,10 +106,56 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /views/{name}", s.handleGetView)
 	mux.HandleFunc("GET /views/{name}/explain", s.handleExplainView)
 	mux.HandleFunc("DELETE /views/{name}", s.handleDropView)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-	})
+	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports liveness plus, when the engine runs with a data
+// dir, the WAL and recovery stats of the durability layer.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"ok": true}
+	if ps := s.eng.PersistenceStats(); ps.Enabled {
+		out["persistence"] = ps
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCheckpoint triggers a synchronous durability checkpoint: capture
+// under the mutation freeze, atomic snapshot + manifest install, WAL
+// truncation. 409 when the server runs without a data dir; I/O failures of
+// an attached durability layer are 500s.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	info, err := s.eng.Checkpoint()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrNoPersistence) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// Drain blocks until every in-flight query has released its admission slot
+// (new work keeps queueing behind the acquired slots), or until ctx
+// expires. Graceful shutdown calls it between closing the listener and
+// closing the engine's WAL.
+func (s *Server) Drain(ctx context.Context) error {
+	for i := 0; i < cap(s.sem); i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			// Give back what was acquired so a timed-out drain leaves the
+			// server serving rather than wedged.
+			for ; i > 0; i-- {
+				<-s.sem
+			}
+			return fmt.Errorf("server: drain: slots still busy: %w", ctx.Err())
+		}
+	}
+	return nil
 }
 
 type queryRequest struct {
@@ -127,7 +177,10 @@ type queryResponse struct {
 	Rows      int       `json:"rows"` // total result size, not the page size
 	Plan      string    `json:"plan"`
 	PlanCache bool      `json:"plan_cached"`
-	ElapsedMs float64   `json:"elapsed_ms"`
+	// ResultCache reports a sorted-result cache hit: this page was sliced
+	// from a cached sorted result, with no re-evaluation or re-sort.
+	ResultCache bool    `json:"result_cached,omitempty"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
 	// NextCursor resumes the next page; empty when the result is exhausted.
 	NextCursor string `json:"next_cursor,omitempty"`
 }
@@ -213,6 +266,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	if req.Limit > 0 || req.Cursor != "" {
+		s.handleQueryPage(w, r, req, start)
+		return
+	}
 	res, err := s.evaluate(r, req)
 	if err != nil {
 		writeError(w, statusFor(err), "query failed: %v", err)
@@ -222,24 +279,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if tuples == nil {
 		tuples = [][]int64{}
 	}
-	total := len(tuples)
-	next := ""
-	if req.Limit > 0 || req.Cursor != "" {
-		query.SortTuples(tuples)
-		tuples, next, err = paginate(tuples, req.Limit, req.Cursor)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Columns:   res.Columns,
+		Tuples:    tuples,
+		Rows:      len(tuples),
+		Plan:      res.Plan.String(),
+		PlanCache: res.Plan.CacheHit,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// handleQueryPage serves one page of a sorted result through the engine's
+// sorted-result cache: the first page of a sequence evaluates and sorts
+// once, later pages (and repeats of the same query while its relations are
+// unmutated) slice the cached sorted tuples.
+func (s *Server) handleQueryPage(w http.ResponseWriter, r *http.Request, req queryRequest, start time.Time) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
+	defer cancel()
+	if err := s.admit(ctx); err != nil {
+		writeError(w, statusFor(err), "query failed: %v", err)
+		return
+	}
+	res, err := s.eng.QuerySorted(ctx, req.Query)
+	s.release()
+	if err != nil {
+		writeError(w, statusFor(err), "query failed: %v", err)
+		return
+	}
+	tuples, next, err := paginate(res.Tuples, req.Limit, req.Cursor)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Columns:    res.Columns,
-		Tuples:     tuples,
-		Rows:       total,
-		Plan:       res.Plan.String(),
-		PlanCache:  res.Plan.CacheHit,
-		ElapsedMs:  float64(time.Since(start).Microseconds()) / 1000,
-		NextCursor: next,
+		Columns:     res.Columns,
+		Tuples:      tuples,
+		Rows:        len(res.Tuples),
+		Plan:        res.Plan,
+		PlanCache:   res.PlanCached,
+		ResultCache: res.Cached,
+		ElapsedMs:   float64(time.Since(start).Microseconds()) / 1000,
+		NextCursor:  next,
 	})
 }
 
@@ -399,7 +479,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.eng.Catalog().Drop(name) {
+	present, err := s.eng.Catalog().Drop(name)
+	if err != nil {
+		// A durability-sink veto: the relation still exists, nothing changed.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !present {
 		writeError(w, http.StatusNotFound, "unknown relation %q", name)
 		return
 	}
@@ -445,7 +531,14 @@ func (s *Server) handleMutate(del bool) http.HandlerFunc {
 			m, err = s.eng.Mutate(name, ps, nil)
 		}
 		if err != nil {
-			writeError(w, http.StatusNotFound, "%v", err)
+			// Unknown relation is the caller's mistake; anything else (a
+			// WAL append failure, say) is an operational server error and
+			// must not read as "not found".
+			status := http.StatusInternalServerError
+			if errors.Is(err, catalog.ErrUnknownRelation) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, mutateResponse{
@@ -576,7 +669,13 @@ func (s *Server) handleExplainView(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDropView(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.eng.DropView(name) {
+	present, err := s.eng.DropView(name)
+	if err != nil {
+		// A durability-log failure: the view still exists, nothing changed.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !present {
 		writeError(w, http.StatusNotFound, "unknown view %q", name)
 		return
 	}

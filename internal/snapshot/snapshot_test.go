@@ -1,0 +1,122 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func sampleState() *State {
+	return &State{
+		AppliedLSN: 42,
+		Relations: []Relation{
+			{Name: "R", Pairs: []relation.Pair{{X: 1, Y: 2}, {X: 1, Y: 3}, {X: 5, Y: 1}}},
+			{Name: "S", Pairs: nil},
+		},
+		Views: []View{
+			{Name: "refresh", Text: "V(x, x) :- R(x, x)"},
+			{Name: "vp", Text: "VP(x, z) :- R(x, y), S(y, z)", Incremental: true,
+				Entries: []CountedTuple{
+					{Vals: []int32{1, 7}, Count: 2},
+					{Vals: []int32{-3, 0}, Count: 9},
+				}},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := sampleState()
+	got, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := Encode(sampleState())
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at %d slipped past the checksum", i)
+		}
+	}
+}
+
+func TestWriteLoadManifestCycle(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := LoadManifest(dir); err != nil || ok {
+		t.Fatalf("fresh dir: manifest ok=%v err=%v", ok, err)
+	}
+	st := sampleState()
+	name, size, err := Write(dir, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, name)); err != nil || fi.Size() != int64(size) {
+		t.Fatalf("reported size %d, file %v (%v)", size, fi, err)
+	}
+	if err := WriteManifest(dir, Manifest{Snapshot: name, AppliedLSN: st.AppliedLSN}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := LoadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest ok=%v err=%v", ok, err)
+	}
+	got, err := Load(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatal("loaded state differs from written state")
+	}
+	// A second checkpoint supersedes; prune removes the old image.
+	st2 := sampleState()
+	st2.AppliedLSN = 99
+	name2, _, err := Write(dir, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteManifest(dir, Manifest{Snapshot: name2, AppliedLSN: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Prune(dir, name2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+		t.Fatalf("old image survived prune: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, name2)); err != nil {
+		t.Fatalf("new image pruned: %v", err)
+	}
+	// No temp files left behind.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if e.Name() != name2 && e.Name() != "MANIFEST.json" {
+			t.Fatalf("stray file %q", e.Name())
+		}
+	}
+}
+
+func TestLoadDetectsManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st := sampleState()
+	name, _, err := Write(dir, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, &Manifest{Snapshot: name, AppliedLSN: st.AppliedLSN + 1}); err == nil {
+		t.Fatal("lsn mismatch loaded cleanly")
+	}
+}

@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/relation"
+)
+
+// Record kinds. The kind byte leads every record payload.
+const (
+	// KindMutate is a coalesced tuple-level delta to one relation.
+	KindMutate byte = 1
+	// KindRegister is a wholesale relation (re)registration carrying the full
+	// post-registration contents in the columnar pair codec.
+	KindRegister byte = 2
+	// KindDrop removes one relation.
+	KindDrop byte = 3
+	// KindRegisterView registers a named materialized view by query text.
+	KindRegisterView byte = 4
+	// KindDropView removes one view.
+	KindDropView byte = 5
+)
+
+// Record is one logged catalog or view mutation. Exactly the fields for its
+// kind are set: Mutate uses Name/Added/Removed, Register uses Name/Pairs,
+// Drop and DropView use Name, RegisterView uses Name/Query.
+type Record struct {
+	// Kind is one of the Kind* constants.
+	Kind byte
+	// Name is the relation or view the record addresses.
+	Name string
+	// Added and Removed carry the effective tuple delta of a Mutate record.
+	Added, Removed []relation.Pair
+	// Pairs is the full contents of a Register record.
+	Pairs []relation.Pair
+	// Query is the canonical query text of a RegisterView record.
+	Query string
+}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxNameLen bounds relation/view names (matches the relation file format).
+const maxNameLen = 1 << 16
+
+// maxQueryLen bounds the logged query text of a view registration.
+const maxQueryLen = 1 << 20
+
+// AppendRecord appends the framed encoding of r to dst and returns it:
+// uvarint payload length, the payload, and a CRC32-C of the payload. The
+// payload is the kind byte followed by kind-specific fields, all
+// length-prefixed with uvarints; tuple columns use the columnar codec of
+// package relation for full images and zigzag varints for deltas.
+func AppendRecord(dst []byte, r *Record) ([]byte, error) {
+	payload, err := appendPayload(nil, r)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable)), nil
+}
+
+// appendPayload appends the unframed record payload.
+func appendPayload(dst []byte, r *Record) ([]byte, error) {
+	if len(r.Name) == 0 || len(r.Name) > maxNameLen {
+		return dst, fmt.Errorf("wal: record name length %d out of range", len(r.Name))
+	}
+	dst = append(dst, r.Kind)
+	dst = appendString(dst, r.Name)
+	switch r.Kind {
+	case KindMutate:
+		dst = appendDelta(dst, r.Added)
+		dst = appendDelta(dst, r.Removed)
+	case KindRegister:
+		dst = relation.AppendPairs(dst, r.Pairs)
+	case KindDrop, KindDropView:
+		// Name only.
+	case KindRegisterView:
+		if len(r.Query) > maxQueryLen {
+			return dst, fmt.Errorf("wal: view query length %d out of range", len(r.Query))
+		}
+		dst = appendString(dst, r.Query)
+	default:
+		return dst, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	return dst, nil
+}
+
+// DecodeRecord decodes one unframed record payload. It errors (never panics)
+// on truncated, corrupt or trailing bytes.
+func DecodeRecord(payload []byte) (*Record, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("wal: empty record payload")
+	}
+	r := &Record{Kind: payload[0]}
+	rest := payload[1:]
+	var err error
+	if r.Name, rest, err = decodeString(rest, maxNameLen); err != nil {
+		return nil, fmt.Errorf("wal: record name: %w", err)
+	}
+	if r.Name == "" {
+		return nil, fmt.Errorf("wal: empty record name")
+	}
+	switch r.Kind {
+	case KindMutate:
+		if r.Added, rest, err = decodeDelta(rest); err != nil {
+			return nil, fmt.Errorf("wal: added delta: %w", err)
+		}
+		if r.Removed, rest, err = decodeDelta(rest); err != nil {
+			return nil, fmt.Errorf("wal: removed delta: %w", err)
+		}
+	case KindRegister:
+		if r.Pairs, rest, err = relation.DecodePairs(rest); err != nil {
+			return nil, fmt.Errorf("wal: register image: %w", err)
+		}
+	case KindDrop, KindDropView:
+		// Name only.
+	case KindRegisterView:
+		if r.Query, rest, err = decodeString(rest, maxQueryLen); err != nil {
+			return nil, fmt.Errorf("wal: view query: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after record", len(rest))
+	}
+	return r, nil
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decodeString consumes a uvarint-length-prefixed string of at most max
+// bytes.
+func decodeString(b []byte, max int) (string, []byte, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return "", b, fmt.Errorf("truncated length")
+	}
+	b = b[used:]
+	if n > uint64(max) {
+		return "", b, fmt.Errorf("length %d exceeds limit %d", n, max)
+	}
+	if uint64(len(b)) < n {
+		return "", b, fmt.Errorf("truncated body: want %d bytes, have %d", n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// maxDeltaPairs bounds one logged delta; a mutation batch beyond it is
+// implausible and treated as corruption.
+const maxDeltaPairs = 1 << 28
+
+// appendDelta appends a count-prefixed unsorted pair list as zigzag varints.
+func appendDelta(dst []byte, ps []relation.Pair) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ps)))
+	for _, p := range ps {
+		dst = binary.AppendVarint(dst, int64(p.X))
+		dst = binary.AppendVarint(dst, int64(p.Y))
+	}
+	return dst
+}
+
+// decodeDelta consumes a count-prefixed zigzag-varint pair list.
+func decodeDelta(b []byte) ([]relation.Pair, []byte, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, b, fmt.Errorf("truncated pair count")
+	}
+	b = b[used:]
+	if n > maxDeltaPairs {
+		return nil, b, fmt.Errorf("implausible pair count %d", n)
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	ps := make([]relation.Pair, 0, int(min(n, 1<<16)))
+	for i := uint64(0); i < n; i++ {
+		x, used := binary.Varint(b)
+		if used <= 0 {
+			return nil, b, fmt.Errorf("truncated pair %d of %d", i, n)
+		}
+		b = b[used:]
+		y, used := binary.Varint(b)
+		if used <= 0 {
+			return nil, b, fmt.Errorf("truncated pair %d of %d", i, n)
+		}
+		b = b[used:]
+		if x < -1<<31 || x > 1<<31-1 || y < -1<<31 || y > 1<<31-1 {
+			return nil, b, fmt.Errorf("pair %d out of int32 range", i)
+		}
+		ps = append(ps, relation.Pair{X: int32(x), Y: int32(y)})
+	}
+	return ps, b, nil
+}

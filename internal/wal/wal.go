@@ -1,0 +1,532 @@
+// Package wal is the write-ahead log of the engine's durability layer: an
+// append-only, segmented log of coalesced catalog and view mutations — the
+// effective deltas the catalog already computes for view maintenance — with
+// CRC-framed, varint-encoded records, configurable fsync policies and
+// segment rotation.
+//
+// Every record is framed as
+//
+//	uvarint payload-length | payload | 4-byte little-endian CRC32-C(payload)
+//
+// and assigned a monotonically increasing LSN (1-based record sequence
+// number). Segments are files named wal-%016x.seg where the hex value is
+// the LSN of the segment's first record; a segment is rotated once it
+// crosses Options.SegmentBytes. Recovery replays records after the
+// snapshot's applied LSN through the normal catalog mutation path; a torn
+// tail (a crash mid-append, leaving an incomplete frame at the end of the
+// last segment) is truncated on Open, while a complete frame that fails
+// its CRC anywhere is corruption of acked data and fails recovery loudly.
+//
+// See README.md for the record format reference and fsync trade-offs.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Policy selects when appends reach the disk.
+type Policy int
+
+// Fsync policies, in decreasing durability order.
+const (
+	// FsyncAlways syncs after every append: no acked mutation is ever lost,
+	// at the cost of one fsync per batch (~ms on most disks).
+	FsyncAlways Policy = iota
+	// FsyncInterval syncs at most once per Options.Interval (plus a
+	// background flush when idle): a crash loses at most one interval of
+	// acked mutations.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS page cache: fastest, loses an
+	// unbounded tail on power failure (process crashes still keep everything
+	// the kernel accepted).
+	FsyncNever
+)
+
+// String names the policy as the -fsync flag spells it.
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses the -fsync flag values always|interval|never.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is unset.
+const DefaultSegmentBytes = 64 << 20
+
+// DefaultInterval is the FsyncInterval period when Options.Interval is
+// unset.
+const DefaultInterval = 100 * time.Millisecond
+
+// Options configures a WAL.
+type Options struct {
+	// Policy selects the fsync policy (default FsyncAlways).
+	Policy Policy
+	// Interval is the FsyncInterval period (default DefaultInterval).
+	Interval time.Duration
+	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
+	SegmentBytes int64
+}
+
+// Stats is a point-in-time summary of the log, served on /healthz.
+type Stats struct {
+	// Dir is the log directory.
+	Dir string `json:"dir"`
+	// Policy is the fsync policy name.
+	Policy string `json:"fsync"`
+	// Segments is the number of live segment files.
+	Segments int `json:"segments"`
+	// NextLSN is the LSN the next appended record will get.
+	NextLSN uint64 `json:"next_lsn"`
+	// Appended counts records appended since Open.
+	Appended uint64 `json:"appended_records"`
+	// AppendedBytes counts framed bytes appended since Open.
+	AppendedBytes int64 `json:"appended_bytes"`
+	// Syncs counts fsync calls since Open.
+	Syncs uint64 `json:"syncs"`
+}
+
+// WAL is an open write-ahead log. All methods are safe for concurrent use.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	segFirst uint64   // first LSN of the active segment
+	size     int64    // active segment size
+	nextLSN  uint64
+	dirty    bool // unsynced appends pending
+	closed   bool
+
+	appended uint64
+	appBytes int64
+	syncs    uint64
+
+	stop chan struct{} // interval flusher shutdown
+	done chan struct{}
+}
+
+// segPrefix and segSuffix frame segment file names: wal-%016x.seg.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstLSN, segSuffix)
+}
+
+// parseSegName extracts the first LSN from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if len(name) != len(segPrefix)+16+len(segSuffix) ||
+		name[:len(segPrefix)] != segPrefix || name[len(name)-len(segSuffix):] != segSuffix {
+		return 0, false
+	}
+	var lsn uint64
+	if _, err := fmt.Sscanf(name[len(segPrefix):len(segPrefix)+16], "%016x", &lsn); err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// listSegments returns the segment first-LSNs in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		if lsn, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, lsn)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// Open opens (or creates) the log in dir, scanning the last segment to find
+// the next LSN and truncating a torn tail record left by a crash mid-append.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, nextLSN: 1, segFirst: 1}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		n, valid, err := scanSegment(filepath.Join(dir, segName(last)))
+		if err != nil {
+			return nil, err
+		}
+		w.segFirst = last
+		w.nextLSN = last + uint64(n)
+		w.size = valid
+		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		// Truncate the torn tail (and position the write offset on it).
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if _, err := f.Seek(valid, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		w.f = f
+	} else {
+		f, err := os.OpenFile(filepath.Join(dir, segName(1)), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		w.f = f
+	}
+	if opts.Policy == FsyncInterval {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// frameStatus classifies one frame-scan step. The distinction matters for
+// recovery: a crash mid-append leaves an INCOMPLETE frame at the file's end
+// (the writer appends, never preallocates), which is the torn tail Open
+// silently truncates — while a COMPLETE frame that fails its CRC, or a
+// CRC-valid frame whose record does not decode, is media corruption of
+// fsync-acked data and must fail recovery loudly rather than silently
+// dropping everything after it.
+type frameStatus int
+
+const (
+	frameOK   frameStatus = iota
+	frameTorn             // bytes run out mid-frame: crash artifact at the tail
+	frameCorrupt
+)
+
+// scanSegment walks one segment's records, returning how many decode
+// cleanly and the byte offset of the first torn frame. A corrupt (complete
+// but CRC-failing) frame is an error, never truncated.
+func scanSegment(path string) (records int, validBytes int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	off := int64(0)
+	rest := data
+	for len(rest) > 0 {
+		payload, next, st := nextFrame(rest)
+		if st == frameTorn {
+			break
+		}
+		if st == frameCorrupt {
+			return 0, 0, fmt.Errorf("wal: corrupt frame at offset %d in %s (CRC-complete but invalid: not a torn tail)", off, path)
+		}
+		if _, err := DecodeRecord(payload); err != nil {
+			return 0, 0, fmt.Errorf("wal: corrupt record at offset %d in %s: %w", off, path, err)
+		}
+		off += int64(len(rest) - len(next))
+		rest = next
+		records++
+	}
+	return records, off, nil
+}
+
+// nextFrame consumes one CRC-validated frame, returning its payload and the
+// remaining bytes. frameTorn means the bytes ran out mid-frame (truncation
+// — possibly a corrupt length field, which is indistinguishable); frameCorrupt
+// means the frame is complete but its checksum does not match.
+func nextFrame(b []byte) (payload, rest []byte, st frameStatus) {
+	n, used := binary.Uvarint(b)
+	if used < 0 {
+		return nil, b, frameCorrupt // varint overflow: not a truncation
+	}
+	if used == 0 || n > uint64(len(b)-used) {
+		return nil, b, frameTorn
+	}
+	body := b[used : used+int(n)]
+	rest = b[used+int(n):]
+	if len(rest) < 4 {
+		return nil, b, frameTorn
+	}
+	want := binary.LittleEndian.Uint32(rest[:4])
+	if crc32.Checksum(body, crcTable) != want {
+		return nil, b, frameCorrupt
+	}
+	return body, rest[4:], frameOK
+}
+
+// Append encodes r, assigns it the next LSN, writes the frame to the active
+// segment (rotating first if the segment is full) and applies the fsync
+// policy. It returns the record's LSN.
+func (w *WAL) Append(r *Record) (uint64, error) {
+	frame, err := AppendRecord(nil, r)
+	if err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	if w.size > 0 && w.size+int64(len(frame)) > w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.size += int64(len(frame))
+	w.appended++
+	w.appBytes += int64(len(frame))
+	w.dirty = true
+	if w.opts.Policy == FsyncAlways {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment (synced) and starts a new one
+// whose name carries the next LSN. The new segment is opened BEFORE the old
+// one is closed: if the open fails (ENOSPC, fd limit), the old segment
+// stays active and appends keep working once the condition clears, instead
+// of wedging every future append on a closed file. Callers hold w.mu.
+func (w *WAL) rotateLocked() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.nextLSN)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	old := w.f
+	w.f, w.segFirst, w.size = f, w.nextLSN, 0
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: sealing old segment: %w", err)
+	}
+	return syncDir(w.dir)
+}
+
+// Rotate forces a segment rotation, making every prior record eligible for
+// TruncateBefore. Checkpointing rotates so the pre-checkpoint tail can be
+// reclaimed.
+func (w *WAL) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: rotate on closed log")
+	}
+	if w.size == 0 {
+		return nil // active segment is empty; nothing to seal
+	}
+	return w.rotateLocked()
+}
+
+// syncLocked fsyncs the active segment if dirty. Callers hold w.mu.
+func (w *WAL) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.dirty = false
+	w.syncs++
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// flushLoop is the FsyncInterval background flusher.
+func (w *WAL) flushLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = w.Sync()
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// Close syncs and closes the log. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	err := w.syncLocked()
+	w.closed = true
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	stop := w.stop
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.done
+	}
+	return err
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Stats summarizes the log for /healthz.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, _ := listSegments(w.dir)
+	return Stats{
+		Dir:      w.dir,
+		Policy:   w.opts.Policy.String(),
+		Segments: len(segs),
+		NextLSN:  w.nextLSN,
+		Appended: w.appended, AppendedBytes: w.appBytes,
+		Syncs: w.syncs,
+	}
+}
+
+// Replay streams every record with LSN > after to fn, in LSN order. A torn
+// tail — an incomplete frame at the end of the final segment — ends the
+// replay silently (it is the crash artifact Open truncates); a complete but
+// invalid frame anywhere, or any bad frame in a non-final segment, is
+// corruption of acked data and fails the replay. fn errors abort.
+func Replay(dir string, after uint64, fn func(lsn uint64, r *Record) error) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	for i, first := range segs {
+		// Skip segments entirely at or below the replay horizon: a segment
+		// is skippable when the next segment starts at or below after+1.
+		if i+1 < len(segs) && segs[i+1] <= after+1 {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, segName(first)))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		lsn := first
+		rest := data
+		for len(rest) > 0 {
+			payload, next, st := nextFrame(rest)
+			if st != frameOK {
+				if st == frameTorn && i == len(segs)-1 {
+					return nil // torn tail: the crash artifact Open truncates
+				}
+				return fmt.Errorf("wal: corrupt frame at lsn %d in %s", lsn, segName(first))
+			}
+			r, err := DecodeRecord(payload)
+			if err != nil {
+				// The CRC matched but the record is invalid: corruption (or
+				// a writer bug), never a torn write.
+				return fmt.Errorf("wal: corrupt record at lsn %d in %s: %w", lsn, segName(first), err)
+			}
+			if lsn > after {
+				if err := fn(lsn, r); err != nil {
+					return err
+				}
+			}
+			lsn++
+			rest = next
+		}
+	}
+	return nil
+}
+
+// TruncateBefore removes every segment whose records all have LSN < lsn,
+// never touching the active segment. It reclaims the log tail a checkpoint
+// has made redundant.
+func (w *WAL) TruncateBefore(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for i, first := range segs {
+		// Segment i spans [first, next.first); removable when it ends below
+		// lsn and is not the active segment.
+		if first == w.segFirst || i+1 >= len(segs) || segs[i+1] > lsn {
+			continue
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(first))); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	return syncDir(w.dir)
+}
+
+// syncDir fsyncs a directory so renames and removals survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,377 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+)
+
+func pairs(vals ...int32) []relation.Pair {
+	var ps []relation.Pair
+	for i := 0; i+1 < len(vals); i += 2 {
+		ps = append(ps, relation.Pair{X: vals[i], Y: vals[i+1]})
+	}
+	return ps
+}
+
+func sampleRecords() []*Record {
+	return []*Record{
+		{Kind: KindRegister, Name: "R", Pairs: pairs(1, 2, 1, 3, 5, 1)},
+		{Kind: KindMutate, Name: "R", Added: pairs(9, 9, -4, 7), Removed: pairs(1, 2)},
+		{Kind: KindRegisterView, Name: "v", Query: "V(x, z) :- R(x, y), R(y, z)"},
+		{Kind: KindMutate, Name: "R", Removed: pairs(5, 1)},
+		{Kind: KindDropView, Name: "v"},
+		{Kind: KindDrop, Name: "R"},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for i, r := range sampleRecords() {
+		frame, err := AppendRecord(nil, r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		payload, rest, st := nextFrame(frame)
+		if st != frameOK || len(rest) != 0 {
+			t.Fatalf("record %d: frame did not round-trip (st=%v rest=%d)", i, st, len(rest))
+		}
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if got.Kind != r.Kind || got.Name != r.Name || got.Query != r.Query ||
+			!pairsEqual(got.Added, r.Added) || !pairsEqual(got.Removed, r.Removed) ||
+			!pairsEqualSorted(got.Pairs, r.Pairs) {
+			t.Fatalf("record %d: round-trip mismatch: %+v vs %+v", i, got, r)
+		}
+	}
+}
+
+func pairsEqual(a, b []relation.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pairsEqualSorted compares as sets: register images are canonicalized to
+// (x, y) order by the columnar codec.
+func pairsEqualSorted(a, b []relation.Pair) bool {
+	ra := relation.FromPairs("a", a)
+	rb := relation.FromPairs("b", b)
+	return reflect.DeepEqual(ra.Pairs(), rb.Pairs())
+}
+
+// TestRecordDecodeCorruption flips every byte of every encoded record and
+// requires DecodeRecord to either error or produce a record — never panic —
+// and every truncation to error.
+func TestRecordDecodeCorruption(t *testing.T) {
+	for _, r := range sampleRecords() {
+		payload, err := appendPayload(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := DecodeRecord(payload[:cut]); err == nil {
+				t.Fatalf("truncation at %d of %d decoded cleanly (%+v)", cut, len(payload), r)
+			}
+		}
+		for i := range payload {
+			mut := append([]byte(nil), payload...)
+			mut[i] ^= 0xff
+			_, _ = DecodeRecord(mut) // must not panic
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for i, r := range recs {
+		lsn, err := w.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []*Record
+	if err := Replay(dir, 0, func(lsn uint64, r *Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	// Replay after a horizon skips the prefix.
+	var tail []*Record
+	if err := Replay(dir, 4, func(lsn uint64, r *Record) error {
+		tail = append(tail, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != len(recs)-4 || tail[0].Kind != KindDropView {
+		t.Fatalf("horizon replay got %d records, want %d starting at dropview", len(tail), len(recs)-4)
+	}
+}
+
+func TestSegmentRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: FsyncNever, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := int32(0); i < n; i++ {
+		if _, err := w.Append(&Record{Kind: KindMutate, Name: "R", Added: pairs(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation to produce ≥ 3 segments, got %d", st.Segments)
+	}
+	if st.NextLSN != n+1 {
+		t.Fatalf("NextLSN = %d, want %d", st.NextLSN, n+1)
+	}
+	// Truncate below LSN 20: early segments go, replay still yields 20+.
+	if err := w.TruncateBefore(20); err != nil {
+		t.Fatal(err)
+	}
+	var lsns []uint64
+	if err := Replay(dir, 0, func(lsn uint64, r *Record) error {
+		lsns = append(lsns, lsn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) == 0 || lsns[len(lsns)-1] != n {
+		t.Fatalf("replay after truncate lost the tail: %v", lsns)
+	}
+	if lsns[0] >= 20 {
+		t.Fatalf("truncate removed too much: first surviving lsn %d", lsns[0])
+	}
+	for _, lsn := range lsns {
+		if lsn >= 20 {
+			break
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornTailTruncatedOnOpen cuts the last segment mid-record and checks
+// that Open truncates it, Replay stops cleanly, and appends continue with
+// the right LSN.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 5; i++ {
+		if _, err := w.Append(&Record{Kind: KindMutate, Name: "R", Added: pairs(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	count := 0
+	if err := Replay(dir, 0, func(uint64, *Record) error { count++; return nil }); err != nil {
+		t.Fatalf("torn tail must not fail replay: %v", err)
+	}
+	if count != 4 {
+		t.Fatalf("replayed %d records, want 4 (torn fifth dropped)", count)
+	}
+
+	w, err = Open(dir, Options{Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.Append(&Record{Kind: KindDrop, Name: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 5 {
+		t.Fatalf("post-truncation append lsn = %d, want 5 (reusing the torn slot)", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptionInLastSegmentFails flips a CRC byte of an EARLY frame in
+// the final segment — the file is complete, so this is media corruption of
+// acked records, not a torn tail — and expects both Replay and Open to
+// error rather than silently truncate the valid records that follow.
+func TestCorruptionInLastSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 5; i++ {
+		if _, err := w.Append(&Record{Kind: KindMutate, Name: "R", Added: pairs(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, st := nextFrame(data)
+	if st != frameOK {
+		t.Fatalf("first frame status %v", st)
+	}
+	firstLen := len(data) - len(rest)
+	data[firstLen-1] ^= 0xff // last CRC byte of frame 1
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(dir, 0, func(uint64, *Record) error { return nil }); err == nil {
+		t.Fatal("mid-file corruption in the last segment replayed cleanly; want error")
+	}
+	if _, err := Open(dir, Options{Policy: FsyncNever}); err == nil {
+		t.Fatal("Open truncated past mid-file corruption; want error")
+	}
+}
+
+// TestCorruptionMidLogFails flips a byte in a non-final segment and expects
+// replay to error rather than silently skip records.
+func TestCorruptionMidLogFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: FsyncNever, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 30; i++ {
+		if _, err := w.Append(&Record{Kind: KindMutate, Name: "R", Added: pairs(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want ≥ 2 segments, got %v (%v)", segs, err)
+	}
+	seg := filepath.Join(dir, segName(segs[0]))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(dir, 0, func(uint64, *Record) error { return nil }); err == nil {
+		t.Fatal("mid-log corruption replayed cleanly; want error")
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, pol := range []Policy{FsyncAlways, FsyncInterval, FsyncNever} {
+		dir := t.TempDir()
+		w, err := Open(dir, Options{Policy: pol, Interval: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int32(0); i < 3; i++ {
+			if _, err := w.Append(&Record{Kind: KindMutate, Name: "R", Added: pairs(i, i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if pol == FsyncAlways && w.Stats().Syncs < 3 {
+			t.Fatalf("always: %d syncs after 3 appends", w.Stats().Syncs)
+		}
+		if pol == FsyncInterval {
+			deadline := time.Now().Add(2 * time.Second)
+			for w.Stats().Syncs == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if w.Stats().Syncs == 0 {
+				t.Fatal("interval: background flusher never synced")
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"always", FsyncAlways}, {"interval", FsyncInterval}, {"never", FsyncNever}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("round trip %q → %q", tc.in, got.String())
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+// TestColumnarImageCompact sanity-checks that the register image codec beats
+// the 8-bytes-per-pair row format on a sorted graph.
+func TestColumnarImageCompact(t *testing.T) {
+	var ps []relation.Pair
+	for x := int32(0); x < 100; x++ {
+		for y := x; y < x+20; y++ {
+			ps = append(ps, relation.Pair{X: x, Y: y})
+		}
+	}
+	enc := relation.AppendPairs(nil, ps)
+	if len(enc) >= 8*len(ps) {
+		t.Fatalf("columnar image %d bytes ≥ row format %d", len(enc), 8*len(ps))
+	}
+	dec, rest, err := relation.DecodePairs(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (rest %d)", err, len(rest))
+	}
+	if !bytes.Equal(relation.AppendPairs(nil, dec), enc) {
+		t.Fatal("decode/encode not idempotent")
+	}
+}

@@ -41,6 +41,16 @@
 //	eng.Mutate("R", inserts, deletes) // v is patched, not recomputed
 //	cols, tuples, freshness, _ := v.Result(ctx)
 //
+// With a data dir, the whole serving state is durable: every mutation is
+// write-ahead logged before it is acked, checkpoints snapshot the relations
+// and the views' count stores atomically, and on restart the snapshot loads
+// and the WAL tail replays through the normal incremental maintenance path:
+//
+//	eng := joinmm.New()
+//	_ = eng.Open("/var/lib/joinmm", joinmm.PersistOptions{})
+//	defer eng.Close() // fsync + close the WAL
+//	eng.Checkpoint()  // or let CheckpointEvery trigger it
+//
 // See internal/query/README.md for the grammar, internal/view/README.md for
 // the maintenance algebra, docs/ARCHITECTURE.md for worked walk-throughs of
 // both the query and the update path, and cmd/joinmmd for the HTTP/JSON
@@ -58,6 +68,7 @@ import (
 	"repro/internal/scj"
 	"repro/internal/ssj"
 	"repro/internal/view"
+	"repro/internal/wal"
 )
 
 // Pair is a single tuple (X, Y) of a binary relation.
@@ -143,6 +154,34 @@ type ViewInfo = view.Info
 // ViewFreshness is the maintenance metadata served with view results:
 // mode, staleness, pending batches, last maintenance cost and strategies.
 type ViewFreshness = view.Freshness
+
+// PersistOptions configures Engine.Open: WAL fsync policy, segment size and
+// the automatic checkpoint threshold.
+type PersistOptions = core.PersistOptions
+
+// FsyncPolicy selects when WAL appends reach the disk; see FsyncAlways,
+// FsyncInterval, FsyncNever.
+type FsyncPolicy = wal.Policy
+
+// WAL fsync policies, in decreasing durability order.
+const (
+	// FsyncAlways syncs after every append (the default; no acked mutation
+	// is ever lost).
+	FsyncAlways = wal.FsyncAlways
+	// FsyncInterval syncs at most once per interval.
+	FsyncInterval = wal.FsyncInterval
+	// FsyncNever leaves syncing to the OS page cache.
+	FsyncNever = wal.FsyncNever
+)
+
+// CheckpointInfo summarizes one completed durability checkpoint.
+type CheckpointInfo = core.CheckpointInfo
+
+// RecoveryStats summarizes what Engine.Open recovered from a data dir.
+type RecoveryStats = core.RecoveryStats
+
+// PersistenceStats is the durability section of the engine's health report.
+type PersistenceStats = core.PersistenceStats
 
 // ParseQuery parses one rule of the text query language, e.g.
 // "Q(x, z) :- R(x, y), S(y, z), T(z, w) WITH strategy=auto".
