@@ -15,21 +15,36 @@
 //
 // Flags:
 //
-//	-addr              listen address (default :8080)
-//	-timeout           per-query evaluation timeout (default 30s)
-//	-max-in-flight     concurrent query admission bound (default: all cores)
-//	-workers           engine parallelism per query (default: all cores)
-//	-load name=path    preload a relation (repeatable); files are written by
-//	                   (*Relation).Save / cmd/datagen. With -data-dir, a
-//	                   name already recovered from the data dir is skipped —
-//	                   the durable state wins over the seed file
-//	-data-dir          durability directory: state is recovered from it on
-//	                   start (snapshot + WAL replay) and every mutation is
-//	                   write-ahead logged to it ("" = ephemeral)
-//	-fsync             WAL fsync policy: always|interval|never (default always)
-//	-fsync-interval    fsync period under -fsync interval (default 100ms)
-//	-checkpoint-every  automatic checkpoint after N logged mutation batches
-//	                   (0 = manual via POST /admin/checkpoint only)
+//	-addr                      listen address (default :8080)
+//	-timeout                   per-query evaluation timeout (default 30s)
+//	-max-in-flight             concurrent query admission bound (default: all cores)
+//	-queue-depth               admission wait-queue depth; requests beyond the
+//	                           in-flight bound wait here, the rest get 429
+//	                           (0 = server default 64, negative = no queue)
+//	-max-query-bytes           per-query materialization budget in bytes;
+//	                           exceeding it fails that query with 422
+//	                           (0 = unlimited)
+//	-workers                   engine parallelism per query (default: all cores)
+//	-load name=path            preload a relation (repeatable); files are written
+//	                           by (*Relation).Save / cmd/datagen. With -data-dir,
+//	                           a name already recovered from the data dir is
+//	                           skipped — the durable state wins over the seed file
+//	-data-dir                  durability directory: state is recovered from it on
+//	                           start (snapshot + WAL replay) and every mutation is
+//	                           write-ahead logged to it ("" = ephemeral)
+//	-fsync                     WAL fsync policy: always|interval|never (default always)
+//	-fsync-interval            fsync period under -fsync interval (default 100ms)
+//	-checkpoint-every          automatic checkpoint after N logged mutation batches
+//	                           (0 = defer to -checkpoint-replay-target)
+//	-checkpoint-replay-target  adaptive checkpoint policy: checkpoint when the
+//	                           estimated WAL replay cost exceeds this duration
+//	                           (default 2s; 0 = no automatic checkpoints)
+//	-degraded-policy           what to do when persistent WAL failure degrades
+//	                           the engine: readonly = keep serving reads and
+//	                           fail mutations with 503 until the disk heals
+//	                           (POST /admin/resume or a checkpoint re-arms);
+//	                           exit = shut down so a supervisor can fail over
+//	                           (default readonly)
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: the listener closes,
 // in-flight queries drain through the admission semaphore, the WAL is
@@ -80,19 +95,27 @@ func main() {
 func run() error {
 	loads := loadFlags{}
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
-		inflight  = flag.Int("max-in-flight", 0, "max concurrently evaluating queries (0 = all cores)")
-		workers   = flag.Int("workers", 0, "engine workers per query (0 = all cores)")
-		dataDir   = flag.String("data-dir", "", "durability directory (recover on start, write-ahead log mutations; \"\" = ephemeral)")
-		fsync     = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
-		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
-		ckptEvery = flag.Int("checkpoint-every", 0, "automatic checkpoint after N logged mutation batches (0 = manual only)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
+		inflight   = flag.Int("max-in-flight", 0, "max concurrently evaluating queries (0 = all cores)")
+		queueDepth = flag.Int("queue-depth", 0, "admission wait-queue depth beyond -max-in-flight; overflow gets 429 (0 = default 64, negative = no queue)")
+		maxQBytes  = flag.Int64("max-query-bytes", 0, "per-query materialization budget in bytes; exceeded queries fail with 422 (0 = unlimited)")
+		workers    = flag.Int("workers", 0, "engine workers per query (0 = all cores)")
+		dataDir    = flag.String("data-dir", "", "durability directory (recover on start, write-ahead log mutations; \"\" = ephemeral)")
+		fsync      = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		fsyncIvl   = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "automatic checkpoint after N logged mutation batches (0 = defer to -checkpoint-replay-target)")
+		ckptReplay = flag.Duration("checkpoint-replay-target", 2*time.Second, "checkpoint when estimated WAL replay cost exceeds this (0 = no automatic checkpoints)")
+		degPolicy  = flag.String("degraded-policy", "readonly", "on persistent WAL failure: readonly (serve reads, 503 mutations) or exit (shut down for failover)")
 	)
 	flag.Var(loads, "load", "preload relation, name=path (repeatable)")
 	flag.Parse()
+	if *degPolicy != "readonly" && *degPolicy != "exit" {
+		return fmt.Errorf("-degraded-policy must be readonly or exit, got %q", *degPolicy)
+	}
 
-	eng := core.NewEngine(core.WithWorkers(*workers))
+	eng := core.NewEngine(core.WithWorkers(*workers), core.WithQueryBudget(*maxQBytes, 0))
+	degradeCh := make(chan error, 1)
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsync)
 		if err != nil {
@@ -100,7 +123,17 @@ func run() error {
 		}
 		start := time.Now()
 		if err := eng.Open(*dataDir, core.PersistOptions{
-			Fsync: policy, FsyncInterval: *fsyncIvl, CheckpointEvery: *ckptEvery,
+			Fsync: policy, FsyncInterval: *fsyncIvl,
+			CheckpointEvery: *ckptEvery, CheckpointReplayTarget: *ckptReplay,
+			OnDegraded: func(cause error) {
+				log.Printf("joinmmd: engine degraded to read-only: %v", cause)
+				if *degPolicy == "exit" {
+					select {
+					case degradeCh <- cause:
+					default:
+					}
+				}
+			},
 		}); err != nil {
 			return err
 		}
@@ -131,7 +164,7 @@ func run() error {
 			log.Printf("loaded %d relations in %v (%d already recovered)", len(loads), time.Since(start).Round(time.Millisecond), skipped)
 		}
 	}
-	s := server.New(server.Config{Engine: eng, Timeout: *timeout, MaxInFlight: *inflight})
+	s := server.New(server.Config{Engine: eng, Timeout: *timeout, MaxInFlight: *inflight, QueueDepth: *queueDepth})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -150,9 +183,15 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var degradeErr error
 	select {
 	case err := <-errCh:
 		return err
+	case cause := <-degradeCh:
+		// -degraded-policy=exit: shut down gracefully (in-flight queries
+		// still drain) and exit non-zero so a supervisor fails over.
+		log.Printf("joinmmd: -degraded-policy=exit, shutting down")
+		degradeErr = fmt.Errorf("engine degraded: %w", cause)
 	case <-ctx.Done():
 	}
 	stop()
@@ -170,9 +209,9 @@ func run() error {
 	if err := s.Drain(shutdownCtx); err != nil {
 		log.Printf("joinmmd: %v", err)
 	}
-	if err := eng.Close(); err != nil {
+	if err := eng.Close(); err != nil && degradeErr == nil {
 		return fmt.Errorf("closing wal: %w", err)
 	}
 	log.Printf("joinmmd: shutdown complete")
-	return nil
+	return degradeErr
 }

@@ -142,21 +142,36 @@ func wcojThresholds(l, r *relation.Relation) int {
 // the right-hand relation is swapped into (c, b) orientation first; the
 // output pairs are then (L.x, R.Swap().x) = (a, c) as required.
 func Compose(l, r *relation.Relation, opt Options) (*relation.Relation, Step) {
+	halt := func() bool { return opt.Join.Stop != nil && opt.Join.Stop() }
 	dec := decide(l, r, opt)
 	jopt := opt.Join
 	jopt.Delta1, jopt.Delta2 = dec.Delta1, dec.Delta2
-	rs := r.Swap()
 	var pairs [][2]int32
-	switch dec.Strategy {
-	case StrategyWCOJ:
-		t := wcojThresholds(l, r)
-		jopt.Delta1, jopt.Delta2 = t, t
-		pairs = joinproject.TwoPathMM(l, rs, jopt)
-	case StrategyNonMM:
-		pairs = joinproject.TwoPathNonMM(l, rs, jopt)
-	default:
+	// A tripped Stop short-circuits the whole step: the join itself polls
+	// Stop, but the swap, the join, and the output materialization each cost
+	// real time on large intermediates, so skipping them keeps the
+	// cancel-to-return latency bounded. The caller discards the (empty)
+	// partial result once it observes the cancellation.
+	if !halt() {
+		rs := r.Swap()
+		switch {
+		case halt():
+			// Canceled while swapping; skip the join.
+		case dec.Strategy == StrategyWCOJ:
+			t := wcojThresholds(l, r)
+			jopt.Delta1, jopt.Delta2 = t, t
+			pairs = joinproject.TwoPathMM(l, rs, jopt)
+		case dec.Strategy == StrategyNonMM:
+			pairs = joinproject.TwoPathNonMM(l, rs, jopt)
+		default:
+			dec.Strategy = StrategyMM
+			pairs = joinproject.TwoPathMM(l, rs, jopt)
+		}
+	} else {
 		dec.Strategy = StrategyMM
-		pairs = joinproject.TwoPathMM(l, rs, jopt)
+	}
+	if halt() {
+		pairs = nil
 	}
 	ps := make([]relation.Pair, len(pairs))
 	for i, p := range pairs {

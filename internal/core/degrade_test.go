@@ -1,0 +1,274 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/govern"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// openFaulted builds an engine on an injector-backed data dir with fast
+// retries, seeded with one relation.
+func openFaulted(t *testing.T, extra ...Option) (*Engine, *faultfs.Injector, string) {
+	t.Helper()
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	eng := NewEngine(extra...)
+	err := eng.Open(dir, PersistOptions{
+		Fsync: wal.FsyncAlways, FS: in, RetryBackoff: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	if _, err := eng.Register("R", []relation.Pair{{X: 1, Y: 2}, {X: 2, Y: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	return eng, in, dir
+}
+
+func TestTransientFaultRetriesThrough(t *testing.T) {
+	eng, in, _ := openFaulted(t)
+	// One write fault: the retry must absorb it and the mutation must ack.
+	in.Script(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", Err: faultfs.ErrInjectedEIO})
+	if _, err := eng.Mutate("R", []relation.Pair{{X: 5, Y: 6}}, nil); err != nil {
+		t.Fatalf("transient fault should be retried through: %v", err)
+	}
+	if deg, _, _ := eng.Degraded(); deg {
+		t.Fatal("one transient fault must not degrade the engine")
+	}
+}
+
+func TestPersistentFaultDegradesThenResumes(t *testing.T) {
+	var hookCause error
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	eng := NewEngine()
+	err := eng.Open(dir, PersistOptions{
+		Fsync: wal.FsyncAlways, FS: in, RetryBackoff: 50 * time.Microsecond,
+		OnDegraded: func(cause error) { hookCause = cause },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Register("R", []relation.Pair{{X: 1, Y: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// Enough write faults to exhaust every retry.
+	in.Script(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", Err: faultfs.ErrInjectedENOSPC, Times: 10})
+	if _, err := eng.Mutate("R", []relation.Pair{{X: 9, Y: 9}}, nil); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("exhausted retries: want ErrDegraded, got %v", err)
+	}
+	deg, cause, since := eng.Degraded()
+	if !deg || cause == nil || since.IsZero() {
+		t.Fatalf("Degraded() = %v, %v, %v", deg, cause, since)
+	}
+	if !errors.Is(hookCause, faultfs.ErrInjectedENOSPC) {
+		t.Fatalf("OnDegraded cause = %v", hookCause)
+	}
+
+	// Degraded: mutations fail fast (no disk I/O), queries keep serving.
+	before := in.Injected()
+	if _, err := eng.Mutate("R", []relation.Pair{{X: 8, Y: 8}}, nil); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded mutate: %v", err)
+	}
+	if in.Injected() != before {
+		t.Fatal("degraded mutate touched the disk")
+	}
+	res, err := eng.Query("Q(x, y) :- R(x, y)")
+	if err != nil {
+		t.Fatalf("degraded query: %v", err)
+	}
+	if len(res.Tuples) != 1 {
+		t.Fatalf("degraded query rows = %d (rejected mutations must not apply)", len(res.Tuples))
+	}
+	st := eng.PersistenceStats()
+	if !st.Degraded || st.DegradedCause == "" || st.DegradedSince == "" {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Disk heals: Resume re-arms writes.
+	in.Heal()
+	if err := eng.Resume(); err != nil {
+		t.Fatalf("resume on healed disk: %v", err)
+	}
+	if deg, _, _ := eng.Degraded(); deg {
+		t.Fatal("resume did not clear degraded mode")
+	}
+	if _, err := eng.Mutate("R", []relation.Pair{{X: 7, Y: 7}}, nil); err != nil {
+		t.Fatalf("mutate after resume: %v", err)
+	}
+}
+
+func TestResumeFailsWhileDiskStillBroken(t *testing.T) {
+	eng, in, _ := openFaulted(t)
+	in.Script(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", Err: faultfs.ErrInjectedEIO, Times: 10})
+	if _, err := eng.Mutate("R", []relation.Pair{{X: 9, Y: 9}}, nil); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+	in.Script(faultfs.Rule{Op: faultfs.OpSync, PathContains: "wal-", Err: faultfs.ErrInjectedEIO})
+	if err := eng.Resume(); err == nil {
+		t.Fatal("resume must fail while the probe fsync fails")
+	}
+	if deg, _, _ := eng.Degraded(); !deg {
+		t.Fatal("failed resume must stay degraded")
+	}
+	if err := eng.Resume(); err != nil {
+		t.Fatalf("resume after heal: %v", err)
+	}
+}
+
+func TestCheckpointRearmsDegradedEngine(t *testing.T) {
+	eng, in, _ := openFaulted(t)
+	in.Script(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", Err: faultfs.ErrInjectedENOSPC, Times: 10})
+	if _, err := eng.Mutate("R", []relation.Pair{{X: 9, Y: 9}}, nil); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+	// The disk "recovers". A successful checkpoint to the data dir re-arms
+	// writes.
+	in.Heal()
+	if _, err := eng.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint on healed disk: %v", err)
+	}
+	if deg, _, _ := eng.Degraded(); deg {
+		t.Fatal("successful checkpoint did not re-arm")
+	}
+	if _, err := eng.Mutate("R", []relation.Pair{{X: 6, Y: 6}}, nil); err != nil {
+		t.Fatalf("mutate after checkpoint re-arm: %v", err)
+	}
+}
+
+func TestCheckpointFailureKeepsLastGoodManifest(t *testing.T) {
+	eng, in, dir := openFaulted(t)
+	if _, err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	good := eng.PersistenceStats().LastCheckpointLSN
+	if _, err := eng.Mutate("R", []relation.Pair{{X: 4, Y: 5}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	in.Script(faultfs.Rule{Op: faultfs.OpRename, PathContains: "MANIFEST", Err: faultfs.ErrInjectedEIO})
+	if _, err := eng.Checkpoint(); err == nil {
+		t.Fatal("manifest-rename fault: checkpoint should fail")
+	}
+	st := eng.PersistenceStats()
+	if st.CheckpointFailures != 1 || st.LastCheckpointError == "" {
+		t.Fatalf("failure not recorded: %+v", st)
+	}
+	if st.LastCheckpointLSN != good {
+		t.Fatalf("failed checkpoint moved the commit point: %d != %d", st.LastCheckpointLSN, good)
+	}
+	// The engine still recovers from the last-good checkpoint + WAL tail.
+	eng.Close()
+	eng2 := NewEngine()
+	if err := eng2.Open(dir, PersistOptions{Fsync: wal.FsyncAlways}); err != nil {
+		t.Fatalf("recovery after failed checkpoint: %v", err)
+	}
+	defer eng2.Close()
+	res, err := eng2.Query("Q(x, y) :- R(x, y)")
+	if err != nil || len(res.Tuples) != 3 {
+		t.Fatalf("recovered %d rows, err %v; want 3", len(res.Tuples), err)
+	}
+}
+
+func TestCheckpointToHealthyDir(t *testing.T) {
+	eng, in, _ := openFaulted(t)
+	in.Script(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", Err: faultfs.ErrInjectedEIO, Times: 10})
+	if _, err := eng.Mutate("R", []relation.Pair{{X: 9, Y: 9}}, nil); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+	// Secure the state to a healthy dir; the disk heals so the probe
+	// re-arms too.
+	in.Heal()
+	healthy := t.TempDir()
+	info, err := eng.CheckpointTo(healthy)
+	if err != nil {
+		t.Fatalf("checkpoint to healthy dir: %v", err)
+	}
+	if deg, _, _ := eng.Degraded(); deg {
+		t.Fatal("healthy-dir checkpoint did not re-arm")
+	}
+	// The backup dir alone restores the acked state.
+	eng2 := NewEngine()
+	if err := eng2.Open(healthy, PersistOptions{Fsync: wal.FsyncAlways}); err != nil {
+		t.Fatalf("open backup dir: %v", err)
+	}
+	defer eng2.Close()
+	res, err := eng2.Query("Q(x, y) :- R(x, y)")
+	if err != nil || len(res.Tuples) != 2 {
+		t.Fatalf("backup restored %d rows (err %v), want 2 (info %+v)", len(res.Tuples), err, info)
+	}
+}
+
+func TestAdaptiveCheckpointTriggers(t *testing.T) {
+	dir := t.TempDir()
+	eng := NewEngine()
+	// A microscopic replay target with the default ns/record estimate
+	// triggers as soon as the minimum record floor is reached.
+	err := eng.Open(dir, PersistOptions{Fsync: wal.FsyncNever, CheckpointReplayTarget: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Register("R", []relation.Pair{{X: 0, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*minAdaptiveRecords; i++ {
+		if _, err := eng.Mutate("R", []relation.Pair{{X: int32(i + 1), Y: int32(i + 2)}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if eng.PersistenceStats().Checkpoints > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("adaptive policy never checkpointed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAdaptiveCheckpointSilentWithoutTarget(t *testing.T) {
+	dir := t.TempDir()
+	eng := NewEngine()
+	if err := eng.Open(dir, PersistOptions{Fsync: wal.FsyncNever}); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Register("R", []relation.Pair{{X: 0, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*minAdaptiveRecords; i++ {
+		if _, err := eng.Mutate("R", []relation.Pair{{X: int32(i + 1), Y: int32(i + 2)}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := eng.PersistenceStats().Checkpoints; n != 0 {
+		t.Fatalf("no policy armed but %d checkpoints ran", n)
+	}
+}
+
+func TestQueryBudgetAttaches(t *testing.T) {
+	eng := NewEngine(WithQueryBudget(0, 1)) // one-row cap: everything trips
+	if _, err := eng.Register("R", []relation.Pair{{X: 1, Y: 2}, {X: 2, Y: 3}, {X: 3, Y: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Query("Q(x, y) :- R(x, y)")
+	if !errors.Is(err, govern.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	// A caller-provided budget takes precedence over the engine default.
+	ctx := govern.WithBudget(context.Background(), govern.New(0, 1<<30))
+	if _, err := eng.QueryContext(ctx, "Q(x, y) :- R(x, y)"); err != nil {
+		t.Fatalf("caller budget should win: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/bsi"
 	"repro/internal/catalog"
 	"repro/internal/compress"
+	"repro/internal/govern"
 	"repro/internal/joinproject"
 	"repro/internal/optimizer"
 	"repro/internal/query"
@@ -69,6 +70,13 @@ type Config struct {
 	// with a one-pass HyperLogLog over the full join whenever
 	// |OUT⋈| ≤ SketchBudget (the Section-9 refinement).
 	SketchBudget int64
+	// MaxQueryBytes and MaxQueryRows cap what one query may materialize
+	// (intermediate folds included); 0 means unlimited. An exceeded budget
+	// aborts the query with govern.ErrBudgetExceeded instead of exhausting
+	// memory. View refreshes evaluate through the same path and inherit the
+	// caps.
+	MaxQueryBytes int64
+	MaxQueryRows  int64
 }
 
 // Option mutates the engine configuration.
@@ -89,6 +97,12 @@ func WithThresholds(d1, d2 int) Option {
 // planner for instances whose full join has at most budget tuples.
 func WithSketchRefinement(budget int64) Option {
 	return func(c *Config) { c.SketchBudget = budget }
+}
+
+// WithQueryBudget caps the bytes and rows one query may materialize (0:
+// unlimited for that dimension).
+func WithQueryBudget(maxBytes, maxRows int64) Option {
+	return func(c *Config) { c.MaxQueryBytes, c.MaxQueryRows = maxBytes, maxRows }
 }
 
 // Engine evaluates join-project queries and their applications.
@@ -457,8 +471,14 @@ func (e *Engine) Query(src string) (*query.Result, error) {
 
 // QueryContext is Query with cancellation: the context is checked between
 // plan operators and during the compile-time bag materialization of cyclic
-// queries.
+// queries. When the engine has a query budget configured and the context
+// carries none yet, a fresh per-query budget is attached — so every
+// top-level query (and every view refresh, which evaluates through here)
+// gets its own cap, while nested evaluation shares the caller's.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*query.Result, error) {
+	if (e.cfg.MaxQueryBytes > 0 || e.cfg.MaxQueryRows > 0) && govern.FromContext(ctx) == nil {
+		ctx = govern.WithBudget(ctx, govern.New(e.cfg.MaxQueryBytes, e.cfg.MaxQueryRows))
+	}
 	p, hit, err := e.cat.PrepareContext(ctx, src)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,101 @@
+// Package faultfs abstracts the handful of filesystem operations the
+// durability layer performs — create, open, write, fsync, rename, remove,
+// readdir — behind a small FS interface so faults can be injected at every
+// I/O point. The production implementation (OS) is a zero-cost passthrough
+// to package os; Injector wraps any FS and fails operations according to
+// scripted rules or a seeded random schedule, including short (torn) writes
+// and a simulated crash that wedges every subsequent operation.
+//
+// The WAL and snapshot packages take an FS in their options (nil means OS),
+// so the production path never pays for the indirection beyond one
+// interface call per I/O operation — which the existing benchmarks gate.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem surface the durability layer uses. All paths are
+// regular OS paths.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open is os.Open (read-only). Directories opened for fsync also pass
+	// through here.
+	Open(name string) (File, error)
+	// CreateTemp is os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile is os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Rename is os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// MkdirAll is os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+}
+
+// File is the open-file surface the durability layer uses: sequential
+// writes, truncate+seek for torn-tail repair, fsync, and reads for segment
+// scans.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync is File.Sync (fsync).
+	Sync() error
+	// Truncate is File.Truncate.
+	Truncate(size int64) error
+	// Seek is File.Seek.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// OS is the production passthrough to package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// OrOS returns fsys, or OS when fsys is nil — the idiom option structs use
+// to make the zero value mean "real filesystem".
+func OrOS(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}

@@ -1,0 +1,399 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op identifies one filesystem operation class for fault matching.
+type Op int
+
+// Operation classes, in rough production-path frequency order.
+const (
+	OpWrite Op = iota
+	OpSync
+	OpCreate // OpenFile with O_CREATE, and CreateTemp
+	OpOpen   // read-only opens (including directory opens for fsync)
+	OpRead
+	OpReadDir
+	OpRename
+	OpRemove
+	OpMkdir
+	OpTruncate
+	numOps
+)
+
+// String names the op as rules and test logs spell it.
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpCreate:
+		return "create"
+	case OpOpen:
+		return "open"
+	case OpRead:
+		return "read"
+	case OpReadDir:
+		return "readdir"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpMkdir:
+		return "mkdir"
+	case OpTruncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Injected fault errors. ENOSPC and EIO are the real syscall errors so
+// error-classification code sees exactly what a failing disk produces.
+var (
+	// ErrInjectedENOSPC is a simulated disk-full failure.
+	ErrInjectedENOSPC error = syscall.ENOSPC
+	// ErrInjectedEIO is a simulated media I/O failure.
+	ErrInjectedEIO error = syscall.EIO
+	// ErrCrashed wedges every operation after a simulated crash: the process
+	// is "dead"; only re-opening state from a fresh FS (recovery) proceeds.
+	ErrCrashed = errors.New("faultfs: simulated crash")
+)
+
+// Rule is one scripted fault: it fires on matching operations after After
+// matches, for Times occurrences (default 1).
+type Rule struct {
+	// Op is the operation class the rule matches.
+	Op Op
+	// PathContains restricts the rule to paths containing the substring;
+	// empty matches every path.
+	PathContains string
+	// After skips the first After matching operations before firing.
+	After int
+	// Times is how many matches the rule fires on; 0 means 1.
+	Times int
+	// Err is the injected error (default ErrInjectedEIO).
+	Err error
+	// ShortWrite makes an OpWrite rule write roughly half the buffer to the
+	// underlying file before failing — a torn write.
+	ShortWrite bool
+	// Crash wedges the filesystem after the rule fires: every subsequent
+	// operation returns ErrCrashed until Heal.
+	Crash bool
+
+	seen  int // matching ops observed
+	fired int // times fired
+}
+
+// Probs are per-operation random fault probabilities for seeded schedules.
+// A fired random write fault has a 50% chance of being a short (torn)
+// write; errors alternate between ENOSPC and EIO by coin flip.
+type Probs struct {
+	Write, Sync, Create, Rename, Remove float64
+}
+
+// Injector is a fault-injecting FS wrapping a base FS (usually OS). The
+// zero value is unusable; use NewInjector. All methods are safe for
+// concurrent use.
+type Injector struct {
+	base FS
+
+	mu       sync.Mutex
+	rules    []*Rule
+	rng      *rand.Rand
+	probs    Probs
+	crashed  bool
+	injected uint64
+	opsLeft  int // countdown to auto-crash; <0 disabled
+}
+
+// NewInjector wraps base (nil means OS) with no faults armed.
+func NewInjector(base FS) *Injector {
+	return &Injector{base: OrOS(base), opsLeft: -1}
+}
+
+// Script arms scripted rules (appending to any already armed).
+func (in *Injector) Script(rules ...Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range rules {
+		r := rules[i]
+		if r.Err == nil {
+			r.Err = ErrInjectedEIO
+		}
+		if r.Times == 0 {
+			r.Times = 1
+		}
+		in.rules = append(in.rules, &r)
+	}
+}
+
+// SetRandom arms a seeded random fault schedule. Deterministic for a given
+// seed and operation sequence.
+func (in *Injector) SetRandom(seed int64, p Probs) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rng = rand.New(rand.NewSource(seed))
+	in.probs = p
+}
+
+// CrashAfterOps arms a kill-point: after n more fault-eligible operations
+// complete, the filesystem crashes (subsequent operations return
+// ErrCrashed). n=0 crashes immediately.
+func (in *Injector) CrashAfterOps(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n <= 0 {
+		in.crashed = true
+		return
+	}
+	in.opsLeft = n
+}
+
+// Crash wedges the filesystem immediately.
+func (in *Injector) Crash() { in.CrashAfterOps(0) }
+
+// Crashed reports whether a simulated crash has occurred.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Heal clears the crash flag and every armed fault; subsequent operations
+// pass through. Counters are preserved.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashed = false
+	in.rules = nil
+	in.rng = nil
+	in.probs = Probs{}
+	in.opsLeft = -1
+}
+
+// Injected counts faults injected since construction.
+func (in *Injector) Injected() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// outcome is the decision for one operation.
+type outcome struct {
+	err   error
+	short bool // write roughly half, then fail with err
+}
+
+// check consults crash state, scripted rules, then the random schedule.
+// A nil-err outcome means the operation proceeds against the base FS.
+func (in *Injector) check(op Op, path string) outcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return outcome{err: ErrCrashed}
+	}
+	if in.opsLeft > 0 {
+		in.opsLeft--
+		if in.opsLeft == 0 {
+			in.opsLeft = -1
+			in.crashed = true
+			return outcome{err: ErrCrashed}
+		}
+	}
+	for _, r := range in.rules {
+		if r.Op != op || r.fired >= r.Times {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		r.fired++
+		in.injected++
+		if r.Crash {
+			in.crashed = true
+		}
+		return outcome{err: r.Err, short: r.ShortWrite && op == OpWrite}
+	}
+	if in.rng != nil {
+		var p float64
+		switch op {
+		case OpWrite:
+			p = in.probs.Write
+		case OpSync:
+			p = in.probs.Sync
+		case OpCreate:
+			p = in.probs.Create
+		case OpRename:
+			p = in.probs.Rename
+		case OpRemove:
+			p = in.probs.Remove
+		}
+		if p > 0 && in.rng.Float64() < p {
+			in.injected++
+			err := ErrInjectedENOSPC
+			if in.rng.Intn(2) == 0 {
+				err = ErrInjectedEIO
+			}
+			return outcome{err: err, short: op == OpWrite && in.rng.Intn(2) == 0}
+		}
+	}
+	return outcome{}
+}
+
+// OpenFile implements FS: it consults the fault schedule under OpOpen (or
+// OpCreate when O_CREATE is set) and wraps the returned file so its writes,
+// syncs and closes stay fault-eligible.
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	op := OpOpen
+	if flag&os.O_CREATE != 0 {
+		op = OpCreate
+	}
+	if o := in.check(op, name); o.err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: o.err}
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+// Open implements FS with OpOpen fault checks; the returned file is wrapped
+// like OpenFile's.
+func (in *Injector) Open(name string) (File, error) {
+	if o := in.check(OpOpen, name); o.err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: o.err}
+	}
+	f, err := in.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+// CreateTemp implements FS with OpCreate fault checks; the returned file is
+// wrapped like OpenFile's.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if o := in.check(OpCreate, dir+"/"+pattern); o.err != nil {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: o.err}
+	}
+	f, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+// ReadFile implements FS with OpRead fault checks.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if o := in.check(OpRead, name); o.err != nil {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: o.err}
+	}
+	return in.base.ReadFile(name)
+}
+
+// ReadDir implements FS with OpReadDir fault checks.
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if o := in.check(OpReadDir, name); o.err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: o.err}
+	}
+	return in.base.ReadDir(name)
+}
+
+// Rename implements FS with OpRename fault checks (matched against the
+// destination path).
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if o := in.check(OpRename, newpath); o.err != nil {
+		return &fs.PathError{Op: "rename", Path: newpath, Err: o.err}
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS with OpRemove fault checks.
+func (in *Injector) Remove(name string) error {
+	if o := in.check(OpRemove, name); o.err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: o.err}
+	}
+	return in.base.Remove(name)
+}
+
+// MkdirAll implements FS with OpMkdir fault checks.
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if o := in.check(OpMkdir, path); o.err != nil {
+		return &fs.PathError{Op: "mkdir", Path: path, Err: o.err}
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+// injFile routes mutating file operations back through the injector.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injFile) Name() string { return jf.f.Name() }
+
+func (jf *injFile) Read(p []byte) (int, error) {
+	if o := jf.in.check(OpRead, jf.f.Name()); o.err != nil {
+		return 0, &fs.PathError{Op: "read", Path: jf.f.Name(), Err: o.err}
+	}
+	return jf.f.Read(p)
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	o := jf.in.check(OpWrite, jf.f.Name())
+	if o.err == nil {
+		return jf.f.Write(p)
+	}
+	if o.short && len(p) > 1 {
+		// Torn write: half the buffer reaches the file, then the fault.
+		n, werr := jf.f.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, &fs.PathError{Op: "write", Path: jf.f.Name(), Err: o.err}
+	}
+	return 0, &fs.PathError{Op: "write", Path: jf.f.Name(), Err: o.err}
+}
+
+func (jf *injFile) Sync() error {
+	if o := jf.in.check(OpSync, jf.f.Name()); o.err != nil {
+		return &fs.PathError{Op: "sync", Path: jf.f.Name(), Err: o.err}
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injFile) Truncate(size int64) error {
+	if o := jf.in.check(OpTruncate, jf.f.Name()); o.err != nil {
+		return &fs.PathError{Op: "truncate", Path: jf.f.Name(), Err: o.err}
+	}
+	return jf.f.Truncate(size)
+}
+
+func (jf *injFile) Seek(offset int64, whence int) (int64, error) {
+	return jf.f.Seek(offset, whence)
+}
+
+// Close always closes the underlying file (leaking fds on injected close
+// failures would poison unrelated tests) but still reports a crash.
+func (jf *injFile) Close() error {
+	err := jf.f.Close()
+	if jf.in.Crashed() {
+		return ErrCrashed
+	}
+	return err
+}

@@ -1,0 +1,247 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OS.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := OS.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if OrOS(nil) != OS {
+		t.Fatal("OrOS(nil) != OS")
+	}
+}
+
+func TestScriptedWriteFault(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Script(Rule{Op: OpWrite, After: 1, Err: ErrInjectedENOSPC})
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("second")); !errors.Is(err, ErrInjectedENOSPC) {
+		t.Fatalf("second write: want ENOSPC, got %v", err)
+	}
+	if _, err := f.Write([]byte("third")); err != nil {
+		t.Fatalf("rule exhausted, third write should pass: %v", err)
+	}
+	if got := in.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Script(Rule{Op: OpWrite, ShortWrite: true, Err: ErrInjectedEIO})
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("0123456789"))
+	f.Close()
+	if !errors.Is(werr, ErrInjectedEIO) {
+		t.Fatalf("want EIO, got %v", werr)
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "w"))
+	if string(data) != "01234" {
+		t.Fatalf("on-disk bytes = %q, want torn half", data)
+	}
+}
+
+func TestPathFilterAndSyncFault(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Script(Rule{Op: OpSync, PathContains: "wal-", Err: ErrInjectedEIO, Times: 2})
+	wf, err := in.OpenFile(filepath.Join(dir, "wal-0001.seg"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	sf, err := in.OpenFile(filepath.Join(dir, "snap-0001.snap"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	if err := sf.Sync(); err != nil {
+		t.Fatalf("snap sync should pass: %v", err)
+	}
+	if err := wf.Sync(); !errors.Is(err, ErrInjectedEIO) {
+		t.Fatalf("wal sync: want EIO, got %v", err)
+	}
+	if err := wf.Sync(); !errors.Is(err, ErrInjectedEIO) {
+		t.Fatalf("wal sync 2: want EIO, got %v", err)
+	}
+	if err := wf.Sync(); err != nil {
+		t.Fatalf("rule exhausted: %v", err)
+	}
+}
+
+func TestCrashWedgesEverything(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Crash()
+	if !in.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	if _, err := in.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("readdir after crash: %v", err)
+	}
+	if err := in.Rename("a", "b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename after crash: %v", err)
+	}
+	in.Heal()
+	if in.Crashed() {
+		t.Fatal("Heal did not clear crash")
+	}
+	if _, err := in.ReadDir(dir); err != nil {
+		t.Fatalf("readdir after heal: %v", err)
+	}
+}
+
+func TestCrashAfterOps(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in.CrashAfterOps(3)
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("c")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("third op should hit kill-point, got %v", err)
+	}
+	if _, err := f.Write([]byte("d")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op: %v", err)
+	}
+}
+
+func TestCrashRuleOnRename(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Script(Rule{Op: OpRename, Err: ErrInjectedEIO, Crash: true})
+	if err := os.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b"))
+	if !errors.Is(err, ErrInjectedEIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("crash rule did not wedge fs")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("failed rename must leave source intact: %v", err)
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	run := func(seed int64) (faults uint64, errsAt []int) {
+		dir := t.TempDir()
+		in := NewInjector(nil)
+		in.SetRandom(seed, Probs{Write: 0.3, Sync: 0.3})
+		f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		for i := 0; i < 50; i++ {
+			if _, err := f.Write([]byte("data")); err != nil {
+				errsAt = append(errsAt, i)
+			}
+		}
+		return in.Injected(), errsAt
+	}
+	f1, e1 := run(42)
+	f2, e2 := run(42)
+	if f1 != f2 || len(e1) != len(e2) {
+		t.Fatalf("same seed diverged: %d/%v vs %d/%v", f1, e1, f2, e2)
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	if f1 == 0 {
+		t.Fatal("probability 0.3 over 50 writes injected nothing")
+	}
+	f3, _ := run(43)
+	_ = f3 // different seeds may coincide; only determinism is asserted
+}
+
+func TestCreateTempAndMkdirFaults(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Script(
+		Rule{Op: OpCreate, Err: ErrInjectedENOSPC},
+		Rule{Op: OpMkdir, Err: ErrInjectedEIO},
+	)
+	if _, err := in.CreateTemp(dir, "t-*"); !errors.Is(err, ErrInjectedENOSPC) {
+		t.Fatalf("createtemp: %v", err)
+	}
+	if err := in.MkdirAll(filepath.Join(dir, "sub"), 0o755); !errors.Is(err, ErrInjectedEIO) {
+		t.Fatalf("mkdir: %v", err)
+	}
+	// Rules exhausted: both pass now.
+	f, err := in.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := in.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -89,6 +89,7 @@ type starCtx struct {
 	ys     []int32
 	// yHeavyCount[i] = number of relations in which ys[i] has degree > Δ1.
 	yHeavyCount []int8
+	stop        func() bool // polled at block boundaries; nil = never stop
 }
 
 func newStarCtx(rels []*relation.Relation, d1, d2 int) *starCtx {
@@ -125,6 +126,9 @@ func (c *starCtx) enumerateLight(workers int, emit func(sc *starScratch, xs []in
 		lightBuf := make([][]int32, c.k)
 		heavyBuf := make([][]int32, c.k)
 		for i := lo; i < hi; i++ {
+			if c.stop != nil && i&63 == 0 && c.stop() {
+				return
+			}
 			y := c.ys[i]
 			ok := true
 			for j, r := range c.rels {
@@ -279,6 +283,9 @@ func (c *starCtx) runStar(workers int, useMM bool, emit func(xs []int32)) {
 			xs := sc.xs
 			lists := make([][]int32, c.k)
 			for i := lo; i < hi; i++ {
+				if c.stop != nil && i&63 == 0 && c.stop() {
+					return
+				}
 				y := c.ys[i]
 				ok := true
 				for j, r := range c.rels {
@@ -316,7 +323,7 @@ func (c *starCtx) runStar(workers int, useMM bool, emit func(xs []int32)) {
 	if len(rowsB) == 0 {
 		return
 	}
-	matrix.ForEachRowProduct(va, wb, workers, func(i int, counts []int32) {
+	matrix.ForEachRowProductStop(va, wb, workers, c.stop, func(i int, counts []int32) {
 		sc := getStarScratch(c.k)
 		xs := sc.xs
 		for j, n := range counts {
@@ -347,6 +354,7 @@ func StarMM(rels []*relation.Relation, opt Options) [][]int32 {
 		}
 	}
 	c := newStarCtx(rels, opt.Delta1, opt.Delta2)
+	c.stop = opt.Stop
 	var mu sync.Mutex
 	var out [][]int32
 	c.runStar(opt.Workers, true, func(xs []int32) {
@@ -368,6 +376,7 @@ func StarNonMM(rels []*relation.Relation, opt Options) [][]int32 {
 		opt.Delta1, opt.Delta2 = 1, 1
 	}
 	c := newStarCtx(rels, opt.Delta1, opt.Delta2)
+	c.stop = opt.Stop
 	var mu sync.Mutex
 	var out [][]int32
 	c.runStar(opt.Workers, false, func(xs []int32) {
@@ -404,6 +413,7 @@ func StarMMCounts(rels []*relation.Relation, opt Options) []TupleCount {
 		}
 	}
 	c := newStarCtx(rels, opt.Delta1, opt.Delta2)
+	c.stop = opt.Stop
 	counts := make(map[string]int32)
 	var mu sync.Mutex
 	add := func(key []byte, n int32) {
@@ -429,7 +439,7 @@ func StarMMCounts(rels []*relation.Relation, opt Options) []TupleCount {
 		if len(rowsA) > 0 {
 			rowsB, wb := c.buildGroupMatrix(g, c.k, yCols)
 			if len(rowsB) > 0 {
-				matrix.ForEachRowProduct(va, wb, opt.Workers, func(i int, cnts []int32) {
+				matrix.ForEachRowProductStop(va, wb, opt.Workers, opt.Stop, func(i int, cnts []int32) {
 					sc := getStarScratch(c.k)
 					xs := sc.xs
 					for j, n := range cnts {
@@ -474,6 +484,7 @@ func StarMMSize(rels []*relation.Relation, opt Options) int64 {
 		}
 	}
 	c := newStarCtx(rels, opt.Delta1, opt.Delta2)
+	c.stop = opt.Stop
 	var n int64
 	var mu sync.Mutex
 	c.runStar(opt.Workers, true, func(xs []int32) {

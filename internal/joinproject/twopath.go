@@ -52,6 +52,12 @@ type Options struct {
 	Workers int
 	// Dedup selects the light-part deduplication strategy.
 	Dedup DedupMode
+	// Stop, when non-nil, is polled at block boundaries of the evaluation
+	// loops and inside the matrix kernels; a true return abandons the
+	// remaining work (the output is then incomplete). Callers wire a
+	// context-cancellation check here so a deadline interrupts a
+	// long-running join instead of waiting out the full sweep.
+	Stop func() bool
 }
 
 // PairCount is one projected output pair together with its witness count
@@ -80,6 +86,7 @@ func (o Options) normalize(r, s *relation.Relation) Options {
 type twoPathCtx struct {
 	r, s   *relation.Relation
 	d1, d2 int
+	stop   func() bool // polled at block boundaries; nil = never stop
 
 	sX, sY   *relation.Index
 	zvals    []int32   // sX keys, ascending
@@ -99,18 +106,31 @@ type twoPathCtx struct {
 }
 
 func newTwoPathCtx(r, s *relation.Relation, d1, d2 int) *twoPathCtx {
-	return newTwoPathCtxParallel(r, s, d1, d2, 1)
+	return newTwoPathCtxParallel(r, s, d1, d2, 1, nil)
 }
 
 // newTwoPathCtxParallel builds the positional indexes with the given degree
 // of parallelism; construction is a per-key-independent transform, so it
-// partitions coordination-free like the join itself.
-func newTwoPathCtxParallel(r, s *relation.Relation, d1, d2, workers int) *twoPathCtx {
-	c := &twoPathCtx{r: r, s: s, d1: d1, d2: d2, sX: s.ByX(), sY: s.ByY(), rX: r.ByX()}
+// partitions coordination-free like the join itself. stop is polled between
+// construction phases: preprocessing is O(N log N) and would otherwise be
+// the one stretch a cancellation cannot interrupt. An early return leaves
+// the context partially built, which is safe because the evaluation loops
+// re-check stop before touching any of it.
+func newTwoPathCtxParallel(r, s *relation.Relation, d1, d2, workers int, stop func() bool) *twoPathCtx {
+	c := &twoPathCtx{r: r, s: s, d1: d1, d2: d2, stop: stop, sX: s.ByX(), sY: s.ByY(), rX: r.ByX()}
+	halt := func() bool { return stop != nil && stop() }
+	// rYPos must exist for the evaluation loops even on an abandoned build.
+	c.rYPos = make([][]int32, c.rX.NumKeys())
+	if halt() {
+		return c
+	}
 	c.zvals = c.sX.Keys()
 	c.zDeg = make([]int32, c.sX.NumKeys())
 	for i := range c.zDeg {
 		c.zDeg[i] = int32(c.sX.Degree(i))
+	}
+	if halt() {
+		return c
 	}
 
 	// Heavy y columns: degree in S above Δ1.
@@ -145,6 +165,9 @@ func newTwoPathCtxParallel(r, s *relation.Relation, d1, d2, workers int) *twoPat
 			c.lightByY[i] = light
 		}
 	})
+	if halt() {
+		return c
+	}
 
 	// Heavy z rows: z degree above Δ2 and at least one heavy y neighbour.
 	if c.ncols > 0 {
@@ -175,8 +198,11 @@ func newTwoPathCtxParallel(r, s *relation.Relation, d1, d2, workers int) *twoPat
 		}
 	}
 
+	if halt() {
+		return c
+	}
+
 	// R-side positional lists into sY.
-	c.rYPos = make([][]int32, c.rX.NumKeys())
 	par.For(c.rX.NumKeys(), workers, func(i int) {
 		list := c.rX.List(i)
 		pos := make([]int32, len(list))
@@ -257,6 +283,9 @@ func (c *twoPathCtx) runMode(workers int, counting, dedupSort bool, sink func(wo
 			for {
 				blockLo := int(cursor.Add(schedBlock) - schedBlock)
 				if blockLo >= nx {
+					return
+				}
+				if c.stop != nil && c.stop() {
 					return
 				}
 				blockHi := blockLo + schedBlock
@@ -422,6 +451,9 @@ func (c *twoPathCtx) runNonMM(workers int, counting bool, sink func(worker int, 
 				if blockLo >= nx {
 					return
 				}
+				if c.stop != nil && c.stop() {
+					return
+				}
 				blockHi := blockLo + schedBlock
 				if blockHi > nx {
 					blockHi = nx
@@ -559,7 +591,7 @@ func (cc *countCollector) out() []PairCount {
 // the distinct output pairs (order unspecified).
 func TwoPathMM(r, s *relation.Relation, opt Options) [][2]int32 {
 	opt = opt.normalize(r, s)
-	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers)
+	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers, opt.Stop)
 	pc := newPairCollector(par.Workers(opt.Workers))
 	c.runMode(opt.Workers, false, c.resolveDedup(opt.Dedup), pc.sink)
 	return pc.pairs()
@@ -570,7 +602,7 @@ func TwoPathMM(r, s *relation.Relation, opt Options) [][2]int32 {
 // Algorithm 1 partition the witness space, so counts are exact.
 func TwoPathMMCounts(r, s *relation.Relation, opt Options) []PairCount {
 	opt = opt.normalize(r, s)
-	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers)
+	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers, opt.Stop)
 	cc := newCountCollector(par.Workers(opt.Workers))
 	c.runMode(opt.Workers, true, false, cc.sink)
 	return cc.out()
@@ -581,7 +613,7 @@ func TwoPathMMCounts(r, s *relation.Relation, opt Options) []PairCount {
 // safe for concurrent use.
 func TwoPathMMVisit(r, s *relation.Relation, opt Options, visit func(x, z, count int32)) {
 	opt = opt.normalize(r, s)
-	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers)
+	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers, opt.Stop)
 	c.run(opt.Workers, true, visit)
 }
 
@@ -590,7 +622,7 @@ func TwoPathMMVisit(r, s *relation.Relation, opt Options, visit func(x, z, count
 // intersections instead of matrix multiplication.
 func TwoPathNonMM(r, s *relation.Relation, opt Options) [][2]int32 {
 	opt = opt.normalize(r, s)
-	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers)
+	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers, opt.Stop)
 	pc := newPairCollector(par.Workers(opt.Workers))
 	c.runNonMM(opt.Workers, false, pc.sink)
 	return pc.pairs()
@@ -599,7 +631,7 @@ func TwoPathNonMM(r, s *relation.Relation, opt Options) [][2]int32 {
 // TwoPathNonMMCounts is the counting variant of TwoPathNonMM.
 func TwoPathNonMMCounts(r, s *relation.Relation, opt Options) []PairCount {
 	opt = opt.normalize(r, s)
-	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers)
+	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers, opt.Stop)
 	cc := newCountCollector(par.Workers(opt.Workers))
 	c.runNonMM(opt.Workers, true, cc.sink)
 	return cc.out()
@@ -616,7 +648,7 @@ type paddedCount struct {
 // materializing them.
 func TwoPathSize(r, s *relation.Relation, opt Options) int64 {
 	opt = opt.normalize(r, s)
-	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers)
+	c := newTwoPathCtxParallel(r, s, opt.Delta1, opt.Delta2, opt.Workers, opt.Stop)
 	counts := make([]paddedCount, par.Workers(opt.Workers))
 	c.runMode(opt.Workers, false, c.resolveDedup(opt.Dedup), func(w int, _, _, _ int32) { counts[w].n++ })
 	var total int64

@@ -77,6 +77,15 @@ const (
 // number of shared 1-columns of a.Row(i) and bT.Row(j) — exactly the witness
 // count M_{i,j} of Algorithm 1. workers ≤ 0 means all cores.
 func MulBitCount(a, bT *BitMatrix, workers int) *Int32 {
+	return MulBitCountStop(a, bT, workers, nil)
+}
+
+// MulBitCountStop is MulBitCount with a cooperative cancellation hook: stop
+// is polled once per register block of output rows (every ibTile rows), and
+// a true return abandons the remaining work, leaving the result partial. A
+// nil stop costs one predictable branch per block, so the hot kernel is
+// unchanged when cancellation is not in play.
+func MulBitCountStop(a, bT *BitMatrix, workers int, stop func() bool) *Int32 {
 	if a.Cols != bT.Cols {
 		panic("matrix: bit product dimension mismatch")
 	}
@@ -84,6 +93,9 @@ func MulBitCount(a, bT *BitMatrix, workers int) *Int32 {
 	par.ForChunks(a.Rows, workers, func(lo, hi int) {
 		var dst [ibTile][]int32
 		for i0 := lo; i0 < hi; i0 += ibTile {
+			if stop != nil && stop() {
+				return
+			}
 			ib := min(ibTile, hi-i0)
 			for r := 0; r < ib; r++ {
 				dst[r] = c.Row(i0 + r)
@@ -101,28 +113,40 @@ func MulBitCount(a, bT *BitMatrix, workers int) *Int32 {
 // must be safe under that concurrency. Count buffers come from a pool, so a
 // warm steady state allocates nothing per call.
 func ForEachRowProduct(a, bT *BitMatrix, workers int, fn func(i int, counts []int32)) {
+	ForEachRowProductStop(a, bT, workers, nil, fn)
+}
+
+// ForEachRowProductStop is ForEachRowProduct with a cooperative cancellation
+// hook: stop is polled once per register block (every ibTile output rows) and
+// a true return abandons the remaining rows, so a deadline on a long product
+// takes effect within one block rather than after the full sweep. A nil stop
+// keeps the kernel on its original path.
+func ForEachRowProductStop(a, bT *BitMatrix, workers int, stop func() bool, fn func(i int, counts []int32)) {
 	if a.Cols != bT.Cols {
 		panic("matrix: bit product dimension mismatch")
 	}
 	// Single-worker fast path: no chunk closure materializes, so a warm
 	// call performs zero allocations.
 	if par.Workers(workers) == 1 || a.Rows <= 1 {
-		forEachRowChunk(a, bT, 0, a.Rows, fn)
+		forEachRowChunk(a, bT, 0, a.Rows, stop, fn)
 		return
 	}
 	par.ForChunks(a.Rows, workers, func(lo, hi int) {
-		forEachRowChunk(a, bT, lo, hi, fn)
+		forEachRowChunk(a, bT, lo, hi, stop, fn)
 	})
 }
 
 // forEachRowChunk streams rows [lo, hi) of the product with one pooled
 // count block.
-func forEachRowChunk(a, bT *BitMatrix, lo, hi int, fn func(i int, counts []int32)) {
+func forEachRowChunk(a, bT *BitMatrix, lo, hi int, stop func() bool, fn func(i int, counts []int32)) {
 	m := bT.Rows
 	buf := getInt32Scratch(ibTile * m)
 	defer putInt32Scratch(buf)
 	var dst [ibTile][]int32
 	for i0 := lo; i0 < hi; i0 += ibTile {
+		if stop != nil && stop() {
+			return
+		}
 		ib := min(ibTile, hi-i0)
 		for r := 0; r < ib; r++ {
 			dst[r] = (*buf)[r*m : (r+1)*m]

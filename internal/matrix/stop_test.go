@@ -1,0 +1,86 @@
+package matrix
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// denseSquare builds an n×n all-ones bit matrix: worst-case work per output
+// row, so the product without a stop takes long enough to observe early
+// exit.
+func denseSquare(n int) *BitMatrix {
+	m := NewBitMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j)
+		}
+	}
+	return m
+}
+
+// TestForEachRowProductStopAbandons flips the stop after the first block
+// and checks the sweep ends early instead of visiting every row.
+func TestForEachRowProductStopAbandons(t *testing.T) {
+	a := denseSquare(512)
+	var visited atomic.Int64
+	var stopped atomic.Bool
+	ForEachRowProductStop(a, a, 1, stopped.Load, func(i int, counts []int32) {
+		visited.Add(1)
+		stopped.Store(true)
+	})
+	if v := visited.Load(); v == 0 || v >= int64(a.Rows) {
+		t.Fatalf("visited %d of %d rows; want an early exit after the first block", v, a.Rows)
+	}
+}
+
+func TestMulBitCountStopAbandons(t *testing.T) {
+	a := denseSquare(512)
+	var stopped atomic.Bool
+	stopped.Store(true)
+	c := MulBitCountStop(a, a, 1, stopped.Load)
+	// Pre-tripped stop: no block runs, the count matrix stays zero.
+	if got := c.At(0, 0); got != 0 {
+		t.Fatalf("pre-tripped stop still computed counts: C[0][0] = %d", got)
+	}
+}
+
+// TestStopLatency bounds how long a tripped stop keeps the kernel running:
+// the poll sits on every register block, so the kernel must return within
+// one block's work — far under the 50ms budget the query layer promises
+// for cancellation.
+func TestStopLatency(t *testing.T) {
+	a := denseSquare(2048)
+	var stopped atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		ForEachRowProductStop(a, a, 0, stopped.Load, func(i int, counts []int32) {})
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	start := time.Now()
+	stopped.Store(true)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("kernel ignored the stop")
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("stop-to-return latency %v, want < 50ms", d)
+	}
+}
+
+// TestStopDisabledMatchesBaseline guards the fault-free contract: a nil
+// stop must take the identical code path and produce identical counts.
+func TestStopDisabledMatchesBaseline(t *testing.T) {
+	a := denseSquare(96)
+	want := MulBitCount(a, a, 1)
+	got := MulBitCountStop(a, a, 1, nil)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Rows; j++ {
+			if want.At(i, j) != got.At(i, j) {
+				t.Fatalf("C[%d][%d]: nil-stop %d != baseline %d", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}

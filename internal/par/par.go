@@ -6,8 +6,11 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers normalizes a requested degree of parallelism: values < 1 mean
@@ -22,6 +25,12 @@ func Workers(requested int) int {
 // ForChunks splits [0, n) into at most workers contiguous chunks and runs fn
 // on each chunk in its own goroutine. fn receives [lo, hi). It blocks until
 // all chunks complete.
+//
+// A panic in a worker goroutine is captured and re-raised in the calling
+// goroutine after the remaining workers finish, so callers' deferred
+// recover handlers (per-query panic isolation in the server) see it instead
+// of the process dying. When several workers panic, the first one observed
+// wins.
 func ForChunks(n, workers int, fn func(lo, hi int)) {
 	workers = Workers(workers)
 	if n <= 0 {
@@ -34,7 +43,10 @@ func ForChunks(n, workers int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[workerPanic]
+	)
 	chunk := (n + workers - 1) / workers
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -44,10 +56,31 @@ func ForChunks(n, workers int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicked.CompareAndSwap(nil, &workerPanic{val: v, stack: debug.Stack()})
+				}
+			}()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// workerPanic carries a worker goroutine's panic value and stack across to
+// the calling goroutine.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+// String renders the original panic value and the worker's stack, which is
+// otherwise lost when the panic is re-raised on the caller's goroutine.
+func (p *workerPanic) String() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", p.val, p.stack)
 }
 
 // For runs fn(i) for every i in [0, n) across workers goroutines using

@@ -111,3 +111,27 @@ func TestRangesMatchForChunks(t *testing.T) {
 		}
 	}
 }
+
+func TestForChunksPanicPropagates(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("worker panic did not propagate to caller")
+		}
+		wp, ok := v.(*workerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *workerPanic", v)
+		}
+		if wp.val != "boom" {
+			t.Fatalf("panic value = %v, want boom", wp.val)
+		}
+		if len(wp.stack) == 0 {
+			t.Fatal("worker stack missing")
+		}
+	}()
+	ForChunks(100, 4, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/acyclic"
+	"repro/internal/govern"
 	"repro/internal/joinproject"
 	"repro/internal/optimizer"
 	"repro/internal/relation"
@@ -75,12 +76,13 @@ func (p *Prepared) Explain(opts ExecOptions) *Plan {
 }
 
 type executor struct {
-	p    *Prepared
-	ctx  context.Context
-	dry  bool
-	aopt acyclic.Options
-	opt  *optimizer.Optimizer
-	star string // star-node pin: "", "mm" or "nonmm"
+	p      *Prepared
+	ctx    context.Context
+	dry    bool
+	aopt   acyclic.Options
+	opt    *optimizer.Optimizer
+	budget *govern.Budget // per-query materialization budget (nil: unlimited)
+	star   string         // star-node pin: "", "mm" or "nonmm"
 	// pushGroup marks a head of the form (g, COUNT(v)) whose component
 	// structure lets the aggregate run inside the final fold (a weighted
 	// two-path composition) instead of materializing the distinct pairs and
@@ -98,8 +100,14 @@ func (p *Prepared) newExecutor(ctx context.Context, opts ExecOptions, dry bool) 
 	if p.Query.Hints.Workers > 0 {
 		workers = p.Query.Hints.Workers
 	}
-	ex := &executor{p: p, ctx: ctx, dry: dry}
+	ex := &executor{p: p, ctx: ctx, dry: dry, budget: govern.FromContext(ctx)}
 	ex.aopt = acyclic.Options{Join: joinproject.Options{Workers: workers}}
+	if !dry {
+		// Coarse cancellation polled inside the long kernel tile loops, so a
+		// canceled heavy query stops mid-multiplication instead of at the
+		// next operator boundary.
+		ex.aopt.Join.Stop = func() bool { return ctx.Err() != nil }
+	}
 	switch strategy {
 	case acyclic.StrategyMM, acyclic.StrategyWCOJ, acyclic.StrategyNonMM:
 		ex.aopt.Force = strategy
@@ -173,6 +181,19 @@ func (ex *executor) detectGroupPush() {
 
 func (ex *executor) check() error { return ex.ctx.Err() }
 
+// Coarse per-row footprints for budget accounting: an indexed relation pair
+// (8 payload bytes + index share) and a materialized [][]int32 row (slice
+// header + k values).
+const pairBudgetBytes = 32
+
+func rowBudgetBytes(cols int) int { return 24 + 4*cols }
+
+// charge debits the query budget for rows materialized rows of about
+// rowBytes each; a nil budget is free.
+func (ex *executor) charge(rows, rowBytes int) error {
+	return ex.budget.ChargeRows(int64(rows), int64(rowBytes))
+}
+
 // compResult is one component's contribution: the variables it binds (cols,
 // only head variables), its distinct rows, and its plan subtree. A grouped
 // result carries the pushed-down COUNT aggregate instead: rows hold the
@@ -225,6 +246,9 @@ func (ex *executor) run() (*Result, error) {
 		for _, pr := range producers {
 			cols = append(cols, pr.cols...)
 			rows = crossRows(rows, pr.rows)
+			if err := ex.charge(len(rows), rowBudgetBytes(len(cols))); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -260,6 +284,9 @@ func (ex *executor) run() (*Result, error) {
 		}
 	} else {
 		res.Tuples = projectHead(q, p, cols, rows)
+	}
+	if err := ex.charge(len(res.Tuples), 24+8*len(q.Head)); err != nil {
+		return nil, err
 	}
 	top.Rows = int64(len(res.Tuples))
 	if len(top.Children) == 1 && top.Children[0].Op == "cross" {
@@ -532,7 +559,11 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, *
 			}
 		}
 		e1, e2 := live[i1], live[i2]
-		if cr := ex.tryGroupedFold(live, e1, e2, v); cr != nil {
+		cr, err := ex.tryGroupedFold(live, e1, e2, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cr != nil {
 			return nil, cr, nil
 		}
 		r1, u := orient(e1, v, false)
@@ -544,6 +575,9 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, *
 			node.Strategy, node.Detail = ex.dryComposeStrategy(r1, r2, &detail)
 		} else {
 			rel, step := acyclic.Compose(r1, r2, ex.aopt)
+			if err := ex.charge(rel.Size(), pairBudgetBytes); err != nil {
+				return nil, nil, err
+			}
 			folded.rel = rel
 			node.Strategy = step.Strategy
 			if step.Strategy == acyclic.StrategyMM {
@@ -570,9 +604,9 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, *
 // distinct-partner counts directly, so the distinct (group, count-var)
 // pairs are never materialized. Returns nil when this fold is not the
 // aggregate's final fold.
-func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) *compResult {
+func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) (*compResult, error) {
 	if !ex.pushGroup || len(live) != 2 {
-		return nil
+		return nil, nil
 	}
 	p := ex.p
 	// Orient both edges with the eliminated variable on the Y side, as the
@@ -580,11 +614,11 @@ func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) *com
 	r1, u := orient(e1, v, false)
 	r2, w := orient(e2, v, false)
 	if u == w {
-		return nil
+		return nil, nil
 	}
 	g, cv := ex.groupVar, ex.countVar
 	if !(u == g && w == cv) && !(u == cv && w == g) {
-		return nil
+		return nil, nil
 	}
 	node := &Node{Op: "groupfold", Rows: -1, Children: []*Node{e1.node, e2.node}}
 	detail := fmt.Sprintf("γ[%s; COUNT(%s)] eliminating %s (count pushed into fold)",
@@ -597,7 +631,7 @@ func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) *com
 	}
 	if ex.dry {
 		node.Strategy, node.Detail = strategy, detail
-		return cr
+		return cr, nil
 	}
 	gRel, cvRel := r1, r2
 	if u == cv {
@@ -613,6 +647,9 @@ func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) *com
 		jopt.Delta1, jopt.Delta2 = t+1, t+1
 	}
 	groups := joinproject.TwoPathGroupBy(gRel, cvRel, jopt)
+	if err := ex.charge(len(groups), rowBudgetBytes(1)+8); err != nil {
+		return nil, err
+	}
 	cr.rows = make([][]int32, len(groups))
 	cr.counts = make([]int64, len(groups))
 	for i, gc := range groups {
@@ -621,7 +658,7 @@ func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) *com
 	}
 	node.Strategy, node.Detail = strategy, detail
 	node.Rows = int64(len(groups))
-	return cr
+	return cr, nil
 }
 
 // dryComposeStrategy predicts a fold's strategy without running it.
@@ -676,6 +713,9 @@ func (ex *executor) finalNode(c *component, live []liveEdge, heads map[int]bool)
 			cr := &compResult{grouped: true, cols: []int{g}, node: node}
 			if !ex.dry {
 				ix := rel.ByX()
+				if err := ex.charge(ix.NumKeys(), rowBudgetBytes(1)+8); err != nil {
+					return nil, err
+				}
 				cr.rows = make([][]int32, ix.NumKeys())
 				cr.counts = make([]int64, ix.NumKeys())
 				for i := 0; i < ix.NumKeys(); i++ {
@@ -688,6 +728,9 @@ func (ex *executor) finalNode(c *component, live []liveEdge, heads map[int]bool)
 		}
 		cr := &compResult{cols: []int{e.a, e.b}, node: e.node}
 		if !ex.dry {
+			if err := ex.charge(e.rel.Size(), rowBudgetBytes(2)); err != nil {
+				return nil, err
+			}
 			cr.rows = make([][]int32, 0, e.rel.Size())
 			for _, pr := range e.rel.Pairs() {
 				cr.rows = append(cr.rows, []int32{pr.X, pr.Y})
@@ -779,6 +822,9 @@ func (ex *executor) starNode(live []liveEdge, center int) (*compResult, error) {
 	} else {
 		cr.rows = joinproject.StarMM(views, jopt)
 	}
+	if err := ex.charge(len(cr.rows), rowBudgetBytes(len(leaves))); err != nil {
+		return nil, err
+	}
 	node.Rows = int64(len(cr.rows))
 	return cr, nil
 }
@@ -867,7 +913,11 @@ func (ex *executor) enumerate(c *component, live []liveEdge, heads map[int]bool)
 
 	var out [][]int32
 	for _, val := range c.allowed[root] {
-		out = append(out, solve(root, -1, val)...)
+		batch := solve(root, -1, val)
+		if err := ex.charge(len(batch), rowBudgetBytes(len(cols))); err != nil {
+			return nil, err
+		}
+		out = append(out, batch...)
 	}
 	if !heads[root] {
 		out = dedupRows(out)

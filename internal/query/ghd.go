@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/acyclic"
+	"repro/internal/govern"
 	"repro/internal/hypertree"
 	"repro/internal/joinproject"
 	"repro/internal/optimizer"
@@ -589,8 +590,11 @@ func semijoinRows(dst, src *bagInfo) {
 // joinBagTree joins the reduced bag tree below bag i and returns the result
 // columns (variable ids) and rows. The context is polled between child
 // joins and every few thousand output rows, so a request deadline abandons
-// a blowing-up intermediate.
+// a blowing-up intermediate; the per-query budget riding the context is
+// charged for every joined intermediate, so an output explosion trips
+// govern.ErrBudgetExceeded before it exhausts memory.
 func joinBagTree(ctx context.Context, bags []*bagInfo, i int) ([]int, [][]int32, error) {
+	budget := govern.FromContext(ctx)
 	cols := slices.Clone(bags[i].needed)
 	rows := bags[i].rows
 	for j, b := range bags {
@@ -642,6 +646,9 @@ func joinBagTree(ctx context.Context, bags []*bagInfo, i int) ([]int, [][]int32,
 					}
 				}
 			}
+		}
+		if err := budget.ChargeRows(int64(len(joined)), int64(24+4*len(cols))); err != nil {
+			return nil, nil, err
 		}
 		rows = joined
 	}

@@ -21,7 +21,15 @@
 //	GET    /views/{name}/explain             → maintenance plan
 //	DELETE /views/{name}
 //	POST   /admin/checkpoint                 → durability checkpoint
-//	GET    /healthz                          → ok + WAL/recovery stats
+//	POST   /admin/resume                     → re-arm a degraded engine
+//	GET    /healthz                          → ok|degraded + WAL/recovery stats
+//
+// Failures map to distinct statuses so callers can react mechanically:
+// 429 (+Retry-After) when the bounded admission queue is full or a request
+// times out while queued, 422 when a query trips its memory budget, 503
+// (+Retry-After) while the engine is degraded to read-only after a disk
+// failure, 504/408 on evaluation timeout/disconnect, and 500 with the
+// panic logged when a query panics (the panic is confined to its request).
 //
 // Query and view results are paginated when limit is set: tuples are served
 // in canonical sorted order and the response carries an opaque next_cursor
@@ -38,18 +46,31 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/govern"
 	"repro/internal/par"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/view"
 )
+
+// ErrOverloaded rejects a request the bounded admission queue cannot hold:
+// every evaluation slot is busy and the waiting room is full (or the
+// request's deadline expired while it waited). Mapped to 429 + Retry-After.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// ErrInternal is the caller-visible face of a panicking query: the panic
+// and stack are logged server-side, the request gets a 500, and the rest of
+// the server keeps serving.
+var ErrInternal = errors.New("server: internal error")
 
 // Config configures a Server.
 type Config struct {
@@ -62,13 +83,23 @@ type Config struct {
 	// wait (up to their timeout) for an admission slot. Default: the
 	// engine's worker count (all cores).
 	MaxInFlight int
+	// QueueDepth bounds how many requests may wait for an admission slot
+	// once every slot is busy; requests beyond that are rejected
+	// immediately with 429 rather than piling up goroutines and request
+	// state without bound. Default 64; negative disables waiting entirely.
+	QueueDepth int
 }
+
+// DefaultQueueDepth is the admission waiting room used when Config leaves
+// QueueDepth zero.
+const DefaultQueueDepth = 64
 
 // Server handles the HTTP API.
 type Server struct {
 	eng     *core.Engine
 	timeout time.Duration
-	sem     chan struct{}
+	sem     chan struct{} // in-flight evaluation slots
+	queue   chan struct{} // bounded waiting room behind the slots
 }
 
 // New builds a server from the config.
@@ -85,7 +116,19 @@ func New(cfg Config) *Server {
 	if slots <= 0 {
 		slots = par.Workers(0)
 	}
-	return &Server{eng: eng, timeout: timeout, sem: make(chan struct{}, slots)}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &Server{
+		eng:     eng,
+		timeout: timeout,
+		sem:     make(chan struct{}, slots),
+		queue:   make(chan struct{}, depth),
+	}
 }
 
 // Engine returns the wrapped engine (for preloading relations).
@@ -107,18 +150,50 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /views/{name}/explain", s.handleExplainView)
 	mux.HandleFunc("DELETE /views/{name}", s.handleDropView)
 	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /admin/resume", s.handleResume)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
-// handleHealthz reports liveness plus, when the engine runs with a data
-// dir, the WAL and recovery stats of the durability layer.
+// handleHealthz reports liveness, the degraded/healthy write state, the
+// admission gauges, and — when the engine runs with a data dir — the WAL
+// and recovery stats of the durability layer. The response stays 200 even
+// when degraded: the server is alive and serving reads; "status" carries
+// the write health.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	out := map[string]any{"ok": true}
+	deg, cause, since := s.eng.Degraded()
+	out := map[string]any{
+		"ok":        !deg,
+		"status":    "ok",
+		"in_flight": len(s.sem),
+		"queued":    len(s.queue),
+	}
+	if deg {
+		out["status"] = "degraded"
+		out["cause"] = cause.Error()
+		out["since"] = since.UTC().Format(time.RFC3339Nano)
+	}
 	if ps := s.eng.PersistenceStats(); ps.Enabled {
 		out["persistence"] = ps
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleResume asks a degraded engine to probe the disk and re-arm writes.
+// 409 without a data dir, 503 while the disk is still failing, 200 with the
+// (now healthy) state once the probe succeeds. Resuming a healthy engine is
+// a no-op 200.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.Resume(); err != nil {
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, core.ErrNoPersistence) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	deg, _, _ := s.eng.Degraded()
+	writeJSON(w, http.StatusOK, map[string]any{"resumed": true, "degraded": deg})
 }
 
 // handleCheckpoint triggers a synchronous durability checkpoint: capture
@@ -196,6 +271,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	// Shedding statuses carry Retry-After: the condition is transient
+	// (queue drains, disk heals) and well-behaved clients should back off,
+	// not hammer.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -219,9 +300,13 @@ func (s *Server) requestTimeout(req queryRequest) time.Duration {
 	return t
 }
 
-// admit acquires an evaluation slot, giving up when the context expires.
-// The explicit Err check first keeps an already-expired deadline from racing
-// a free slot in the select.
+// admit acquires an evaluation slot. A free slot admits immediately; when
+// every slot is busy the request joins the bounded waiting room, and when
+// that too is full — or the deadline expires while queued — the request is
+// shed with ErrOverloaded so load beyond the configured depth turns into
+// fast 429s instead of an unbounded pile of blocked goroutines. The
+// explicit Err check first keeps an already-expired deadline from racing a
+// free slot in the select.
 func (s *Server) admit(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -229,12 +314,28 @@ func (s *Server) admit(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
 		return nil
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return fmt.Errorf("%w: %d in flight, %d queued", ErrOverloaded, len(s.sem), len(s.queue))
+	}
+	defer func() { <-s.queue }()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return fmt.Errorf("%w: deadline expired while queued (%v)", ErrOverloaded, ctx.Err())
 	}
 }
 
 func (s *Server) release() { <-s.sem }
+
+// testHookEvaluate, when non-nil, replaces the engine call inside the panic
+// guard. Tests use it to inject panics and verify the isolation; production
+// code never sets it.
+var testHookEvaluate func(ctx context.Context, q string) (*query.Result, error)
 
 // evaluate runs one query under timeout + admission. The evaluation happens
 // in this goroutine (no orphaned work on timeout: the executor polls the
@@ -246,11 +347,43 @@ func (s *Server) evaluate(r *http.Request, req queryRequest) (*query.Result, err
 		return nil, err
 	}
 	defer s.release()
-	return s.eng.QueryContext(ctx, req.Query)
+	return guardPanic(req.Query, func() (*query.Result, error) {
+		if testHookEvaluate != nil {
+			return testHookEvaluate(ctx, req.Query)
+		}
+		return s.eng.QueryContext(ctx, req.Query)
+	})
 }
 
+// guardPanic confines a panicking evaluation to its own request: the panic
+// and stack are logged, the caller gets ErrInternal (a 500), and every
+// other in-flight request is untouched. Without it a single poisoned query
+// would tear down the whole connection via net/http's recover.
+func guardPanic[T any](q string, fn func() (T, error)) (out T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			log.Printf("server: query panic (query=%q): %v\n%s", q, v, debug.Stack())
+			var zero T
+			out, err = zero, fmt.Errorf("%w: query panicked: %v", ErrInternal, v)
+		}
+	}()
+	return fn()
+}
+
+// statusFor maps evaluation errors to distinct HTTP statuses: shed load and
+// degraded storage are retryable (429/503 + Retry-After), a tripped memory
+// budget is the request's own weight (422), timeouts are 504/408, panics
+// 500, and anything else is a malformed query (400).
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, govern.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrDegraded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrInternal):
+		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -300,7 +433,9 @@ func (s *Server) handleQueryPage(w http.ResponseWriter, r *http.Request, req que
 		writeError(w, statusFor(err), "query failed: %v", err)
 		return
 	}
-	res, err := s.eng.QuerySorted(ctx, req.Query)
+	res, err := guardPanic(req.Query, func() (catalog.SortedResult, error) {
+		return s.eng.QuerySorted(ctx, req.Query)
+	})
 	s.release()
 	if err != nil {
 		writeError(w, statusFor(err), "query failed: %v", err)
@@ -454,7 +589,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	case req.Path != "":
 		r, err := cat.LoadFile(req.Name, req.Path)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, clientStatus(err), "%v", err)
 			return
 		}
 		rel = r
@@ -465,7 +600,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 		r, err := cat.RegisterPairs(req.Name, ps)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, clientStatus(err), "%v", err)
 			return
 		}
 		rel = r
@@ -477,12 +612,21 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// clientStatus classifies errors from endpoints whose failures are normally
+// the caller's fault (400), still surfacing a degraded engine as 503.
+func clientStatus(err error) int {
+	if errors.Is(err, core.ErrDegraded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	present, err := s.eng.Catalog().Drop(name)
 	if err != nil {
 		// A durability-sink veto: the relation still exists, nothing changed.
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, mutationStatus(err), "%v", err)
 		return
 	}
 	if !present {
@@ -490,6 +634,22 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+// mutationStatus maps catalog-mutation errors: unknown relation is the
+// caller's mistake (404), a degraded read-only engine is a retryable
+// operational state (503 + Retry-After), and anything else (a WAL append
+// failure, say) is an operational server error (500) that must not read as
+// "not found".
+func mutationStatus(err error) int {
+	switch {
+	case errors.Is(err, catalog.ErrUnknownRelation):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrDegraded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 type mutateRequest struct {
@@ -531,14 +691,7 @@ func (s *Server) handleMutate(del bool) http.HandlerFunc {
 			m, err = s.eng.Mutate(name, ps, nil)
 		}
 		if err != nil {
-			// Unknown relation is the caller's mistake; anything else (a
-			// WAL append failure, say) is an operational server error and
-			// must not read as "not found".
-			status := http.StatusInternalServerError
-			if errors.Is(err, catalog.ErrUnknownRelation) {
-				status = http.StatusNotFound
-			}
-			writeError(w, status, "%v", err)
+			writeError(w, mutationStatus(err), "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, mutateResponse{
@@ -579,7 +732,7 @@ func (s *Server) handleCreateView(w http.ResponseWriter, r *http.Request) {
 	v, err := s.eng.RegisterView(ctx, req.Name, req.Query)
 	s.release()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, clientStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, viewInfoResponse{
@@ -672,7 +825,7 @@ func (s *Server) handleDropView(w http.ResponseWriter, r *http.Request) {
 	present, err := s.eng.DropView(name)
 	if err != nil {
 		// A durability-log failure: the view still exists, nothing changed.
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, mutationStatus(err), "%v", err)
 		return
 	}
 	if !present {

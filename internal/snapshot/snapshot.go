@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/relation"
 )
 
@@ -265,12 +266,20 @@ func decodeVarint(b []byte) (int64, []byte, error) {
 // name and the encoded size. The manifest is NOT updated — WriteManifest is
 // the separate commit point.
 func Write(dir string, st *State) (name string, size int, err error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteFS(nil, dir, st)
+}
+
+// WriteFS is Write through an injectable filesystem (nil means the real
+// one). A failed write never leaves a temp file behind and never touches
+// the previously installed image.
+func WriteFS(fsys faultfs.FS, dir string, st *State) (name string, size int, err error) {
+	f := faultfs.OrOS(fsys)
+	if err := f.MkdirAll(dir, 0o755); err != nil {
 		return "", 0, fmt.Errorf("snapshot: %w", err)
 	}
 	name = FileName(st.AppliedLSN)
 	data := Encode(st)
-	if err := atomicWrite(dir, name, data); err != nil {
+	if err := atomicWrite(f, dir, name, data); err != nil {
 		return "", 0, err
 	}
 	return name, len(data), nil
@@ -278,6 +287,13 @@ func Write(dir string, st *State) (name string, size int, err error) {
 
 // WriteManifest atomically installs the manifest, committing a checkpoint.
 func WriteManifest(dir string, m Manifest) error {
+	return WriteManifestFS(nil, dir, m)
+}
+
+// WriteManifestFS is WriteManifest through an injectable filesystem. On
+// failure the last-good manifest is untouched (the rename either happened
+// or it did not; a torn manifest is impossible).
+func WriteManifestFS(fsys faultfs.FS, dir string, m Manifest) error {
 	if m.WrittenAt == "" {
 		m.WrittenAt = time.Now().UTC().Format(time.RFC3339)
 	}
@@ -285,29 +301,55 @@ func WriteManifest(dir string, m Manifest) error {
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	return atomicWrite(dir, manifestName, append(data, '\n'))
+	return atomicWrite(faultfs.OrOS(fsys), dir, manifestName, append(data, '\n'))
 }
 
 // LoadManifest reads the manifest; ok is false when dir holds no checkpoint
 // yet (a fresh data dir).
 func LoadManifest(dir string) (*Manifest, bool, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	return LoadManifestFS(nil, dir)
+}
+
+// LoadManifestFS is LoadManifest through an injectable filesystem.
+func LoadManifestFS(fsys faultfs.FS, dir string) (*Manifest, bool, error) {
+	data, err := faultfs.OrOS(fsys).ReadFile(filepath.Join(dir, manifestName))
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("snapshot: %w", err)
 	}
+	m, err := ParseManifest(data)
+	if err != nil {
+		return nil, false, err
+	}
+	return m, true, nil
+}
+
+// ParseManifest parses MANIFEST.json bytes, validating the fields recovery
+// depends on. It never panics on malformed input.
+func ParseManifest(data []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, false, fmt.Errorf("snapshot: manifest: %w", err)
+		return nil, fmt.Errorf("snapshot: manifest: %w", err)
 	}
-	return &m, true, nil
+	if m.Snapshot == "" {
+		return nil, fmt.Errorf("snapshot: manifest: empty snapshot file name")
+	}
+	if m.Snapshot != filepath.Base(m.Snapshot) || strings.ContainsAny(m.Snapshot, "/\\") {
+		return nil, fmt.Errorf("snapshot: manifest: snapshot name %q escapes data dir", m.Snapshot)
+	}
+	return &m, nil
 }
 
 // Load reads and verifies the image the manifest points at.
 func Load(dir string, m *Manifest) (*State, error) {
-	data, err := os.ReadFile(filepath.Join(dir, m.Snapshot))
+	return LoadFS(nil, dir, m)
+}
+
+// LoadFS is Load through an injectable filesystem.
+func LoadFS(fsys faultfs.FS, dir string, m *Manifest) (*State, error) {
+	data, err := faultfs.OrOS(fsys).ReadFile(filepath.Join(dir, m.Snapshot))
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
@@ -321,9 +363,16 @@ func Load(dir string, m *Manifest) (*State, error) {
 	return st, nil
 }
 
-// Prune removes snapshot images other than keep (the just-committed one).
+// Prune removes snapshot images other than keep (the just-committed one),
+// plus any temp files a crashed checkpoint left behind.
 func Prune(dir, keep string) error {
-	ents, err := os.ReadDir(dir)
+	return PruneFS(nil, dir, keep)
+}
+
+// PruneFS is Prune through an injectable filesystem.
+func PruneFS(fsys faultfs.FS, dir, keep string) error {
+	f := faultfs.OrOS(fsys)
+	ents, err := f.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
@@ -332,8 +381,10 @@ func Prune(dir, keep string) error {
 		if name == keep || e.IsDir() {
 			continue
 		}
-		if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap") {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+		stale := strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap") ||
+			strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-")
+		if stale {
+			if err := f.Remove(filepath.Join(dir, name)); err != nil {
 				return fmt.Errorf("snapshot: prune: %w", err)
 			}
 		}
@@ -342,13 +393,14 @@ func Prune(dir, keep string) error {
 }
 
 // atomicWrite installs data at dir/name via temp file + fsync + rename +
-// directory fsync.
-func atomicWrite(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, "."+name+".tmp-*")
+// directory fsync. On any failure the temp file is removed and the
+// previously installed dir/name (if any) is untouched.
+func atomicWrite(fsys faultfs.FS, dir, name string, data []byte) error {
+	tmp, err := fsys.CreateTemp(dir, "."+name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("snapshot: %w", err)
@@ -360,10 +412,10 @@ func atomicWrite(dir, name string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+	if err := fsys.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	d, err := os.Open(dir)
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}

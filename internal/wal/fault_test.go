@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/relation"
+)
+
+// rec builds a small mutate record for fault tests.
+func rec(n int) *Record {
+	return &Record{Kind: KindMutate, Name: "R", Added: []relation.Pair{{X: int32(n), Y: int32(n + 1)}}}
+}
+
+// replayCount reopens dir on the real fs and counts replayable records.
+func replayCount(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	if err := Replay(dir, 0, func(uint64, *Record) error { n++; return nil }); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return n
+}
+
+func TestAppendWriteFaultRepairsInPlace(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	w, err := Open(dir, Options{Policy: FsyncAlways, FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	in.Script(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", Err: faultfs.ErrInjectedENOSPC})
+	if _, err := w.Append(rec(2)); !errors.Is(err, faultfs.ErrInjectedENOSPC) {
+		t.Fatalf("faulted append: want ENOSPC, got %v", err)
+	}
+	if w.Damaged() {
+		t.Fatal("clean repair should not leave log damaged")
+	}
+	// The log keeps working and the rejected record never replays.
+	if _, err := w.Append(rec(3)); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var seen []int32
+	if err := Replay(dir, 0, func(_ uint64, r *Record) error {
+		seen = append(seen, r.Added[0].X)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 3 {
+		t.Fatalf("replayed %v, want [1 3] (no phantom 2)", seen)
+	}
+}
+
+func TestAppendTornWriteFaultNoPhantom(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	w, err := Open(dir, Options{Policy: FsyncAlways, FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A torn write leaves half a frame on disk; repair must truncate it so
+	// it cannot surface as a torn tail (or worse, a phantom) on recovery.
+	in.Script(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", ShortWrite: true, Err: faultfs.ErrInjectedEIO})
+	if _, err := w.Append(rec(2)); !errors.Is(err, faultfs.ErrInjectedEIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if _, err := w.Append(rec(3)); err != nil {
+		t.Fatalf("append after torn-write repair: %v", err)
+	}
+	w.Close()
+	if got := replayCount(t, dir); got != 2 {
+		t.Fatalf("replayed %d records, want 2", got)
+	}
+}
+
+func TestFsyncFaultDiscardsFrame(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	w, err := Open(dir, Options{Policy: FsyncAlways, FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	in.Script(faultfs.Rule{Op: faultfs.OpSync, PathContains: "wal-", Err: faultfs.ErrInjectedEIO})
+	if _, err := w.Append(rec(2)); !errors.Is(err, faultfs.ErrInjectedEIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	// The written-but-unacked frame must not survive: fsync failed, so the
+	// caller was told the mutation is rejected.
+	w.Close()
+	if got := replayCount(t, dir); got != 1 {
+		t.Fatalf("replayed %d records, want 1 (fsync-failed frame must not replay)", got)
+	}
+}
+
+func TestDamagedLogFailsFastThenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	w, err := Open(dir, Options{Policy: FsyncAlways, FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the write AND the repair truncate: the log must mark itself
+	// damaged instead of pretending the tail is clean.
+	in.Script(
+		faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", ShortWrite: true, Err: faultfs.ErrInjectedEIO},
+		faultfs.Rule{Op: faultfs.OpTruncate, PathContains: "wal-", Err: faultfs.ErrInjectedEIO},
+	)
+	if _, err := w.Append(rec(2)); err == nil {
+		t.Fatal("faulted append passed")
+	}
+	if !w.Damaged() {
+		t.Fatal("failed repair should mark log damaged")
+	}
+	// Next append retries the repair (faults are exhausted now) and succeeds.
+	if _, err := w.Append(rec(3)); err != nil {
+		t.Fatalf("append should self-repair: %v", err)
+	}
+	if w.Damaged() {
+		t.Fatal("successful repair should clear damage")
+	}
+	w.Close()
+	if got := replayCount(t, dir); got != 2 {
+		t.Fatalf("replayed %d records, want 2", got)
+	}
+}
+
+func TestProbeRepairsAndSyncs(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	w, err := Open(dir, Options{Policy: FsyncAlways, FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	in.Script(
+		faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", ShortWrite: true, Err: faultfs.ErrInjectedEIO},
+		faultfs.Rule{Op: faultfs.OpTruncate, PathContains: "wal-", Err: faultfs.ErrInjectedEIO},
+	)
+	if _, err := w.Append(rec(1)); err == nil {
+		t.Fatal("faulted append passed")
+	}
+	if !w.Damaged() {
+		t.Fatal("want damaged")
+	}
+	// While the disk still faults syncs, Probe must report failure.
+	in.Script(faultfs.Rule{Op: faultfs.OpSync, PathContains: "wal-", Err: faultfs.ErrInjectedEIO})
+	if err := w.Probe(); err == nil {
+		t.Fatal("probe on faulting disk should fail")
+	}
+	// Disk healed: Probe repairs the tail and syncs.
+	if err := w.Probe(); err != nil {
+		t.Fatalf("probe on healed disk: %v", err)
+	}
+	if w.Damaged() {
+		t.Fatal("probe should repair damage")
+	}
+	if _, err := w.Append(rec(2)); err != nil {
+		t.Fatalf("append after probe: %v", err)
+	}
+}
+
+func TestReplayFSCrashWedge(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := w.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	in := faultfs.NewInjector(nil)
+	n := 0
+	if err := ReplayFS(in, dir, 0, func(uint64, *Record) error { n++; return nil }); err != nil || n != 3 {
+		t.Fatalf("replay through injector: n=%d err=%v", n, err)
+	}
+	in.Crash()
+	if err := ReplayFS(in, dir, 0, func(uint64, *Record) error { return nil }); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("replay on crashed fs: %v", err)
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/faultfs"
 )
 
 // Policy selects when appends reach the disk.
@@ -93,6 +95,9 @@ type Options struct {
 	Interval time.Duration
 	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
 	SegmentBytes int64
+	// FS is the filesystem the log performs I/O through; nil means the real
+	// filesystem (faultfs.OS). Tests inject faults here.
+	FS faultfs.FS
 }
 
 // Stats is a point-in-time summary of the log, served on /healthz.
@@ -117,14 +122,16 @@ type Stats struct {
 type WAL struct {
 	dir  string
 	opts Options
+	fs   faultfs.FS
 
 	mu       sync.Mutex
-	f        *os.File // active segment
-	segFirst uint64   // first LSN of the active segment
-	size     int64    // active segment size
+	f        faultfs.File // active segment
+	segFirst uint64       // first LSN of the active segment
+	size     int64        // active segment size
 	nextLSN  uint64
 	dirty    bool // unsynced appends pending
 	closed   bool
+	damaged  bool // failed append left bytes of unknown state on disk
 
 	appended uint64
 	appBytes int64
@@ -158,8 +165,8 @@ func parseSegName(name string) (uint64, bool) {
 }
 
 // listSegments returns the segment first-LSNs in dir, ascending.
-func listSegments(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -182,24 +189,25 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = DefaultInterval
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := faultfs.OrOS(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	w := &WAL{dir: dir, opts: opts, nextLSN: 1, segFirst: 1}
-	segs, err := listSegments(dir)
+	w := &WAL{dir: dir, opts: opts, fs: fsys, nextLSN: 1, segFirst: 1}
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	if len(segs) > 0 {
 		last := segs[len(segs)-1]
-		n, valid, err := scanSegment(filepath.Join(dir, segName(last)))
+		n, valid, err := scanSegment(fsys, filepath.Join(dir, segName(last)))
 		if err != nil {
 			return nil, err
 		}
 		w.segFirst = last
 		w.nextLSN = last + uint64(n)
 		w.size = valid
-		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0o644)
+		f, err := fsys.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -214,7 +222,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 		}
 		w.f = f
 	} else {
-		f, err := os.OpenFile(filepath.Join(dir, segName(1)), os.O_RDWR|os.O_CREATE, 0o644)
+		f, err := fsys.OpenFile(filepath.Join(dir, segName(1)), os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -246,8 +254,8 @@ const (
 // scanSegment walks one segment's records, returning how many decode
 // cleanly and the byte offset of the first torn frame. A corrupt (complete
 // but CRC-failing) frame is an error, never truncated.
-func scanSegment(path string) (records int, validBytes int64, err error) {
-	data, err := os.ReadFile(path)
+func scanSegment(fsys faultfs.FS, path string) (records int, validBytes int64, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: %w", err)
 	}
@@ -298,6 +306,12 @@ func nextFrame(b []byte) (payload, rest []byte, st frameStatus) {
 // Append encodes r, assigns it the next LSN, writes the frame to the active
 // segment (rotating first if the segment is full) and applies the fsync
 // policy. It returns the record's LSN.
+//
+// A failed write or fsync is repaired in place: the segment is truncated
+// back to its pre-append size so the rejected frame can never replay as a
+// phantom. If the repair itself fails, the log is marked damaged — further
+// appends fail fast until Repair succeeds (retried automatically on the
+// next Append), because bytes of unknown state sit beyond the acked tail.
 func (w *WAL) Append(r *Record) (uint64, error) {
 	frame, err := AppendRecord(nil, r)
 	if err != nil {
@@ -308,26 +322,106 @@ func (w *WAL) Append(r *Record) (uint64, error) {
 	if w.closed {
 		return 0, fmt.Errorf("wal: append on closed log")
 	}
+	if w.damaged {
+		if err := w.repairLocked(); err != nil {
+			return 0, fmt.Errorf("wal: append on damaged log: %w", err)
+		}
+	}
 	if w.size > 0 && w.size+int64(len(frame)) > w.opts.SegmentBytes {
 		if err := w.rotateLocked(); err != nil {
 			return 0, err
 		}
 	}
 	if _, err := w.f.Write(frame); err != nil {
+		w.repairAfterFault()
 		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if w.opts.Policy == FsyncAlways {
+		if err := w.f.Sync(); err != nil {
+			// The frame may or may not have reached the platter; either way
+			// it is un-acked and must not survive, so truncate it away.
+			w.repairAfterFault()
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+		w.dirty = false
+		w.syncs++
+	} else {
+		w.dirty = true
 	}
 	lsn := w.nextLSN
 	w.nextLSN++
 	w.size += int64(len(frame))
 	w.appended++
 	w.appBytes += int64(len(frame))
-	w.dirty = true
-	if w.opts.Policy == FsyncAlways {
-		if err := w.syncLocked(); err != nil {
-			return 0, err
+	return lsn, nil
+}
+
+// repairAfterFault truncates the active segment back to the acked size
+// after a failed append, discarding any partially written frame. On failure
+// the log is marked damaged. Callers hold w.mu.
+func (w *WAL) repairAfterFault() {
+	if err := w.repairLocked(); err != nil {
+		w.damaged = true
+	}
+}
+
+// repairLocked restores the active segment to exactly w.size bytes and
+// re-positions the write offset, clearing the damaged flag on success.
+// Callers hold w.mu.
+func (w *WAL) repairLocked() error {
+	if err := w.f.Truncate(w.size); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		return err
+	}
+	w.damaged = false
+	return nil
+}
+
+// Damaged reports whether a failed append could not be repaired: bytes of
+// unknown state sit past the acked tail, and the next successful Repair (or
+// Append, which retries it) clears the condition. Recovery handles a
+// damaged tail like any torn tail: it is truncated on Open.
+func (w *WAL) Damaged() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.damaged
+}
+
+// Repair re-attempts the truncate-to-acked-tail repair of a damaged log.
+// It is a no-op on a healthy log.
+func (w *WAL) Repair() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: repair on closed log")
+	}
+	if !w.damaged {
+		return nil
+	}
+	return w.repairLocked()
+}
+
+// Probe checks disk health for re-arming a degraded engine: it repairs any
+// damage and then forces an unconditional fsync of the active segment. A
+// nil return means the log can accept appends again.
+func (w *WAL) Probe() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: probe on closed log")
+	}
+	if w.damaged {
+		if err := w.repairLocked(); err != nil {
+			return fmt.Errorf("wal: probe: %w", err)
 		}
 	}
-	return lsn, nil
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: probe: %w", err)
+	}
+	w.dirty = false
+	return nil
 }
 
 // rotateLocked seals the active segment (synced) and starts a new one
@@ -339,7 +433,7 @@ func (w *WAL) rotateLocked() error {
 	if err := w.syncLocked(); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.nextLSN)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, segName(w.nextLSN)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
@@ -348,7 +442,7 @@ func (w *WAL) rotateLocked() error {
 	if err := old.Close(); err != nil {
 		return fmt.Errorf("wal: rotate: sealing old segment: %w", err)
 	}
-	return syncDir(w.dir)
+	return syncDir(w.fs, w.dir)
 }
 
 // Rotate forces a segment rotation, making every prior record eligible for
@@ -436,7 +530,7 @@ func (w *WAL) NextLSN() uint64 {
 func (w *WAL) Stats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	segs, _ := listSegments(w.dir)
+	segs, _ := listSegments(w.fs, w.dir)
 	return Stats{
 		Dir:      w.dir,
 		Policy:   w.opts.Policy.String(),
@@ -453,7 +547,14 @@ func (w *WAL) Stats() Stats {
 // invalid frame anywhere, or any bad frame in a non-final segment, is
 // corruption of acked data and fails the replay. fn errors abort.
 func Replay(dir string, after uint64, fn func(lsn uint64, r *Record) error) error {
-	segs, err := listSegments(dir)
+	return ReplayFS(nil, dir, after, fn)
+}
+
+// ReplayFS is Replay through an injectable filesystem (nil means the real
+// one).
+func ReplayFS(fsys faultfs.FS, dir string, after uint64, fn func(lsn uint64, r *Record) error) error {
+	f := faultfs.OrOS(fsys)
+	segs, err := listSegments(f, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -466,7 +567,7 @@ func Replay(dir string, after uint64, fn func(lsn uint64, r *Record) error) erro
 		if i+1 < len(segs) && segs[i+1] <= after+1 {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, segName(first)))
+		data, err := f.ReadFile(filepath.Join(dir, segName(first)))
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -504,7 +605,7 @@ func Replay(dir string, after uint64, fn func(lsn uint64, r *Record) error) erro
 func (w *WAL) TruncateBefore(lsn uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -514,16 +615,16 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 		if first == w.segFirst || i+1 >= len(segs) || segs[i+1] > lsn {
 			continue
 		}
-		if err := os.Remove(filepath.Join(w.dir, segName(first))); err != nil {
+		if err := w.fs.Remove(filepath.Join(w.dir, segName(first))); err != nil {
 			return fmt.Errorf("wal: truncate: %w", err)
 		}
 	}
-	return syncDir(w.dir)
+	return syncDir(w.fs, w.dir)
 }
 
 // syncDir fsyncs a directory so renames and removals survive power loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}

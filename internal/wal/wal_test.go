@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/relation"
 )
 
@@ -288,7 +289,7 @@ func TestCorruptionMidLogFails(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OrOS(nil), dir)
 	if err != nil || len(segs) < 2 {
 		t.Fatalf("want ≥ 2 segments, got %v (%v)", segs, err)
 	}
