@@ -222,7 +222,10 @@ func (p *persistence) logViewOp(kind byte, name, text string) error {
 // doubling backoff. Exhausted retries flip the engine into read-only
 // degraded mode; a degraded engine fails fast without touching the disk.
 // Retries run under the catalog's mutation lock, so the defaults keep the
-// worst-case stall to a few milliseconds.
+// worst-case stall to a few milliseconds. Permanent non-disk errors — a
+// mutation racing Close hits wal.ErrClosed — fail fast without retrying or
+// degrading: they say nothing about disk health, and degrading on them
+// would turn a clean shutdown into a spurious OnDegraded firing.
 func (p *persistence) appendRetry(rec *wal.Record) error {
 	p.mu.Lock()
 	if p.degraded {
@@ -237,6 +240,9 @@ func (p *persistence) appendRetry(rec *wal.Record) error {
 	for attempt := 0; ; attempt++ {
 		if _, err = p.w.Append(rec); err == nil {
 			return nil
+		}
+		if errors.Is(err, wal.ErrClosed) {
+			return err
 		}
 		if attempt >= retries {
 			break

@@ -202,13 +202,14 @@ func (in *Injector) check(op Op, path string) outcome {
 	if in.crashed {
 		return outcome{err: ErrCrashed}
 	}
+	if in.opsLeft == 0 {
+		// The armed n operations have completed; this one hits the kill-point.
+		in.opsLeft = -1
+		in.crashed = true
+		return outcome{err: ErrCrashed}
+	}
 	if in.opsLeft > 0 {
 		in.opsLeft--
-		if in.opsLeft == 0 {
-			in.opsLeft = -1
-			in.crashed = true
-			return outcome{err: ErrCrashed}
-		}
 	}
 	for _, r := range in.rules {
 		if r.Op != op || r.fired >= r.Times {

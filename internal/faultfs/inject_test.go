@@ -155,16 +155,15 @@ func TestCrashAfterOps(t *testing.T) {
 	}
 	defer f.Close()
 	in.CrashAfterOps(3)
-	if _, err := f.Write([]byte("a")); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.Write([]byte("b")); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.Write([]byte("c")); !errors.Is(err, ErrCrashed) {
-		t.Fatalf("third op should hit kill-point, got %v", err)
+	for i, b := range []byte("abc") {
+		if _, err := f.Write([]byte{b}); err != nil {
+			t.Fatalf("op %d should complete before the kill-point: %v", i+1, err)
+		}
 	}
 	if _, err := f.Write([]byte("d")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("fourth op should hit kill-point, got %v", err)
+	}
+	if _, err := f.Write([]byte("e")); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("post-crash op: %v", err)
 	}
 }

@@ -292,6 +292,13 @@ func (ex *executor) run() (*Result, error) {
 	if len(top.Children) == 1 && top.Children[0].Op == "cross" {
 		top.Children[0].Rows = int64(len(rows))
 	}
+	// The kernels' Stop hook abandons work mid-sweep on cancellation, so a
+	// deadline that fires inside the final kernel leaves truncated rows here.
+	// A tripped context must always surface as an error, never as a silently
+	// incomplete 200.
+	if err := ex.check(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -575,6 +582,11 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, *
 			node.Strategy, node.Detail = ex.dryComposeStrategy(r1, r2, &detail)
 		} else {
 			rel, step := acyclic.Compose(r1, r2, ex.aopt)
+			// The Stop hook makes Compose return partial output when the
+			// context trips mid-kernel; discard it rather than fold it in.
+			if err := ex.check(); err != nil {
+				return nil, nil, err
+			}
 			if err := ex.charge(rel.Size(), pairBudgetBytes); err != nil {
 				return nil, nil, err
 			}
@@ -647,6 +659,9 @@ func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) (*co
 		jopt.Delta1, jopt.Delta2 = t+1, t+1
 	}
 	groups := joinproject.TwoPathGroupBy(gRel, cvRel, jopt)
+	if err := ex.check(); err != nil {
+		return nil, err
+	}
 	if err := ex.charge(len(groups), rowBudgetBytes(1)+8); err != nil {
 		return nil, err
 	}
@@ -821,6 +836,9 @@ func (ex *executor) starNode(live []liveEdge, center int) (*compResult, error) {
 		cr.rows = joinproject.StarNonMM(views, jopt)
 	} else {
 		cr.rows = joinproject.StarMM(views, jopt)
+	}
+	if err := ex.check(); err != nil {
+		return nil, err
 	}
 	if err := ex.charge(len(cr.rows), rowBudgetBytes(len(leaves))); err != nil {
 		return nil, err

@@ -64,7 +64,7 @@ func TestHealthzDegradedStateMachine(t *testing.T) {
 		return out
 	}
 
-	if h := healthz(); h["status"] != "ok" || h["ok"] != true {
+	if h := healthz(); h["status"] != "ok" || h["ok"] != true || h["degraded"] != false {
 		t.Fatalf("healthy server reports %v", h)
 	}
 
@@ -78,8 +78,10 @@ func TestHealthzDegradedStateMachine(t *testing.T) {
 		t.Fatal("503 without Retry-After")
 	}
 
+	// "ok" is pure liveness and must stay true while degraded, or restart
+	// probes would kill a node that is alive and serving reads.
 	h := healthz()
-	if h["status"] != "degraded" || h["ok"] != false {
+	if h["status"] != "degraded" || h["ok"] != true || h["degraded"] != true {
 		t.Fatalf("degraded server reports %v", h)
 	}
 	if h["cause"] == nil || h["since"] == nil {
@@ -104,7 +106,7 @@ func TestHealthzDegradedStateMachine(t *testing.T) {
 	if rr["degraded"] != false {
 		t.Fatalf("resume response: %v", rr)
 	}
-	if h := healthz(); h["status"] != "ok" {
+	if h := healthz(); h["status"] != "ok" || h["degraded"] != false {
 		t.Fatalf("recovered server reports %v", h)
 	}
 	if code := post(t, ts, "/catalog/relations/R/insert", map[string]any{"pairs": [][2]int32{{7, 7}}}, nil); code != http.StatusOK {

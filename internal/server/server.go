@@ -157,14 +157,16 @@ func (s *Server) Handler() http.Handler {
 
 // handleHealthz reports liveness, the degraded/healthy write state, the
 // admission gauges, and — when the engine runs with a data dir — the WAL
-// and recovery stats of the durability layer. The response stays 200 even
-// when degraded: the server is alive and serving reads; "status" carries
-// the write health.
+// and recovery stats of the durability layer. The response stays 200 and
+// "ok" stays true even when degraded: both are pure liveness (the server is
+// alive and serving reads), so restart probes keyed on them never kill a
+// read-serving node. "status" and "degraded" carry the write health.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	deg, cause, since := s.eng.Degraded()
 	out := map[string]any{
-		"ok":        !deg,
+		"ok":        true,
 		"status":    "ok",
+		"degraded":  deg,
 		"in_flight": len(s.sem),
 		"queued":    len(s.queue),
 	}

@@ -22,6 +22,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -33,6 +34,12 @@ import (
 
 	"repro/internal/faultfs"
 )
+
+// ErrClosed marks operations attempted on a closed log. Unlike an I/O
+// failure it is permanent and not a disk-health signal: callers distinguish
+// it (errors.Is) so a mutation racing Close fails fast instead of being
+// retried or degrading the engine.
+var ErrClosed = errors.New("wal: closed log")
 
 // Policy selects when appends reach the disk.
 type Policy int
@@ -320,7 +327,7 @@ func (w *WAL) Append(r *Record) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return 0, fmt.Errorf("wal: append on closed log")
+		return 0, fmt.Errorf("append: %w", ErrClosed)
 	}
 	if w.damaged {
 		if err := w.repairLocked(); err != nil {
@@ -395,7 +402,7 @@ func (w *WAL) Repair() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return fmt.Errorf("wal: repair on closed log")
+		return fmt.Errorf("repair: %w", ErrClosed)
 	}
 	if !w.damaged {
 		return nil
@@ -410,7 +417,7 @@ func (w *WAL) Probe() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return fmt.Errorf("wal: probe on closed log")
+		return fmt.Errorf("probe: %w", ErrClosed)
 	}
 	if w.damaged {
 		if err := w.repairLocked(); err != nil {
@@ -452,7 +459,7 @@ func (w *WAL) Rotate() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return fmt.Errorf("wal: rotate on closed log")
+		return fmt.Errorf("rotate: %w", ErrClosed)
 	}
 	if w.size == 0 {
 		return nil // active segment is empty; nothing to seal
