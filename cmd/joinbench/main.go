@@ -12,6 +12,7 @@
 //	joinbench -query suite                           # canned query suite
 //	joinbench -query suite -query-baseline BENCH_queries.json  # + e2e gate
 //	joinbench -views                                 # view maintenance bench
+//	joinbench -views -views-baseline BENCH_views.json  # + maintenance gate
 //	joinbench -recovery                              # replay-vs-recompute bench
 //
 // Each experiment prints the same rows/series the paper's corresponding
@@ -58,6 +59,7 @@ func main() {
 		queryStr  = flag.String("query", "", "benchmark end-to-end query evaluation: a query string, or 'suite'")
 		queryBase = flag.String("query-baseline", "", "with -query: gate end-to-end times against this BENCH_queries.json snapshot")
 		viewsMode = flag.Bool("views", false, "benchmark incremental view maintenance vs full recompute; writes BENCH_views.json")
+		viewsBase = flag.String("views-baseline", "", "with -views: gate per-batch maintenance times against this BENCH_views.json snapshot")
 		recovery  = flag.Bool("recovery", false, "benchmark crash recovery (snapshot + WAL replay) vs recompute; writes BENCH_recovery.json")
 	)
 	flag.Parse()
@@ -70,7 +72,7 @@ func main() {
 	}
 
 	if *viewsMode {
-		runViewBench(*scale)
+		runViewBench(*scale, *viewsBase, *tolerance)
 		if *exp == "" && !*list && !*jsonOut && !*recovery {
 			return
 		}
@@ -160,9 +162,20 @@ func main() {
 }
 
 // runViewBench measures the canned view-maintenance suite (register views,
-// stream update batches, time maintenance vs full recompute) and writes
-// BENCH_views.json.
-func runViewBench(scale float64) {
+// stream update batches, time maintenance vs full recompute; min-of-reps),
+// writes BENCH_views.json, and — when a baseline snapshot is given — gates
+// the per-batch maintenance times against it.
+func runViewBench(scale float64, baseline string, tolerance float64) {
+	// Read the baseline before measuring: the snapshot overwrites the file.
+	var base []byte
+	if baseline != "" {
+		var err error
+		base, err = os.ReadFile(baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
+	}
 	snap, err := experiments.ViewBenchSnapshot(scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "joinbench:", err)
@@ -179,6 +192,22 @@ func runViewBench(scale float64) {
 	}
 	fmt.Print(table)
 	fmt.Println("wrote BENCH_views.json")
+	if base != nil {
+		regs, err := experiments.CompareViewSnapshots(base, snap, tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "joinbench: %d view maintenance regression(s) beyond %.0f%% vs %s:\n",
+				len(regs), tolerance*100, baseline)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no view maintenance regressions beyond %.0f%% vs %s\n", tolerance*100, baseline)
+	}
 }
 
 // runQueryBench measures one query (or the canned suite), merges the

@@ -1,7 +1,8 @@
 // Command joinmmd serves the join-project query engine over HTTP/JSON:
-// text queries, EXPLAIN, catalog management, tuple-level mutations, live
-// incrementally-maintained views, and durable state under a data dir (see
-// internal/server for the endpoint reference).
+// text queries, EXPLAIN (and EXPLAIN ANALYZE), catalog management,
+// tuple-level mutations, live incrementally-maintained views, durable state
+// under a data dir, and runtime observability surfaces (/metrics, /healthz,
+// optional /debug/pprof) — see internal/server for the endpoint reference.
 //
 // Usage:
 //
@@ -12,6 +13,7 @@
 //	curl -d '{"pairs": [[1, 2]]}' localhost:8080/catalog/relations/R/insert
 //	curl 'localhost:8080/views/v?limit=100'
 //	curl -X POST localhost:8080/admin/checkpoint
+//	curl localhost:8080/metrics
 //
 // Flags:
 //
@@ -45,6 +47,12 @@
 //	                           (POST /admin/resume or a checkpoint re-arms);
 //	                           exit = shut down so a supervisor can fail over
 //	                           (default readonly)
+//	-slow-query-threshold      log a structured "slow query" warning for any
+//	                           query at or above this duration (0 = disabled)
+//	-pprof                     mount net/http/pprof under /debug/pprof/ on the
+//	                           service mux (off by default)
+//	-log-format                log output format: text|json (default text)
+//	-version                   print version, commit, and Go runtime, then exit
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: the listener closes,
 // in-flight queries drain through the admission semaphore, the WAL is
@@ -56,11 +64,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
@@ -69,6 +79,33 @@ import (
 	"repro/internal/server"
 	"repro/internal/wal"
 )
+
+// Build identity, stamped by the release build:
+//
+//	go build -ldflags "-X main.version=v1.2.3 -X main.commit=$(git rev-parse --short HEAD)" ./cmd/joinmmd
+//
+// When not stamped, commit falls back to the vcs.revision embedded by the Go
+// toolchain (if the build ran inside a git checkout).
+var (
+	version = "dev"
+	commit  = ""
+)
+
+// buildInfo resolves the binary identity shared by -version, /healthz and
+// the joinmm_build_info metric.
+func buildInfo() server.BuildInfo {
+	b := server.BuildInfo{Version: version, Commit: commit, Go: runtime.Version()}
+	if b.Commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, kv := range bi.Settings {
+				if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+					b.Commit = kv.Value[:12]
+				}
+			}
+		}
+	}
+	return b
+}
 
 // loadFlags collects repeated -load name=path specs.
 type loadFlags map[string]string
@@ -86,7 +123,8 @@ func (l loadFlags) Set(v string) error {
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatalf("joinmmd: %v", err)
+		fmt.Fprintf(os.Stderr, "joinmmd: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -95,24 +133,49 @@ func main() {
 func run() error {
 	loads := loadFlags{}
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		timeout    = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
-		inflight   = flag.Int("max-in-flight", 0, "max concurrently evaluating queries (0 = all cores)")
-		queueDepth = flag.Int("queue-depth", 0, "admission wait-queue depth beyond -max-in-flight; overflow gets 429 (0 = default 64, negative = no queue)")
-		maxQBytes  = flag.Int64("max-query-bytes", 0, "per-query materialization budget in bytes; exceeded queries fail with 422 (0 = unlimited)")
-		workers    = flag.Int("workers", 0, "engine workers per query (0 = all cores)")
-		dataDir    = flag.String("data-dir", "", "durability directory (recover on start, write-ahead log mutations; \"\" = ephemeral)")
-		fsync      = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
-		fsyncIvl   = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "automatic checkpoint after N logged mutation batches (0 = defer to -checkpoint-replay-target)")
-		ckptReplay = flag.Duration("checkpoint-replay-target", 2*time.Second, "checkpoint when estimated WAL replay cost exceeds this (0 = no automatic checkpoints)")
-		degPolicy  = flag.String("degraded-policy", "readonly", "on persistent WAL failure: readonly (serve reads, 503 mutations) or exit (shut down for failover)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
+		inflight    = flag.Int("max-in-flight", 0, "max concurrently evaluating queries (0 = all cores)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission wait-queue depth beyond -max-in-flight; overflow gets 429 (0 = default 64, negative = no queue)")
+		maxQBytes   = flag.Int64("max-query-bytes", 0, "per-query materialization budget in bytes; exceeded queries fail with 422 (0 = unlimited)")
+		workers     = flag.Int("workers", 0, "engine workers per query (0 = all cores)")
+		dataDir     = flag.String("data-dir", "", "durability directory (recover on start, write-ahead log mutations; \"\" = ephemeral)")
+		fsync       = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		fsyncIvl    = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "automatic checkpoint after N logged mutation batches (0 = defer to -checkpoint-replay-target)")
+		ckptReplay  = flag.Duration("checkpoint-replay-target", 2*time.Second, "checkpoint when estimated WAL replay cost exceeds this (0 = no automatic checkpoints)")
+		degPolicy   = flag.String("degraded-policy", "readonly", "on persistent WAL failure: readonly (serve reads, 503 mutations) or exit (shut down for failover)")
+		slowQuery   = flag.Duration("slow-query-threshold", 0, "log a structured warning for queries at or above this duration (0 = disabled)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logFormat   = flag.String("log-format", "text", "log output format: text|json")
+		showVersion = flag.Bool("version", false, "print version, commit, and Go runtime, then exit")
 	)
 	flag.Var(loads, "load", "preload relation, name=path (repeatable)")
 	flag.Parse()
+
+	build := buildInfo()
+	if *showVersion {
+		fmt.Printf("joinmmd %s", build.Version)
+		if build.Commit != "" {
+			fmt.Printf(" (%s)", build.Commit)
+		}
+		fmt.Printf(" %s\n", build.Go)
+		return nil
+	}
 	if *degPolicy != "readonly" && *degPolicy != "exit" {
 		return fmt.Errorf("-degraded-policy must be readonly or exit, got %q", *degPolicy)
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("-log-format must be text or json, got %q", *logFormat)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	eng := core.NewEngine(core.WithWorkers(*workers), core.WithQueryBudget(*maxQBytes, 0))
 	degradeCh := make(chan error, 1)
@@ -126,7 +189,7 @@ func run() error {
 			Fsync: policy, FsyncInterval: *fsyncIvl,
 			CheckpointEvery: *ckptEvery, CheckpointReplayTarget: *ckptReplay,
 			OnDegraded: func(cause error) {
-				log.Printf("joinmmd: engine degraded to read-only: %v", cause)
+				logger.Error("engine degraded to read-only", "error", cause)
 				if *degPolicy == "exit" {
 					select {
 					case degradeCh <- cause:
@@ -138,10 +201,14 @@ func run() error {
 			return err
 		}
 		rec := eng.RecoveryStats()
-		log.Printf("recovered %s in %v: snapshot lsn=%d (%d relations, %d views), replayed %d wal records (%d mutation batches re-maintained views incrementally)",
-			*dataDir, time.Since(start).Round(time.Millisecond),
-			rec.SnapshotLSN, rec.RestoredRelations, rec.RestoredViews,
-			rec.ReplayedRecords, rec.ReplayedMutations)
+		logger.Info("recovered data dir",
+			"dir", *dataDir,
+			"elapsed", time.Since(start).Round(time.Millisecond).String(),
+			"snapshot_lsn", rec.SnapshotLSN,
+			"relations", rec.RestoredRelations,
+			"views", rec.RestoredViews,
+			"replayed_records", rec.ReplayedRecords,
+			"replayed_mutations", rec.ReplayedMutations)
 	}
 	if len(loads) > 0 {
 		// With a data dir, -load only seeds relations the recovered state
@@ -151,7 +218,8 @@ func run() error {
 		skipped := 0
 		for name := range loads {
 			if _, ok := eng.Catalog().Get(name); ok {
-				log.Printf("skipping -load %s: already recovered from %s (delete the relation first to reload)", name, *dataDir)
+				logger.Warn("skipping -load: already recovered (delete the relation first to reload)",
+					"relation", name, "dir", *dataDir)
 				delete(loads, name)
 				skipped++
 			}
@@ -161,17 +229,29 @@ func run() error {
 			return err
 		}
 		if len(loads) > 0 {
-			log.Printf("loaded %d relations in %v (%d already recovered)", len(loads), time.Since(start).Round(time.Millisecond), skipped)
+			logger.Info("loaded relations",
+				"count", len(loads),
+				"elapsed", time.Since(start).Round(time.Millisecond).String(),
+				"already_recovered", skipped)
 		}
 	}
-	s := server.New(server.Config{Engine: eng, Timeout: *timeout, MaxInFlight: *inflight, QueueDepth: *queueDepth})
+	s := server.New(server.Config{
+		Engine: eng, Timeout: *timeout, MaxInFlight: *inflight, QueueDepth: *queueDepth,
+		Logger: logger, SlowQueryThreshold: *slowQuery, EnablePprof: *pprofOn,
+		Build: build,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("joinmmd listening on %s (%d relations, timeout %v, fsync %s)",
-		ln.Addr(), eng.Catalog().Len(), *timeout, *fsync)
+	logger.Info("joinmmd listening",
+		"addr", ln.Addr().String(),
+		"version", build.Version,
+		"relations", eng.Catalog().Len(),
+		"timeout", timeout.String(),
+		"fsync", *fsync,
+		"pprof", *pprofOn)
 
 	httpSrv := &http.Server{Handler: s.Handler()}
 	errCh := make(chan error, 1)
@@ -190,7 +270,7 @@ func run() error {
 	case cause := <-degradeCh:
 		// -degraded-policy=exit: shut down gracefully (in-flight queries
 		// still drain) and exit non-zero so a supervisor fails over.
-		log.Printf("joinmmd: -degraded-policy=exit, shutting down")
+		logger.Error("-degraded-policy=exit, shutting down")
 		degradeErr = fmt.Errorf("engine degraded: %w", cause)
 	case <-ctx.Done():
 	}
@@ -200,18 +280,18 @@ func run() error {
 	// admission semaphore so no query is mid-evaluation, then fsync + close
 	// the WAL. A second signal is not special-cased: the shutdown deadline
 	// bounds the wait.
-	log.Printf("joinmmd shutting down: draining in-flight queries")
+	logger.Info("shutting down: draining in-flight queries")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("joinmmd: http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err)
 	}
 	if err := s.Drain(shutdownCtx); err != nil {
-		log.Printf("joinmmd: %v", err)
+		logger.Error("drain", "error", err)
 	}
 	if err := eng.Close(); err != nil && degradeErr == nil {
 		return fmt.Errorf("closing wal: %w", err)
 	}
-	log.Printf("joinmmd: shutdown complete")
+	logger.Info("shutdown complete")
 	return degradeErr
 }

@@ -97,11 +97,13 @@ func startProc(t *testing.T, args ...string) *proc {
 			p.mu.Lock()
 			p.logs.WriteString(line + "\n")
 			p.mu.Unlock()
-			if i := strings.Index(line, "listening on "); i >= 0 {
-				addr := strings.Fields(line[i+len("listening on "):])[0]
-				select {
-				case addrCh <- addr:
-				default:
+			if strings.Contains(line, `msg="joinmmd listening"`) {
+				if i := strings.Index(line, "addr="); i >= 0 {
+					addr := strings.Fields(line[i+len("addr="):])[0]
+					select {
+					case addrCh <- addr:
+					default:
+					}
 				}
 			}
 		}
@@ -234,7 +236,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if got["R"] != 2 || got["T"] != 1 {
 		t.Fatalf("after recovery+load: R=%d tuples (want 2, recovered), T=%d (want 1, seeded): %v", got["R"], got["T"], cat.Relations)
 	}
-	if !strings.Contains(p2.logText(), "skipping -load R") {
+	if !strings.Contains(p2.logText(), "skipping -load") || !strings.Contains(p2.logText(), "relation=R") {
 		t.Fatalf("recovered relation not skipped by -load:\n%s", p2.logText())
 	}
 	_ = p2.cmd.Process.Signal(syscall.SIGTERM)
@@ -382,7 +384,7 @@ func TestKillAndRecover(t *testing.T) {
 	if rec.ReplayedMutations == 0 || rec.ReplayedRecords < killAfter {
 		t.Fatalf("recovery stats %+v: expected a replayed WAL tail", rec)
 	}
-	if !strings.Contains(p2.logText(), "re-maintained views incrementally") {
+	if !strings.Contains(p2.logText(), `msg="recovered data dir"`) || !strings.Contains(p2.logText(), "replayed_mutations=") {
 		t.Fatalf("recovery log missing:\n%s", p2.logText())
 	}
 

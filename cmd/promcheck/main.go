@@ -1,0 +1,100 @@
+// Command promcheck validates Prometheus text exposition, either from stdin
+// or scraped from a URL. It is the CI guard for joinmmd's hand-rolled
+// /metrics encoder: a malformed exposition (bad names, duplicate series,
+// non-cumulative histogram buckets, samples before their TYPE line) exits
+// non-zero with the reason.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promcheck
+//	promcheck -url http://localhost:8080/metrics
+//	promcheck -url http://localhost:8080/metrics -require joinmm_query_seconds,joinmm_degraded
+//
+// On success it prints the family and sample counts, one line per family
+// with -v.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url     = flag.String("url", "", "scrape this URL instead of reading stdin")
+		require = flag.String("require", "", "comma-separated metric families that must be present")
+		verbose = flag.Bool("v", false, "print every family with its type and sample count")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *url != "" {
+		cli := &http.Client{Timeout: 10 * time.Second}
+		resp, err := cli.Get(*url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", *url, resp.Status)
+		}
+		in = resp.Body
+	}
+
+	exp, err := obs.ParseExposition(in)
+	if err != nil {
+		return err
+	}
+	fams := exp.Families()
+	for _, want := range strings.Split(*require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		if _, ok := exp.Types[want]; !ok {
+			return fmt.Errorf("required metric family %q is missing", want)
+		}
+	}
+	fmt.Printf("ok: %d families, %d samples\n", len(fams), len(exp.Samples))
+	if *verbose {
+		sort.Strings(fams)
+		counts := make(map[string]int, len(fams))
+		for series := range exp.Samples {
+			name, _, _ := strings.Cut(series, "{")
+			counts[family(name, exp.Types)]++
+		}
+		for _, f := range fams {
+			fmt.Printf("  %-45s %-9s %d samples\n", f, exp.Types[f], counts[f])
+		}
+	}
+	return nil
+}
+
+// family maps a sample name back to its declared family, stripping the
+// histogram suffixes (_bucket/_sum/_count) when the base name is a declared
+// histogram.
+func family(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}

@@ -307,6 +307,8 @@ func (c *Catalog) Mutate(name string, insert, del []relation.Pair) (Mutation, er
 	if err := c.logMutation(Mutation{Name: name, Added: added, Removed: removed, Old: old}); err != nil {
 		return Mutation{}, fmt.Errorf("catalog: mutate %q: %w", name, err)
 	}
+	tuplesInserted.Add(uint64(len(added)))
+	tuplesDeleted.Add(uint64(len(removed)))
 	// Linear-merge rebuild: O(N + Δ log Δ), no full re-sort.
 	next := relation.ApplyDelta(old, name, added, removed)
 	ver, epoch := c.mutate(func(m map[string]*relation.Relation) { m[name] = next }, name)

@@ -1,0 +1,16 @@
+package catalog
+
+import "repro/internal/obs"
+
+// Catalog mutation counters: effective (coalesced) tuple deltas applied to
+// base relations, the write-side twin of the query counters in core. The
+// plan-cache stats keep living in CacheStats and are mirrored into the
+// registry by the server at scrape time, so there is no double counting.
+var (
+	tuplesMutated = obs.Default().CounterVec(
+		"joinmm_catalog_tuples_mutated_total",
+		"Effective tuples applied to base relations by coalesced mutations.",
+		"op")
+	tuplesInserted = tuplesMutated.With("insert")
+	tuplesDeleted  = tuplesMutated.With("delete")
+)

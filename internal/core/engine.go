@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/acyclic"
 	"repro/internal/bsi"
@@ -479,15 +480,25 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*query.Result, e
 	if (e.cfg.MaxQueryBytes > 0 || e.cfg.MaxQueryRows > 0) && govern.FromContext(ctx) == nil {
 		ctx = govern.WithBudget(ctx, govern.New(e.cfg.MaxQueryBytes, e.cfg.MaxQueryRows))
 	}
+	start := time.Now()
 	p, hit, err := e.cat.PrepareContext(ctx, src)
 	if err != nil {
+		queryErrors.Inc()
 		return nil, err
 	}
+	prepared := time.Now()
 	res, err := p.Execute(ctx, e.execOptions())
 	if err != nil {
+		queryErrors.Inc()
 		return nil, err
 	}
 	res.Plan.CacheHit = hit
+	res.Plan.PrepareNs = prepared.Sub(start).Nanoseconds()
+	queryOK.Inc()
+	queryPrepareSeconds.Observe(float64(res.Plan.PrepareNs) / 1e9)
+	querySeconds.ObserveSince(start)
+	queryRowsTotal.Add(uint64(len(res.Tuples)))
+	queryBudgetBytes.Add(uint64(res.Plan.BudgetBytes))
 	return res, nil
 }
 
@@ -536,12 +547,15 @@ func (e *Engine) ExplainQuery(src string) (*query.Plan, error) {
 // includes semijoin reduction and, for cyclic queries, bag materialization)
 // honors the context deadline.
 func (e *Engine) ExplainQueryContext(ctx context.Context, src string) (*query.Plan, error) {
+	start := time.Now()
 	p, hit, err := e.cat.PrepareContext(ctx, src)
 	if err != nil {
 		return nil, err
 	}
+	prepNs := time.Since(start).Nanoseconds()
 	plan := p.Explain(e.execOptions())
 	plan.CacheHit = hit
+	plan.PrepareNs = prepNs
 	return plan, nil
 }
 

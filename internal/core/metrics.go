@@ -1,0 +1,59 @@
+package core
+
+import "repro/internal/obs"
+
+// Engine-level metrics. Query counters live here (not in the server) so
+// every evaluation path — HTTP, embedded API, view refresh — is counted;
+// durability counters are instrumented at the state transitions in
+// persist.go. All engines in a process share these series.
+var (
+	queryTotal = obs.Default().CounterVec(
+		"joinmm_query_total",
+		"Query evaluations by outcome (ok or error; errors include timeouts and budget trips).",
+		"outcome")
+	queryOK     = queryTotal.With("ok")
+	queryErrors = queryTotal.With("error")
+
+	querySeconds = obs.Default().Histogram(
+		"joinmm_query_seconds",
+		"End-to-end query evaluation latency (prepare + execute) in seconds.", nil)
+	queryPrepareSeconds = obs.Default().Histogram(
+		"joinmm_query_prepare_seconds",
+		"Query parse+plan (including plan-cache lookup) latency in seconds.", nil)
+	queryRowsTotal = obs.Default().Counter(
+		"joinmm_query_rows_total",
+		"Output tuples returned by successful queries.")
+	queryBudgetBytes = obs.Default().Counter(
+		"joinmm_query_budget_bytes_total",
+		"Bytes charged against per-query materialization budgets.")
+
+	checkpointTotal = obs.Default().Counter(
+		"joinmm_checkpoint_total",
+		"Checkpoints completed successfully.")
+	checkpointFailures = obs.Default().Counter(
+		"joinmm_checkpoint_failures_total",
+		"Checkpoint attempts that failed.")
+	checkpointSeconds = obs.Default().Histogram(
+		"joinmm_checkpoint_seconds",
+		"Checkpoint wall time (freeze + write + manifest swap + prune) in seconds.", nil)
+	checkpointBytes = obs.Default().Gauge(
+		"joinmm_checkpoint_last_bytes",
+		"Size in bytes of the most recent checkpoint snapshot.")
+	checkpointLastUnix = obs.Default().Gauge(
+		"joinmm_checkpoint_last_unix_seconds",
+		"Unix time of the most recent successful checkpoint (0: none yet).")
+
+	degradedGauge = obs.Default().Gauge(
+		"joinmm_degraded",
+		"1 while the engine is in degraded read-only mode (WAL unavailable), else 0.")
+	degradedTotal = obs.Default().Counter(
+		"joinmm_degraded_transitions_total",
+		"Healthy-to-degraded transitions since process start.")
+
+	recoveryReplayRecords = obs.Default().Gauge(
+		"joinmm_recovery_replayed_records",
+		"WAL records replayed by the most recent Open.")
+	recoverySeconds = obs.Default().Gauge(
+		"joinmm_recovery_seconds",
+		"Wall time of the most recent Open recovery (snapshot load + WAL replay).")
+)

@@ -133,6 +133,9 @@ type PersistenceStats struct {
 	Checkpoints uint64 `json:"checkpoints"`
 	// LastCheckpointLSN is the applied LSN of the newest checkpoint.
 	LastCheckpointLSN uint64 `json:"last_checkpoint_lsn"`
+	// LastCheckpointUnix is the Unix time of the newest successful
+	// checkpoint in this process (0: none since Open).
+	LastCheckpointUnix int64 `json:"last_checkpoint_unix,omitempty"`
 	// CheckpointEvery echoes the auto-checkpoint threshold (0: manual only).
 	CheckpointEvery int `json:"checkpoint_every"`
 	// CheckpointReplayTargetMs echoes the adaptive replay-cost target.
@@ -178,6 +181,7 @@ type persistence struct {
 	ckptFailures uint64
 	lastCkptErr  string
 	lastCkptLSN  uint64
+	lastCkptTime time.Time // last successful own-dir checkpoint (zero: none)
 	degraded     bool
 	degCause     error
 	degSince     time.Time
@@ -270,6 +274,8 @@ func (p *persistence) enterDegraded(cause error) {
 	p.degSince = time.Now()
 	hook := p.opts.OnDegraded
 	p.mu.Unlock()
+	degradedGauge.Set(1)
+	degradedTotal.Inc()
 	if hook != nil {
 		hook(cause)
 	}
@@ -287,6 +293,7 @@ func (p *persistence) tryRearm() error {
 	p.degCause = nil
 	p.degSince = time.Time{}
 	p.mu.Unlock()
+	degradedGauge.Set(0)
 	return nil
 }
 
@@ -419,6 +426,9 @@ func (e *Engine) Open(dir string, opts PersistOptions) error {
 	}
 	e.cat.SetPersistence(p)
 	e.persist = p
+	recoveryReplayRecords.Set(float64(rec.ReplayedRecords))
+	recoverySeconds.Set(rec.DurationMs / 1000)
+	degradedGauge.Set(0)
 	return nil
 }
 
@@ -478,10 +488,12 @@ func (e *Engine) Checkpoint() (*CheckpointInfo, error) {
 	p.mu.Lock()
 	p.checkpoints++
 	p.lastCkptLSN = info.AppliedLSN
+	p.lastCkptTime = time.Now()
 	p.since = 0
 	p.lastCkptErr = ""
 	degraded := p.degraded
 	p.mu.Unlock()
+	noteCheckpoint(info)
 	if degraded {
 		_ = p.tryRearm() // still degraded (with the original cause) on failure
 	}
@@ -524,6 +536,16 @@ func (p *persistence) noteCheckpointFailure(err error) {
 	p.ckptFailures++
 	p.lastCkptErr = err.Error()
 	p.mu.Unlock()
+	checkpointFailures.Inc()
+}
+
+// noteCheckpoint publishes one successful checkpoint to the metrics
+// registry.
+func noteCheckpoint(info *CheckpointInfo) {
+	checkpointTotal.Inc()
+	checkpointSeconds.Observe(info.DurationMs / 1000)
+	checkpointBytes.Set(float64(info.Bytes))
+	checkpointLastUnix.Set(float64(time.Now().Unix()))
 }
 
 // checkpointTo captures and installs one checkpoint in dir. own marks the
@@ -664,6 +686,9 @@ func (e *Engine) PersistenceStats() PersistenceStats {
 		LastCheckpointError:      p.lastCkptErr,
 		Degraded:                 p.degraded,
 		Recovery:                 p.recovery,
+	}
+	if !p.lastCkptTime.IsZero() {
+		st.LastCheckpointUnix = p.lastCkptTime.Unix()
 	}
 	if p.degraded {
 		st.DegradedCause = p.degCause.Error()

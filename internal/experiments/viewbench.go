@@ -29,6 +29,9 @@ type ViewBench struct {
 	Batches   int     `json:"batches"`
 	BatchSize int     `json:"batch_size"`
 	Rows      int     `json:"rows"`
+	// Reps is how many full update-stream runs the min-of-reps estimator
+	// took MaintainNs/RecomputeNs over.
+	Reps int `json:"reps,omitempty"`
 }
 
 // ViewSnapshot is the machine-readable view-maintenance trajectory
@@ -168,8 +171,76 @@ func isIdent(c byte) bool {
 	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
 }
 
-// ViewBenchSnapshot measures the canned view suite and renders the
-// BENCH_views.json snapshot.
+// viewBenchReps is the min-of-reps width: each view's whole update-stream
+// run is repeated this many times and the fastest per-batch maintain and
+// recompute times are kept, so the regression gate sees an estimator robust
+// to co-tenant interference (same rationale as measureNs in querybench).
+const viewBenchReps = 3
+
+// MeasureViewBest runs MeasureView reps times on fresh engines and keeps the
+// minimum per-batch MaintainNs and RecomputeNs. The row counts and strategy
+// mode are deterministic across reps; only the timings vary.
+func MeasureViewBest(name, src string, scale float64, reps int) (ViewBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var best ViewBench
+	for i := 0; i < reps; i++ {
+		vb, err := MeasureView(name, src, scale)
+		if err != nil {
+			return ViewBench{}, err
+		}
+		if i == 0 {
+			best = vb
+		} else {
+			if vb.MaintainNs < best.MaintainNs {
+				best.MaintainNs = vb.MaintainNs
+			}
+			if vb.RecomputeNs < best.RecomputeNs {
+				best.RecomputeNs = vb.RecomputeNs
+			}
+		}
+	}
+	if best.MaintainNs > 0 {
+		best.Speedup = float64(best.RecomputeNs) / float64(best.MaintainNs)
+	}
+	best.Reps = reps
+	return best, nil
+}
+
+// CompareViewSnapshots diffs two BENCH_views.json snapshots and returns every
+// view present in both whose per-batch maintenance time regressed by more
+// than tol — the view-maintenance twin of the query gate. Views present in
+// only one snapshot are ignored, so extending the suite never fails the
+// gate; snapshots at different scales are incomparable and error out.
+func CompareViewSnapshots(baseline, current []byte, tol float64) ([]Regression, error) {
+	var old, cur ViewSnapshot
+	if err := json.Unmarshal(baseline, &old); err != nil {
+		return nil, fmt.Errorf("baseline snapshot: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return nil, fmt.Errorf("current snapshot: %w", err)
+	}
+	if old.Scale != cur.Scale {
+		return nil, fmt.Errorf("snapshot scales differ: baseline %g vs current %g", old.Scale, cur.Scale)
+	}
+	var regs []Regression
+	for name, ob := range old.Benchmarks {
+		cb, ok := cur.Benchmarks[name]
+		if !ok || ob.MaintainNs <= 0 || cb.MaintainNs <= 0 {
+			continue
+		}
+		ratio := float64(cb.MaintainNs) / float64(ob.MaintainNs)
+		if ratio > 1+tol {
+			regs = append(regs, Regression{Name: name, Baseline: ob.MaintainNs, Current: cb.MaintainNs, Ratio: ratio})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs, nil
+}
+
+// ViewBenchSnapshot measures the canned view suite (min-of-reps per view)
+// and renders the BENCH_views.json snapshot.
 func ViewBenchSnapshot(scale float64) ([]byte, error) {
 	snap := ViewSnapshot{
 		GoOS:       runtime.GOOS,
@@ -180,7 +251,7 @@ func ViewBenchSnapshot(scale float64) ([]byte, error) {
 		Benchmarks: map[string]ViewBench{},
 	}
 	for name, src := range DefaultViewSuite() {
-		vb, err := MeasureView(name, src, scale)
+		vb, err := MeasureViewBest(name, src, scale, viewBenchReps)
 		if err != nil {
 			return nil, fmt.Errorf("view %q: %w", name, err)
 		}

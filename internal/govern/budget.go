@@ -29,6 +29,7 @@ type Budget struct {
 	maxBytes int64 // 0 = unlimited
 	rows     atomic.Int64
 	bytes    atomic.Int64
+	tripped  atomic.Bool
 }
 
 // New returns a budget capping materialized bytes and rows; zero means
@@ -50,12 +51,21 @@ func (b *Budget) Charge(rows, bytes int64) error {
 	r := b.rows.Add(rows)
 	by := b.bytes.Add(bytes)
 	if b.maxRows > 0 && r > b.maxRows {
+		b.noteTrip()
 		return fmt.Errorf("%w: %d rows materialized (cap %d)", ErrBudgetExceeded, r, b.maxRows)
 	}
 	if b.maxBytes > 0 && by > b.maxBytes {
+		b.noteTrip()
 		return fmt.Errorf("%w: %d bytes materialized (cap %d)", ErrBudgetExceeded, by, b.maxBytes)
 	}
 	return nil
+}
+
+// noteTrip counts this budget's first cap crossing.
+func (b *Budget) noteTrip() {
+	if b.tripped.CompareAndSwap(false, true) {
+		budgetTrips.Inc()
+	}
 }
 
 // ChargeRows charges rows with an estimated byte footprint of rowBytes

@@ -1,0 +1,10 @@
+package govern
+
+import "repro/internal/obs"
+
+// budgetTrips counts queries killed by their budget — one bump per Budget,
+// not per failed Charge, since the executor keeps charging (and failing)
+// while an abort propagates through nested operators.
+var budgetTrips = obs.Default().Counter(
+	"joinmm_budget_trips_total",
+	"Queries aborted by a materialization budget (rows or bytes cap crossed).")

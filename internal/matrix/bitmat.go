@@ -89,6 +89,7 @@ func MulBitCountStop(a, bT *BitMatrix, workers int, stop func() bool) *Int32 {
 	if a.Cols != bT.Cols {
 		panic("matrix: bit product dimension mismatch")
 	}
+	noteKernel(mulCountCalls, mulCountTiles, mulCountWords, a.Rows, a.rowWords, bT.Rows)
 	c := NewInt32(a.Rows, bT.Rows)
 	par.ForChunks(a.Rows, workers, func(lo, hi int) {
 		var dst [ibTile][]int32
@@ -125,6 +126,7 @@ func ForEachRowProductStop(a, bT *BitMatrix, workers int, stop func() bool, fn f
 	if a.Cols != bT.Cols {
 		panic("matrix: bit product dimension mismatch")
 	}
+	noteKernel(rowProdCalls, rowProdTiles, rowProdWords, a.Rows, a.rowWords, bT.Rows)
 	// Single-worker fast path: no chunk closure materializes, so a warm
 	// call performs zero allocations.
 	if par.Workers(workers) == 1 || a.Rows <= 1 {
@@ -232,6 +234,7 @@ func MulBitBool(a, bT *BitMatrix, workers int) *BitMatrix {
 	if a.Cols != bT.Cols {
 		panic("matrix: bit product dimension mismatch")
 	}
+	noteKernel(boolCalls, boolTiles, boolWords, a.Rows, a.rowWords, bT.Rows)
 	c := NewBitMatrix(a.Rows, bT.Rows)
 	rw := a.rowWords
 	par.ForChunks(a.Rows, workers, func(lo, hi int) {

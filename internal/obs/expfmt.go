@@ -1,0 +1,410 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition is a parsed Prometheus text exposition: the types declared per
+// family and every sample keyed by its full series identity (name plus
+// rendered label set, exactly as it appeared in the input).
+type Exposition struct {
+	// Types maps family name → declared type (counter, gauge, histogram, ...).
+	Types map[string]string
+	// Help maps family name → help string.
+	Help map[string]string
+	// Samples maps "name{label="v",...}" → value, in input spelling.
+	Samples map[string]float64
+}
+
+// Value returns the sample for the exact series key and whether it exists.
+func (e *Exposition) Value(series string) (float64, bool) {
+	v, ok := e.Samples[series]
+	return v, ok
+}
+
+// Families returns the sorted family names that declared a type.
+func (e *Exposition) Families() []string {
+	out := make([]string, 0, len(e.Types))
+	for n := range e.Types {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseExposition parses and validates Prometheus text exposition format
+// (version 0.0.4). It enforces what a real scraper would choke on: malformed
+// lines, duplicate series, samples of a typed family appearing before their
+// # TYPE line, histograms missing their +Inf bucket or with non-cumulative
+// bucket counts, and _count disagreeing with the +Inf bucket.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{
+		Types:   map[string]string{},
+		Help:    map[string]string{},
+		Samples: map[string]float64{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := exp.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := exp.parseSample(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := exp.checkHistograms(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// ValidateExposition parses the exposition and returns the first format
+// error, if any. CI and contract tests use it to guard the hand-rolled
+// encoder against drift.
+func ValidateExposition(r io.Reader) error {
+	_, err := ParseExposition(r)
+	return err
+}
+
+func (e *Exposition) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment; legal
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE line", name)
+		}
+		if prev, ok := e.Types[name]; ok {
+			return fmt.Errorf("duplicate TYPE for %s (was %s)", name, prev)
+		}
+		// A typed family's samples must not precede its TYPE line.
+		declared := map[string]string{name: typ}
+		for series := range e.Samples {
+			if seriesFamily(series, declared) == name {
+				return fmt.Errorf("TYPE for %s appears after its samples", name)
+			}
+		}
+		e.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in HELP line", name)
+		}
+		if len(fields) == 4 {
+			e.Help[name] = fields[3]
+		}
+	}
+	return nil
+}
+
+func (e *Exposition) parseSample(line string) error {
+	name, rest, err := scanMetricName(line)
+	if err != nil {
+		return err
+	}
+	series := name
+	if strings.HasPrefix(rest, "{") {
+		labels, after, err := scanLabels(rest)
+		if err != nil {
+			return fmt.Errorf("series %s: %w", name, err)
+		}
+		series += labels
+		rest = after
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("series %s: want `value [timestamp]`, got %q", series, rest)
+	}
+	val, err := parseValue(fields[0])
+	if err != nil {
+		return fmt.Errorf("series %s: bad value %q", series, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("series %s: bad timestamp %q", series, fields[1])
+		}
+	}
+	if _, dup := e.Samples[series]; dup {
+		return fmt.Errorf("duplicate series %s", series)
+	}
+	e.Samples[series] = val
+	return nil
+}
+
+// checkHistograms verifies every declared histogram family: cumulative
+// non-decreasing buckets, a +Inf bucket present, and _count equal to it.
+func (e *Exposition) checkHistograms() error {
+	for name, typ := range e.Types {
+		if typ != "histogram" {
+			continue
+		}
+		// Group buckets by their non-le label set.
+		type buckets struct {
+			le  []float64
+			cnt []float64
+			inf float64
+			has bool
+		}
+		groups := map[string]*buckets{}
+		for series, val := range e.Samples {
+			base, le, ok := splitBucket(series, name)
+			if !ok {
+				continue
+			}
+			g := groups[base]
+			if g == nil {
+				g = &buckets{}
+				groups[base] = g
+			}
+			if math.IsInf(le, 1) {
+				g.inf, g.has = val, true
+			} else {
+				g.le = append(g.le, le)
+				g.cnt = append(g.cnt, val)
+			}
+		}
+		for base, g := range groups {
+			if !g.has {
+				return fmt.Errorf("histogram %s%s: missing +Inf bucket", name, base)
+			}
+			idx := make([]int, len(g.le))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return g.le[idx[a]] < g.le[idx[b]] })
+			prev := 0.0
+			for _, i := range idx {
+				if g.cnt[i] < prev {
+					return fmt.Errorf("histogram %s%s: bucket counts not cumulative at le=%g", name, base, g.le[i])
+				}
+				prev = g.cnt[i]
+			}
+			if g.inf < prev {
+				return fmt.Errorf("histogram %s%s: +Inf bucket below lower bucket", name, base)
+			}
+			if cnt, ok := e.Samples[name+"_count"+base]; ok && cnt != g.inf {
+				return fmt.Errorf("histogram %s%s: _count %g != +Inf bucket %g", name, base, cnt, g.inf)
+			}
+		}
+	}
+	return nil
+}
+
+// splitBucket decides whether series is a _bucket sample of family name,
+// returning the label set minus the le pair and the le bound.
+func splitBucket(series, family string) (base string, le float64, ok bool) {
+	prefix := family + "_bucket"
+	if !strings.HasPrefix(series, prefix) {
+		return "", 0, false
+	}
+	rest := series[len(prefix):]
+	if !strings.HasPrefix(rest, "{") {
+		return "", 0, false
+	}
+	// Find the le="..." pair and strip it.
+	inner := rest[1 : len(rest)-1]
+	parts := splitLabelPairs(inner)
+	var kept []string
+	found := false
+	for _, p := range parts {
+		if strings.HasPrefix(p, `le="`) && strings.HasSuffix(p, `"`) {
+			v := p[len(`le="`) : len(p)-1]
+			le, found = parseBound(v)
+			if !found {
+				return "", 0, false
+			}
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if !found {
+		return "", 0, false
+	}
+	if len(kept) == 0 {
+		return "", le, true
+	}
+	return "{" + strings.Join(kept, ",") + "}", le, true
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func parseBound(s string) (float64, bool) {
+	if s == "+Inf" {
+		return math.Inf(1), true
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// scanMetricName reads the leading metric name off a sample line.
+func scanMetricName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("sample line %q does not start with a metric name", line)
+	}
+	return line[:i], line[i:], nil
+}
+
+// scanLabels reads a {..} label block, validating pair syntax.
+func scanLabels(s string) (labels, rest string, err error) {
+	if s[0] != '{' {
+		return "", "", fmt.Errorf("expected '{'")
+	}
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				block := s[:i+1]
+				if err := checkLabelBlock(block); err != nil {
+					return "", "", err
+				}
+				return block, s[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block in %q", s)
+}
+
+// checkLabelBlock validates each pair inside a {..} block.
+func checkLabelBlock(block string) error {
+	inner := block[1 : len(block)-1]
+	if strings.TrimSpace(inner) == "" {
+		return fmt.Errorf("empty label block")
+	}
+	for _, p := range splitLabelPairs(inner) {
+		eq := strings.Index(p, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair %q", p)
+		}
+		name, val := p[:eq], p[eq+1:]
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("label %s value not quoted: %q", name, val)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// seriesFamily maps a series key back to its family name, folding histogram
+// _bucket/_sum/_count suffixes onto the declared family when one exists.
+func seriesFamily(series string, types map[string]string) string {
+	name := series
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if _, ok := types[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}

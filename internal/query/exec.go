@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/acyclic"
 	"repro/internal/govern"
@@ -89,6 +90,9 @@ type executor struct {
 	// grouping them afterwards; groupVar/countVar are the variable indices.
 	pushGroup          bool
 	groupVar, countVar int
+	// charged accumulates every byte debited through charge, budget or not —
+	// the working-set figure EXPLAIN ANALYZE reports per query.
+	charged int64
 }
 
 func (p *Prepared) newExecutor(ctx context.Context, opts ExecOptions, dry bool) *executor {
@@ -191,6 +195,7 @@ func rowBudgetBytes(cols int) int { return 24 + 4*cols }
 // charge debits the query budget for rows materialized rows of about
 // rowBytes each; a nil budget is free.
 func (ex *executor) charge(rows, rowBytes int) error {
+	ex.charged += int64(rows) * int64(rowBytes)
 	return ex.budget.ChargeRows(int64(rows), int64(rowBytes))
 }
 
@@ -207,6 +212,7 @@ type compResult struct {
 }
 
 func (ex *executor) run() (*Result, error) {
+	start := time.Now()
 	p, q := ex.p, ex.p.Query
 	res := &Result{Columns: make([]string, len(q.Head))}
 	for i, h := range q.Head {
@@ -299,6 +305,9 @@ func (ex *executor) run() (*Result, error) {
 	if err := ex.check(); err != nil {
 		return nil, err
 	}
+	top.TimeNs = time.Since(start).Nanoseconds()
+	res.Plan.ExecNs = top.TimeNs
+	res.Plan.BudgetBytes = ex.charged
 	return res, nil
 }
 
@@ -581,7 +590,10 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, *
 		if ex.dry {
 			node.Strategy, node.Detail = ex.dryComposeStrategy(r1, r2, &detail)
 		} else {
+			t0 := time.Now()
 			rel, step := acyclic.Compose(r1, r2, ex.aopt)
+			node.TimeNs = time.Since(t0).Nanoseconds()
+			foldTotal.With("fold", step.Strategy).Inc()
 			// The Stop hook makes Compose return partial output when the
 			// context trips mid-kernel; discard it rather than fold it in.
 			if err := ex.check(); err != nil {
@@ -658,7 +670,10 @@ func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) (*co
 		}
 		jopt.Delta1, jopt.Delta2 = t+1, t+1
 	}
+	t0 := time.Now()
 	groups := joinproject.TwoPathGroupBy(gRel, cvRel, jopt)
+	node.TimeNs = time.Since(t0).Nanoseconds()
+	foldTotal.With("groupfold", strategy).Inc()
 	if err := ex.check(); err != nil {
 		return nil, err
 	}
@@ -832,11 +847,14 @@ func (ex *executor) starNode(live []liveEdge, center int) (*compResult, error) {
 		return cr, nil
 	}
 	node.Strategy = strategy
+	t0 := time.Now()
 	if strategy == acyclic.StrategyNonMM {
 		cr.rows = joinproject.StarNonMM(views, jopt)
 	} else {
 		cr.rows = joinproject.StarMM(views, jopt)
 	}
+	node.TimeNs = time.Since(t0).Nanoseconds()
+	foldTotal.With("star", node.Strategy).Inc()
 	if err := ex.check(); err != nil {
 		return nil, err
 	}
@@ -929,6 +947,7 @@ func (ex *executor) enumerate(c *component, live []liveEdge, heads map[int]bool)
 		return rows
 	}
 
+	t0 := time.Now()
 	var out [][]int32
 	for _, val := range c.allowed[root] {
 		batch := solve(root, -1, val)
@@ -942,6 +961,8 @@ func (ex *executor) enumerate(c *component, live []liveEdge, heads map[int]bool)
 	}
 	cr.rows = out
 	node.Rows = int64(len(out))
+	node.TimeNs = time.Since(t0).Nanoseconds()
+	foldTotal.With("enumerate", acyclic.StrategyWCOJ).Inc()
 	return cr, nil
 }
 
@@ -986,10 +1007,13 @@ func (ex *executor) evalBagTree(c *component) (*compResult, error) {
 		return cr, nil
 	}
 
+	t0 := time.Now()
 	cols, rows, err := joinBagTree(ex.ctx, c.bags, root)
 	if err != nil {
 		return nil, err
 	}
+	join.TimeNs = time.Since(t0).Nanoseconds()
+	foldTotal.With("bagjoin", "hash").Inc()
 	join.Rows = int64(len(rows))
 	headPos := varPositions(cols, c.heads)
 	cr.rows = make([][]int32, 0, len(rows))

@@ -1,0 +1,12 @@
+package query
+
+import "repro/internal/obs"
+
+// foldTotal counts executed plan-node kernel operations by operator and the
+// strategy the cost model (or a hint) chose — the live view of the MM/WCOJ
+// decision the paper's cost model makes per node. Incremented only on real
+// execution, never for dry (EXPLAIN) planning.
+var foldTotal = obs.Default().CounterVec(
+	"joinmm_fold_total",
+	"Executed plan-node kernel operations by operator and chosen strategy.",
+	"op", "strategy")

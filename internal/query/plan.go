@@ -24,12 +24,17 @@ type Node struct {
 	// Rows is the operator's output cardinality; -1 when not known (e.g. in
 	// a predicted plan for a node that has not run).
 	Rows int64
+	// TimeNs is the operator's measured wall time in nanoseconds; 0 when the
+	// node did not run or is too cheap to time (scan/bag leaves). Recorded on
+	// every execution but only rendered when Plan.Analyzed is set.
+	TimeNs int64
 	// Children are the operator inputs.
 	Children []*Node
 }
 
-// line renders the node's own EXPLAIN line.
-func (n *Node) line() string {
+// line renders the node's own EXPLAIN line. analyzed appends the measured
+// per-node wall time for EXPLAIN ANALYZE output.
+func (n *Node) line(analyzed bool) string {
 	var b strings.Builder
 	b.WriteString(n.Op)
 	if n.Strategy != "" {
@@ -42,7 +47,23 @@ func (n *Node) line() string {
 	if n.Rows >= 0 {
 		fmt.Fprintf(&b, " rows=%d", n.Rows)
 	}
+	if analyzed && n.TimeNs > 0 {
+		fmt.Fprintf(&b, " time=%s", fmtDuration(n.TimeNs))
+	}
 	return b.String()
+}
+
+// fmtDuration renders nanoseconds in the unit a human reads fastest: whole
+// µs below 1ms, fractional ms below 1s, fractional seconds above.
+func fmtDuration(ns int64) string {
+	switch {
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	}
 }
 
 // Plan is an explainable evaluation plan for one query.
@@ -56,9 +77,24 @@ type Plan struct {
 	Predicted bool
 	// CacheHit reports whether the compiled query came from the plan cache.
 	CacheHit bool
+	// Analyzed turns on EXPLAIN ANALYZE rendering: per-node measured times
+	// next to the cost model's est|OUT| predictions, plus a phase-breakdown
+	// header. The measurements below are recorded on every execution; this
+	// flag only controls whether String shows them.
+	Analyzed bool
+	// PrepareNs is the measured parse+plan(+cache lookup) wall time.
+	PrepareNs int64
+	// ExecNs is the measured execution wall time for the whole plan.
+	ExecNs int64
+	// BudgetBytes is the total bytes charged against the govern budget while
+	// executing (charged even when no budget is configured, so EXPLAIN
+	// ANALYZE always shows the query's working-set pressure).
+	BudgetBytes int64
 }
 
-// String renders the plan as an indented EXPLAIN tree.
+// String renders the plan as an indented EXPLAIN tree. With Analyzed set it
+// becomes the EXPLAIN ANALYZE form: a phase-breakdown line after the header
+// and measured per-node times alongside the predicted cardinalities.
 func (p *Plan) String() string {
 	var b strings.Builder
 	b.WriteString("query: ")
@@ -69,24 +105,31 @@ func (p *Plan) String() string {
 	if p.Predicted {
 		b.WriteString("  [predicted]")
 	}
+	if p.Analyzed {
+		b.WriteString("  [analyzed]")
+	}
 	b.WriteByte('\n')
+	if p.Analyzed {
+		fmt.Fprintf(&b, "analyze: prepare=%s exec=%s budget=%dB\n",
+			fmtDuration(p.PrepareNs), fmtDuration(p.ExecNs), p.BudgetBytes)
+	}
 	if p.Root != nil {
-		renderNode(&b, p.Root, "", true)
+		renderNode(&b, p.Root, "", true, p.Analyzed)
 	}
 	return b.String()
 }
 
-func renderNode(b *strings.Builder, n *Node, prefix string, last bool) {
+func renderNode(b *strings.Builder, n *Node, prefix string, last, analyzed bool) {
 	branch, childPrefix := "├─ ", prefix+"│  "
 	if last {
 		branch, childPrefix = "└─ ", prefix+"   "
 	}
 	b.WriteString(prefix)
 	b.WriteString(branch)
-	b.WriteString(n.line())
+	b.WriteString(n.line(analyzed))
 	b.WriteByte('\n')
 	for i, c := range n.Children {
-		renderNode(b, c, childPrefix, i == len(n.Children)-1)
+		renderNode(b, c, childPrefix, i == len(n.Children)-1, analyzed)
 	}
 }
 

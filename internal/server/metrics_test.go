@@ -1,0 +1,297 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// scrapeMetrics fetches /metrics, validates the exposition end to end, and
+// returns it parsed. Every contract assertion in this file goes through the
+// same parser cmd/promcheck uses in CI.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) *obs.Exposition {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+// mustValue returns one series' sample, failing the test if it is absent.
+func mustValue(t *testing.T, exp *obs.Exposition, series string) float64 {
+	t.Helper()
+	v, ok := exp.Value(series)
+	if !ok {
+		t.Fatalf("series %s not exposed", series)
+	}
+	return v
+}
+
+// familySum totals every sample of one family prefix (the labeled series of
+// a vec, or a histogram's _count series via name_count). The obs registry is
+// process-global, so contract tests assert on deltas, never absolutes.
+func familySum(exp *obs.Exposition, name string) float64 {
+	var sum float64
+	for series, v := range exp.Samples {
+		base, _, _ := strings.Cut(series, "{")
+		if base == name {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestMetricsContract locks the /metrics surface: the metric names and types
+// monitoring dashboards key on must stay stable, and the core counters must
+// actually move when the engine does work (query, mutation, checkpoint).
+func TestMetricsContract(t *testing.T) {
+	dir := t.TempDir()
+	eng := core.NewEngine()
+	if err := eng.Open(dir, core.PersistOptions{Fsync: wal.FsyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ts := newTestServer(t, Config{Engine: eng})
+	registerChain(t, ts)
+	if code := post(t, ts, "/views", map[string]any{"name": "v", "query": "V(x, z) :- R(x, y), S(y, z)"}, nil); code != http.StatusOK {
+		t.Fatalf("register view: status %d", code)
+	}
+
+	before := scrapeMetrics(t, ts)
+
+	// One successful query, one mutation (maintains the view through the
+	// WAL), one checkpoint.
+	if code := post(t, ts, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, nil); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	if code := post(t, ts, "/catalog/relations/R/insert", map[string]any{"pairs": [][2]int32{{7, 10}}}, nil); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+	if code := post(t, ts, "/admin/checkpoint", map[string]any{}, nil); code != http.StatusOK {
+		t.Fatalf("checkpoint: status %d", code)
+	}
+
+	after := scrapeMetrics(t, ts)
+
+	// Name/type stability: a rename here breaks dashboards, so it must be a
+	// conscious decision.
+	wantTypes := map[string]string{
+		"joinmm_http_requests_total":       "counter",
+		"joinmm_http_request_seconds":      "histogram",
+		"joinmm_http_in_flight":            "gauge",
+		"joinmm_http_queued":               "gauge",
+		"joinmm_uptime_seconds":            "gauge",
+		"joinmm_build_info":                "gauge",
+		"joinmm_query_total":               "counter",
+		"joinmm_query_seconds":             "histogram",
+		"joinmm_query_prepare_seconds":     "histogram",
+		"joinmm_query_rows_total":          "counter",
+		"joinmm_query_budget_bytes_total":  "counter",
+		"joinmm_fold_total":                "counter",
+		"joinmm_view_maintenance_seconds":  "histogram",
+		"joinmm_view_delta_strategy_total": "counter",
+		"joinmm_wal_append_seconds":        "histogram",
+		"joinmm_wal_fsync_seconds":         "histogram",
+		"joinmm_wal_appends_total":         "counter",
+		"joinmm_wal_segments":              "gauge",
+		"joinmm_checkpoint_total":          "counter",
+		"joinmm_checkpoint_seconds":        "histogram",
+		"joinmm_checkpoint_last_bytes":     "gauge",
+		"joinmm_degraded":                  "gauge",
+		"joinmm_plan_cache_hits_total":     "counter",
+		"joinmm_plan_cache_misses_total":   "counter",
+		"joinmm_budget_trips_total":        "counter",
+
+		"joinmm_catalog_tuples_mutated_total": "counter",
+		"joinmm_snapshot_write_seconds":       "histogram",
+		"joinmm_snapshot_written_bytes_total": "counter",
+	}
+	for name, typ := range wantTypes {
+		if got := after.Types[name]; got != typ {
+			t.Errorf("metric %s: type %q, want %q", name, got, typ)
+		}
+	}
+
+	// Counters move with the work they claim to count.
+	moved := []string{
+		"joinmm_query_total",
+		"joinmm_query_seconds_count",
+		"joinmm_query_rows_total",
+		"joinmm_http_requests_total",
+		"joinmm_http_request_seconds_count",
+		"joinmm_fold_total",
+		"joinmm_view_maintenance_seconds_count",
+		"joinmm_view_delta_strategy_total",
+		"joinmm_wal_append_seconds_count",
+		"joinmm_wal_appends_total",
+		"joinmm_checkpoint_total",
+		"joinmm_checkpoint_seconds_count",
+		"joinmm_catalog_tuples_mutated_total",
+		"joinmm_snapshot_write_seconds_count",
+		"joinmm_snapshot_written_bytes_total",
+	}
+	for _, name := range moved {
+		b, a := familySum(before, name), familySum(after, name)
+		if a <= b {
+			t.Errorf("%s did not move: %v -> %v", name, b, a)
+		}
+	}
+
+	// The per-route counter attributes the query to its mount pattern.
+	q := mustValue(t, after, `joinmm_http_requests_total{route="/query",code="200"}`)
+	if q < 1 {
+		t.Errorf("joinmm_http_requests_total{route=/query,code=200} = %v, want >= 1", q)
+	}
+	if mustValue(t, after, "joinmm_checkpoint_last_bytes") <= 0 {
+		t.Error("joinmm_checkpoint_last_bytes not set after checkpoint")
+	}
+	if mustValue(t, after, "joinmm_degraded") != 0 {
+		t.Error("healthy engine reports joinmm_degraded != 0")
+	}
+}
+
+// TestMetricsDegradedGauge drives the degraded state machine under injected
+// WAL faults and watches joinmm_degraded flip 0 -> 1 -> 0 on /metrics.
+func TestMetricsDegradedGauge(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	eng := core.NewEngine()
+	if err := eng.Open(dir, core.PersistOptions{
+		Fsync: wal.FsyncAlways, FS: in, RetryBackoff: 50 * time.Microsecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Register("R", []relation.Pair{{X: 1, Y: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Engine: eng})
+
+	transitionsBefore := familySum(scrapeMetrics(t, ts), "joinmm_degraded_transitions_total")
+
+	in.Script(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "wal-", Err: faultfs.ErrInjectedENOSPC, Times: 10})
+	if resp := postRaw(t, ts, "/catalog/relations/R/insert", `{"pairs":[[9,9]]}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded insert: status %d, want 503", resp.StatusCode)
+	}
+
+	exp := scrapeMetrics(t, ts)
+	if v := mustValue(t, exp, "joinmm_degraded"); v != 1 {
+		t.Fatalf("joinmm_degraded = %v after WAL failure, want 1", v)
+	}
+	if got := familySum(exp, "joinmm_degraded_transitions_total"); got != transitionsBefore+1 {
+		t.Fatalf("joinmm_degraded_transitions_total = %v, want %v", got, transitionsBefore+1)
+	}
+
+	in.Heal()
+	if code := post(t, ts, "/admin/resume", map[string]any{}, nil); code != http.StatusOK {
+		t.Fatalf("resume: status %d", code)
+	}
+	if v := mustValue(t, scrapeMetrics(t, ts), "joinmm_degraded"); v != 0 {
+		t.Fatalf("joinmm_degraded = %v after heal+resume, want 0", v)
+	}
+}
+
+// TestExplainAnalyzeShape locks the EXPLAIN ANALYZE rendering: the analyzed
+// marker, the phase-breakdown header, and measured per-node times sitting
+// next to the plan's structural lines.
+func TestExplainAnalyzeShape(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+
+	var res struct {
+		Plan        string  `json:"plan"`
+		Analyzed    bool    `json:"analyzed"`
+		ExecMs      float64 `json:"exec_ms"`
+		BudgetBytes int64   `json:"budget_bytes"`
+	}
+	code := post(t, ts, "/explain", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)", "analyze": true}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("explain analyze: status %d", code)
+	}
+	if !res.Analyzed {
+		t.Fatal("response not marked analyzed")
+	}
+	if res.ExecMs < 0 || res.BudgetBytes <= 0 {
+		t.Fatalf("missing measurements: exec_ms=%v budget_bytes=%d", res.ExecMs, res.BudgetBytes)
+	}
+	for _, re := range []string{
+		`(?m)^query: .*\[analyzed\]`,
+		`(?m)^analyze: prepare=\d.* exec=\d.* budget=\d+B$`,
+		`(?m) rows=\d+ time=\d`,
+	} {
+		if !regexp.MustCompile(re).MatchString(res.Plan) {
+			t.Errorf("plan missing /%s/:\n%s", re, res.Plan)
+		}
+	}
+
+	// Plain EXPLAIN must not leak analyze artifacts: the plan-string shape is
+	// a public contract (docs, clients).
+	var plain struct {
+		Plan     string `json:"plan"`
+		Analyzed bool   `json:"analyzed"`
+	}
+	if code := post(t, ts, "/explain", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, &plain); code != http.StatusOK {
+		t.Fatalf("explain: status %d", code)
+	}
+	if plain.Analyzed || strings.Contains(plain.Plan, "time=") || strings.Contains(plain.Plan, "[analyzed]") {
+		t.Fatalf("plain explain leaks analyze artifacts:\n%s", plain.Plan)
+	}
+}
+
+// TestRequestIDCorrelation checks the correlation surface: every instrumented
+// response carries X-Request-Id, and JSON error bodies echo the same ID so a
+// client can quote it against the server log.
+func TestRequestIDCorrelation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+
+	resp := postRaw(t, ts, "/query", `{"query": "Q(x, z) :- R(x, y), S(y, z)"}`)
+	rid := resp.Header.Get("X-Request-Id")
+	if resp.StatusCode != http.StatusOK || rid == "" {
+		t.Fatalf("query: status %d, X-Request-Id %q", resp.StatusCode, rid)
+	}
+
+	resp = postRaw(t, ts, "/query", `{"query": "nope("}`)
+	rid = resp.Header.Get("X-Request-Id")
+	if resp.StatusCode != http.StatusBadRequest || rid == "" {
+		t.Fatalf("bad query: status %d, X-Request-Id %q", resp.StatusCode, rid)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RequestID != rid {
+		t.Fatalf("error body request_id %q != header %q", er.RequestID, rid)
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HTTP-layer metrics. Route/latency/status series are instrumented by the
+// middleware in instrument; point-in-time gauges (admission, uptime, plan
+// cache, WAL) are refreshed by scrape immediately before every /metrics
+// encode, so the exposition always reflects live state without a background
+// sampler.
+var (
+	httpRequests = obs.Default().CounterVec(
+		"joinmm_http_requests_total",
+		"HTTP requests by route and response status code.",
+		"route", "code")
+	httpSeconds = obs.Default().HistogramVec(
+		"joinmm_http_request_seconds",
+		"HTTP request latency by route in seconds.",
+		nil, "route")
+	httpInFlight = obs.Default().Gauge(
+		"joinmm_http_in_flight",
+		"Requests currently holding an evaluation slot.")
+	httpQueued = obs.Default().Gauge(
+		"joinmm_http_queued",
+		"Requests currently waiting in the bounded admission queue.")
+	uptimeSeconds = obs.Default().Gauge(
+		"joinmm_uptime_seconds",
+		"Seconds since this server was constructed.")
+	buildInfo = obs.Default().GaugeVec(
+		"joinmm_build_info",
+		"Build metadata; the value is always 1.",
+		"version", "commit", "go")
+
+	planCacheHits = obs.Default().Counter(
+		"joinmm_plan_cache_hits_total",
+		"Plan-cache hits (mirrored from the catalog at scrape time).")
+	planCacheMisses = obs.Default().Counter(
+		"joinmm_plan_cache_misses_total",
+		"Plan-cache misses (mirrored from the catalog at scrape time).")
+	planCacheSize = obs.Default().Gauge(
+		"joinmm_plan_cache_size",
+		"Compiled plans currently cached.")
+
+	walSegments = obs.Default().Gauge(
+		"joinmm_wal_segments",
+		"WAL segment files on disk.")
+	walAppends = obs.Default().Counter(
+		"joinmm_wal_appends_total",
+		"WAL records appended (mirrored from the log at scrape time).")
+	walAppendedBytes = obs.Default().Counter(
+		"joinmm_wal_appended_bytes_total",
+		"WAL bytes appended (mirrored from the log at scrape time).")
+	walSyncs = obs.Default().Counter(
+		"joinmm_wal_syncs_total",
+		"WAL fsyncs performed (mirrored from the log at scrape time).")
+)
+
+// BuildInfo identifies the running binary on /healthz, /metrics and
+// `joinmmd -version`; cmd/joinmmd fills it from -ldflags.
+type BuildInfo struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit,omitempty"`
+	Go      string `json:"go"`
+}
+
+// ridKey carries the per-request ID through the request context.
+type ridKey struct{}
+
+// RequestID returns the request's correlation ID, assigned by the metrics
+// middleware; empty outside an instrumented request.
+func RequestID(r *http.Request) string {
+	id, _ := r.Context().Value(ridKey{}).(string)
+	return id
+}
+
+// nextRequestID mints a process-unique correlation ID: a per-boot prefix (so
+// IDs from different server lifetimes never collide in aggregated logs) plus
+// a sequence number.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.bootID, s.reqSeq.Add(1))
+}
+
+// statusRecorder captures the response status for the route metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route with the observability middleware: it assigns
+// the request ID (context + X-Request-Id response header), then records the
+// route's latency histogram and per-status request counter. The histogram
+// child is resolved once per route at mount time, not per request.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	lat := httpSeconds.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := s.nextRequestID()
+		w.Header().Set("X-Request-Id", rid)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+		lat.ObserveSince(start)
+		httpRequests.With(route, strconv.Itoa(rec.code)).Inc()
+	}
+}
+
+// scrape refreshes every point-in-time gauge (and the counters mirroring
+// pre-existing cumulative stats) from live engine state. Called under each
+// /metrics request and by the /healthz summary.
+func (s *Server) scrape() {
+	uptimeSeconds.Set(time.Since(s.start).Seconds())
+	httpInFlight.Set(float64(len(s.sem)))
+	httpQueued.Set(float64(len(s.queue)))
+	hits, misses, size := s.eng.Catalog().CacheStats()
+	planCacheHits.Set(hits)
+	planCacheMisses.Set(misses)
+	planCacheSize.Set(float64(size))
+	if ps := s.eng.PersistenceStats(); ps.Enabled {
+		walSegments.Set(float64(ps.WAL.Segments))
+		walAppends.Set(ps.WAL.Appended)
+		walAppendedBytes.Set(uint64(ps.WAL.AppendedBytes))
+		walSyncs.Set(ps.WAL.Syncs)
+	}
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.scrape()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = obs.Default().WriteTo(w)
+}
+
+// registerBuildInfo publishes the binary's identity as the conventional
+// constant-1 info gauge.
+func registerBuildInfo(b BuildInfo) {
+	buildInfo.With(b.Version, b.Commit, runtime.Version()).Set(1)
+}

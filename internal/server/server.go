@@ -46,11 +46,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -88,6 +91,19 @@ type Config struct {
 	// immediately with 429 rather than piling up goroutines and request
 	// state without bound. Default 64; negative disables waiting entirely.
 	QueueDepth int
+	// Logger receives the server's structured log (panics, slow queries);
+	// nil uses slog.Default(). Every record carries the request_id also
+	// returned in the X-Request-Id header and in error bodies.
+	Logger *slog.Logger
+	// SlowQueryThreshold logs any query evaluation at or above this duration
+	// at Warn level with its text, plan summary and request ID; 0 disables
+	// the slow-query log.
+	SlowQueryThreshold time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in because
+	// profiles expose internals and cost CPU while sampling.
+	EnablePprof bool
+	// Build identifies the binary on /healthz, /metrics and -version.
+	Build BuildInfo
 }
 
 // DefaultQueueDepth is the admission waiting room used when Config leaves
@@ -100,6 +116,13 @@ type Server struct {
 	timeout time.Duration
 	sem     chan struct{} // in-flight evaluation slots
 	queue   chan struct{} // bounded waiting room behind the slots
+	log     *slog.Logger
+	slow    time.Duration // slow-query log threshold (0: off)
+	pprof   bool
+	build   BuildInfo
+	start   time.Time
+	bootID  string // per-construction prefix of request IDs
+	reqSeq  atomic.Uint64
 }
 
 // New builds a server from the config.
@@ -123,35 +146,65 @@ func New(cfg Config) *Server {
 	if depth < 0 {
 		depth = 0
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	build := cfg.Build
+	if build.Version == "" {
+		build.Version = "dev"
+	}
+	if build.Go == "" {
+		build.Go = runtime.Version()
+	}
+	now := time.Now()
+	registerBuildInfo(build)
 	return &Server{
 		eng:     eng,
 		timeout: timeout,
 		sem:     make(chan struct{}, slots),
 		queue:   make(chan struct{}, depth),
+		log:     logger,
+		slow:    cfg.SlowQueryThreshold,
+		pprof:   cfg.EnablePprof,
+		build:   build,
+		start:   now,
+		bootID:  fmt.Sprintf("%08x", uint32(now.UnixNano())),
 	}
 }
 
 // Engine returns the wrapped engine (for preloading relations).
 func (s *Server) Engine() *core.Engine { return s.eng }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Handler returns the HTTP handler with all routes mounted. Every route runs
+// under the observability middleware (request ID + per-route metrics); the
+// route label is the mount pattern, so path parameters never explode the
+// label space.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /explain", s.handleExplain)
-	mux.HandleFunc("GET /catalog", s.handleCatalog)
-	mux.HandleFunc("POST /catalog/relations", s.handleRegister)
-	mux.HandleFunc("DELETE /catalog/relations/{name}", s.handleDrop)
-	mux.HandleFunc("POST /catalog/relations/{name}/insert", s.handleMutate(false))
-	mux.HandleFunc("POST /catalog/relations/{name}/delete", s.handleMutate(true))
-	mux.HandleFunc("POST /views", s.handleCreateView)
-	mux.HandleFunc("GET /views", s.handleListViews)
-	mux.HandleFunc("GET /views/{name}", s.handleGetView)
-	mux.HandleFunc("GET /views/{name}/explain", s.handleExplainView)
-	mux.HandleFunc("DELETE /views/{name}", s.handleDropView)
-	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("POST /admin/resume", s.handleResume)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("POST /explain", s.instrument("/explain", s.handleExplain))
+	mux.HandleFunc("GET /catalog", s.instrument("/catalog", s.handleCatalog))
+	mux.HandleFunc("POST /catalog/relations", s.instrument("/catalog/relations", s.handleRegister))
+	mux.HandleFunc("DELETE /catalog/relations/{name}", s.instrument("/catalog/relations/{name}", s.handleDrop))
+	mux.HandleFunc("POST /catalog/relations/{name}/insert", s.instrument("/catalog/relations/{name}/insert", s.handleMutate(false)))
+	mux.HandleFunc("POST /catalog/relations/{name}/delete", s.instrument("/catalog/relations/{name}/delete", s.handleMutate(true)))
+	mux.HandleFunc("POST /views", s.instrument("/views", s.handleCreateView))
+	mux.HandleFunc("GET /views", s.instrument("/views", s.handleListViews))
+	mux.HandleFunc("GET /views/{name}", s.instrument("/views/{name}", s.handleGetView))
+	mux.HandleFunc("GET /views/{name}/explain", s.instrument("/views/{name}/explain", s.handleExplainView))
+	mux.HandleFunc("DELETE /views/{name}", s.instrument("/views/{name}", s.handleDropView))
+	mux.HandleFunc("POST /admin/checkpoint", s.instrument("/admin/checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("POST /admin/resume", s.instrument("/admin/resume", s.handleResume))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -164,11 +217,13 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	deg, cause, since := s.eng.Degraded()
 	out := map[string]any{
-		"ok":        true,
-		"status":    "ok",
-		"degraded":  deg,
-		"in_flight": len(s.sem),
-		"queued":    len(s.queue),
+		"ok":             true,
+		"status":         "ok",
+		"degraded":       deg,
+		"in_flight":      len(s.sem),
+		"queued":         len(s.queue),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"build":          s.build,
 	}
 	if deg {
 		out["status"] = "degraded"
@@ -177,6 +232,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if ps := s.eng.PersistenceStats(); ps.Enabled {
 		out["persistence"] = ps
+		if ps.LastCheckpointUnix > 0 {
+			out["last_checkpoint_age_seconds"] = time.Since(time.Unix(ps.LastCheckpointUnix, 0)).Seconds()
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -191,7 +249,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, core.ErrNoPersistence) {
 			status = http.StatusConflict
 		}
-		writeError(w, status, "%v", err)
+		s.error(w, r, status, "%v", err)
 		return
 	}
 	deg, _, _ := s.eng.Degraded()
@@ -209,7 +267,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, core.ErrNoPersistence) {
 			status = http.StatusConflict
 		}
-		writeError(w, status, "%v", err)
+		s.error(w, r, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -264,6 +322,9 @@ type queryResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID correlates this failure with the server's logs, traces and
+	// the X-Request-Id response header.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -272,20 +333,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+// error writes a JSON error body carrying the request's correlation ID, so a
+// client-side report ("my insert got a 503, request abc-000042") matches a
+// server-side log line mechanically. Server-fault statuses are logged.
+func (s *Server) error(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
 	// Shedding statuses carry Retry-After: the condition is transient
 	// (queue drains, disk heals) and well-behaved clients should back off,
 	// not hammer.
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	msg := fmt.Sprintf(format, args...)
+	rid := RequestID(r)
+	if status >= 500 {
+		s.log.Error("request failed", "request_id", rid, "status", status,
+			"method", r.Method, "path", r.URL.Path, "error", msg)
+	}
+	writeJSON(w, status, errorResponse{Error: msg, RequestID: rid})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.error(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -349,22 +419,44 @@ func (s *Server) evaluate(r *http.Request, req queryRequest) (*query.Result, err
 		return nil, err
 	}
 	defer s.release()
-	return guardPanic(req.Query, func() (*query.Result, error) {
+	start := time.Now()
+	res, err := guardPanic(s.log, RequestID(r), req.Query, func() (*query.Result, error) {
 		if testHookEvaluate != nil {
 			return testHookEvaluate(ctx, req.Query)
 		}
 		return s.eng.QueryContext(ctx, req.Query)
 	})
+	if err == nil && res != nil {
+		s.noteSlow(r, req.Query, time.Since(start), len(res.Tuples), res.Plan.CacheHit)
+	}
+	return res, err
+}
+
+// noteSlow emits the structured slow-query log record when the evaluation
+// crossed the configured threshold.
+func (s *Server) noteSlow(r *http.Request, q string, elapsed time.Duration, rows int, planCached bool) {
+	if s.slow <= 0 || elapsed < s.slow {
+		return
+	}
+	s.log.Warn("slow query",
+		"request_id", RequestID(r),
+		"query", q,
+		"elapsed_ms", float64(elapsed.Microseconds())/1000,
+		"rows", rows,
+		"plan_cached", planCached,
+		"threshold_ms", float64(s.slow.Microseconds())/1000)
 }
 
 // guardPanic confines a panicking evaluation to its own request: the panic
-// and stack are logged, the caller gets ErrInternal (a 500), and every
-// other in-flight request is untouched. Without it a single poisoned query
-// would tear down the whole connection via net/http's recover.
-func guardPanic[T any](q string, fn func() (T, error)) (out T, err error) {
+// and stack are logged with the request's correlation ID, the caller gets
+// ErrInternal (a 500), and every other in-flight request is untouched.
+// Without it a single poisoned query would tear down the whole connection
+// via net/http's recover.
+func guardPanic[T any](logger *slog.Logger, rid, q string, fn func() (T, error)) (out T, err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			log.Printf("server: query panic (query=%q): %v\n%s", q, v, debug.Stack())
+			logger.Error("query panic",
+				"request_id", rid, "query", q, "panic", fmt.Sprint(v), "stack", string(debug.Stack()))
 			var zero T
 			out, err = zero, fmt.Errorf("%w: query panicked: %v", ErrInternal, v)
 		}
@@ -397,7 +489,7 @@ func statusFor(err error) int {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	start := time.Now()
@@ -407,7 +499,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.evaluate(r, req)
 	if err != nil {
-		writeError(w, statusFor(err), "query failed: %v", err)
+		s.error(w, r, statusFor(err), "query failed: %v", err)
 		return
 	}
 	tuples := res.Tuples
@@ -432,20 +524,21 @@ func (s *Server) handleQueryPage(w http.ResponseWriter, r *http.Request, req que
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 	defer cancel()
 	if err := s.admit(ctx); err != nil {
-		writeError(w, statusFor(err), "query failed: %v", err)
+		s.error(w, r, statusFor(err), "query failed: %v", err)
 		return
 	}
-	res, err := guardPanic(req.Query, func() (catalog.SortedResult, error) {
+	res, err := guardPanic(s.log, RequestID(r), req.Query, func() (catalog.SortedResult, error) {
 		return s.eng.QuerySorted(ctx, req.Query)
 	})
 	s.release()
 	if err != nil {
-		writeError(w, statusFor(err), "query failed: %v", err)
+		s.error(w, r, statusFor(err), "query failed: %v", err)
 		return
 	}
+	s.noteSlow(r, req.Query, time.Since(start), len(res.Tuples), res.PlanCached)
 	tuples, next, err := paginate(res.Tuples, req.Limit, req.Cursor)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.error(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
@@ -497,21 +590,29 @@ type explainResponse struct {
 	Strategies []string `json:"strategies"`
 	Predicted  bool     `json:"predicted"`
 	PlanCache  bool     `json:"plan_cached"`
+	// Analyzed marks an EXPLAIN ANALYZE response: the plan carries measured
+	// per-node times next to the cost model's est|OUT| predictions, and the
+	// phase/budget fields below are populated.
+	Analyzed    bool    `json:"analyzed,omitempty"`
+	PrepareMs   float64 `json:"prepare_ms,omitempty"`
+	ExecMs      float64 `json:"exec_ms,omitempty"`
+	BudgetBytes int64   `json:"budget_bytes,omitempty"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	var plan *query.Plan
 	if req.Analyze {
 		res, err := s.evaluate(r, req)
 		if err != nil {
-			writeError(w, statusFor(err), "explain analyze failed: %v", err)
+			s.error(w, r, statusFor(err), "explain analyze failed: %v", err)
 			return
 		}
 		plan = res.Plan
+		plan.Analyzed = true
 	} else {
 		// Compilation runs the full semijoin reduction (and, for cyclic
 		// queries, bag materialization), so EXPLAIN goes through the same
@@ -519,23 +620,30 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 		defer cancel()
 		if err := s.admit(ctx); err != nil {
-			writeError(w, statusFor(err), "explain failed: %v", err)
+			s.error(w, r, statusFor(err), "explain failed: %v", err)
 			return
 		}
 		p, err := s.eng.ExplainQueryContext(ctx, req.Query)
 		s.release()
 		if err != nil {
-			writeError(w, statusFor(err), "explain failed: %v", err)
+			s.error(w, r, statusFor(err), "explain failed: %v", err)
 			return
 		}
 		plan = p
 	}
-	writeJSON(w, http.StatusOK, explainResponse{
+	out := explainResponse{
 		Plan:       plan.String(),
 		Strategies: plan.Strategies(),
 		Predicted:  plan.Predicted,
 		PlanCache:  plan.CacheHit,
-	})
+	}
+	if plan.Analyzed {
+		out.Analyzed = true
+		out.PrepareMs = float64(plan.PrepareNs) / 1e6
+		out.ExecMs = float64(plan.ExecNs) / 1e6
+		out.BudgetBytes = plan.BudgetBytes
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 type catalogResponse struct {
@@ -576,11 +684,11 @@ type registerRequest struct {
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Name == "" {
-		writeError(w, http.StatusBadRequest, "relation name is required")
+		s.error(w, r, http.StatusBadRequest, "relation name is required")
 		return
 	}
 	// Stats come from the relation we just registered, not a catalog
@@ -589,23 +697,23 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var rel *relation.Relation
 	switch {
 	case req.Path != "":
-		r, err := cat.LoadFile(req.Name, req.Path)
+		loaded, err := cat.LoadFile(req.Name, req.Path)
 		if err != nil {
-			writeError(w, clientStatus(err), "%v", err)
+			s.error(w, r, clientStatus(err), "%v", err)
 			return
 		}
-		rel = r
+		rel = loaded
 	default:
 		ps := make([]relation.Pair, len(req.Pairs))
 		for i, p := range req.Pairs {
 			ps[i] = relation.Pair{X: p[0], Y: p[1]}
 		}
-		r, err := cat.RegisterPairs(req.Name, ps)
+		loaded, err := cat.RegisterPairs(req.Name, ps)
 		if err != nil {
-			writeError(w, clientStatus(err), "%v", err)
+			s.error(w, r, clientStatus(err), "%v", err)
 			return
 		}
-		rel = r
+		rel = loaded
 	}
 	st := rel.Stats()
 	writeJSON(w, http.StatusOK, relationInfo{
@@ -628,11 +736,11 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	present, err := s.eng.Catalog().Drop(name)
 	if err != nil {
 		// A durability-sink veto: the relation still exists, nothing changed.
-		writeError(w, mutationStatus(err), "%v", err)
+		s.error(w, r, mutationStatus(err), "%v", err)
 		return
 	}
 	if !present {
-		writeError(w, http.StatusNotFound, "unknown relation %q", name)
+		s.error(w, r, http.StatusNotFound, "unknown relation %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
@@ -676,7 +784,7 @@ type mutateResponse struct {
 func (s *Server) handleMutate(del bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req mutateRequest
-		if !decodeBody(w, r, &req) {
+		if !s.decodeBody(w, r, &req) {
 			return
 		}
 		name := r.PathValue("name")
@@ -693,7 +801,7 @@ func (s *Server) handleMutate(del bool) http.HandlerFunc {
 			m, err = s.eng.Mutate(name, ps, nil)
 		}
 		if err != nil {
-			writeError(w, mutationStatus(err), "%v", err)
+			s.error(w, r, mutationStatus(err), "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, mutateResponse{
@@ -722,19 +830,19 @@ type viewInfoResponse struct {
 
 func (s *Server) handleCreateView(w http.ResponseWriter, r *http.Request) {
 	var req createViewRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	if err := s.admit(ctx); err != nil {
-		writeError(w, statusFor(err), "create view failed: %v", err)
+		s.error(w, r, statusFor(err), "create view failed: %v", err)
 		return
 	}
 	v, err := s.eng.RegisterView(ctx, req.Name, req.Query)
 	s.release()
 	if err != nil {
-		writeError(w, clientStatus(err), "%v", err)
+		s.error(w, r, clientStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, viewInfoResponse{
@@ -764,14 +872,14 @@ func (s *Server) handleGetView(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	v, ok := s.eng.View(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown view %q", name)
+		s.error(w, r, http.StatusNotFound, "unknown view %q", name)
 		return
 	}
 	limit := 0
 	if lq := r.URL.Query().Get("limit"); lq != "" {
 		n, err := strconv.Atoi(lq)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "malformed limit %q", lq)
+			s.error(w, r, http.StatusBadRequest, "malformed limit %q", lq)
 			return
 		}
 		limit = n
@@ -781,13 +889,13 @@ func (s *Server) handleGetView(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	if err := s.admit(ctx); err != nil {
-		writeError(w, statusFor(err), "%v", err)
+		s.error(w, r, statusFor(err), "%v", err)
 		return
 	}
 	cols, tuples, fresh, err := v.Result(ctx)
 	s.release()
 	if err != nil {
-		writeError(w, statusFor(err), "%v", err)
+		s.error(w, r, statusFor(err), "%v", err)
 		return
 	}
 	total := len(tuples)
@@ -795,7 +903,7 @@ func (s *Server) handleGetView(w http.ResponseWriter, r *http.Request) {
 	if cursor := r.URL.Query().Get("cursor"); limit > 0 || cursor != "" {
 		tuples, next, err = paginate(tuples, limit, cursor)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			s.error(w, r, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
@@ -811,7 +919,7 @@ func (s *Server) handleExplainView(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	v, ok := s.eng.View(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown view %q", name)
+		s.error(w, r, http.StatusNotFound, "unknown view %q", name)
 		return
 	}
 	plan := v.MaintenancePlan()
@@ -827,11 +935,11 @@ func (s *Server) handleDropView(w http.ResponseWriter, r *http.Request) {
 	present, err := s.eng.DropView(name)
 	if err != nil {
 		// A durability-log failure: the view still exists, nothing changed.
-		writeError(w, mutationStatus(err), "%v", err)
+		s.error(w, r, mutationStatus(err), "%v", err)
 		return
 	}
 	if !present {
-		writeError(w, http.StatusNotFound, "unknown view %q", name)
+		s.error(w, r, http.StatusNotFound, "unknown view %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})

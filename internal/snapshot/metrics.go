@@ -1,0 +1,22 @@
+package snapshot
+
+import "repro/internal/obs"
+
+// Snapshot I/O metrics: encode+write and read+decode wall time plus byte
+// volume, so checkpoint cost (checkpoint_seconds in core) can be split into
+// its snapshot-image component vs freeze/manifest/prune overhead, and
+// recovery cost into image load vs WAL replay.
+var (
+	writeSeconds = obs.Default().Histogram(
+		"joinmm_snapshot_write_seconds",
+		"Snapshot image encode + atomic write wall time in seconds.", nil)
+	writtenBytes = obs.Default().Counter(
+		"joinmm_snapshot_written_bytes_total",
+		"Snapshot image bytes written.")
+	loadSeconds = obs.Default().Histogram(
+		"joinmm_snapshot_load_seconds",
+		"Snapshot image read + decode + verify wall time in seconds.", nil)
+	loadedBytes = obs.Default().Counter(
+		"joinmm_snapshot_loaded_bytes_total",
+		"Snapshot image bytes read during recovery.")
+)

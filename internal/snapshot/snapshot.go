@@ -277,11 +277,14 @@ func WriteFS(fsys faultfs.FS, dir string, st *State) (name string, size int, err
 	if err := f.MkdirAll(dir, 0o755); err != nil {
 		return "", 0, fmt.Errorf("snapshot: %w", err)
 	}
+	start := time.Now()
 	name = FileName(st.AppliedLSN)
 	data := Encode(st)
 	if err := atomicWrite(f, dir, name, data); err != nil {
 		return "", 0, err
 	}
+	writeSeconds.ObserveSince(start)
+	writtenBytes.Add(uint64(len(data)))
 	return name, len(data), nil
 }
 
@@ -349,6 +352,7 @@ func Load(dir string, m *Manifest) (*State, error) {
 
 // LoadFS is Load through an injectable filesystem.
 func LoadFS(fsys faultfs.FS, dir string, m *Manifest) (*State, error) {
+	start := time.Now()
 	data, err := faultfs.OrOS(fsys).ReadFile(filepath.Join(dir, m.Snapshot))
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
@@ -360,6 +364,8 @@ func LoadFS(fsys faultfs.FS, dir string, m *Manifest) (*State, error) {
 	if st.AppliedLSN != m.AppliedLSN {
 		return nil, fmt.Errorf("snapshot: image lsn %d disagrees with manifest %d", st.AppliedLSN, m.AppliedLSN)
 	}
+	loadSeconds.ObserveSince(start)
+	loadedBytes.Add(uint64(len(data)))
 	return st, nil
 }
 

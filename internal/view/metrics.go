@@ -1,0 +1,26 @@
+package view
+
+import "repro/internal/obs"
+
+// View-maintenance metrics: one histogram observation per applied delta (or
+// full refresh) and one strategy counter bump per maintenance decision, so
+// the incremental-vs-recompute and MM-vs-WCOJ delta choices are visible
+// live. mode labels the maintenance path; strategy labels the per-delta
+// algorithm choice.
+var (
+	maintainSeconds = obs.Default().HistogramVec(
+		"joinmm_view_maintenance_seconds",
+		"View maintenance wall time per applied base-relation delta, by mode.",
+		nil, "mode")
+	maintainIncremental = maintainSeconds.With("incremental")
+	maintainRefresh     = maintainSeconds.With("refresh")
+
+	deltaStrategy = obs.Default().CounterVec(
+		"joinmm_view_delta_strategy_total",
+		"Per-delta maintenance strategy choices (kernel mm/wcoj, backtrack, full refresh).",
+		"strategy")
+	stratKernelMM   = deltaStrategy.With("kernel_mm")
+	stratKernelWCOJ = deltaStrategy.With("kernel_wcoj")
+	stratBacktrack  = deltaStrategy.With("backtrack")
+	stratRefresh    = deltaStrategy.With("refresh")
+)

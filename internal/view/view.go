@@ -185,6 +185,7 @@ func (v *View) applyMutation(name string, old, next *relation.Relation, added, r
 			if len(added)+len(removed) > 0 {
 				v.lastStrats = append(v.lastStrats,
 					fmt.Sprintf("Δ%s slot=%d wcoj |Δ|=%d", name, j, len(added)+len(removed)))
+				stratBacktrack.Inc()
 			}
 			v.backtrackDelta(j, added, +1, relFor)
 			v.backtrackDelta(j, removed, -1, relFor)
@@ -193,6 +194,7 @@ func (v *View) applyMutation(name string, old, next *relation.Relation, added, r
 	v.cur[name] = next
 	v.updates++
 	v.lastDur = time.Since(start)
+	maintainIncremental.Observe(v.lastDur.Seconds())
 	v.dirty = true
 }
 
@@ -284,6 +286,11 @@ func (v *View) twoPathKernelDelta(j int, added, removed []relation.Pair, other *
 		}
 		v.lastStrats = append(v.lastStrats,
 			fmt.Sprintf("Δ%s slot=%d %s |Δ|=%d", sj.rel, j, strat, delta.Size()))
+		if strat == "mm" {
+			stratKernelMM.Inc()
+		} else {
+			stratKernelWCOJ.Inc()
+		}
 		head := make([]int32, len(plan.headVars))
 		for _, pc := range joinproject.TwoPathMMCounts(delta, otherOriented, jopt) {
 			head[posJ], head[posO] = pc.X, pc.Z
@@ -480,6 +487,8 @@ func (v *View) refreshLocked(ctx context.Context) error {
 	v.updates++
 	v.lastDur = time.Since(start)
 	v.lastStrats = []string{"full refresh"}
+	maintainRefresh.Observe(v.lastDur.Seconds())
+	stratRefresh.Inc()
 	return nil
 }
 

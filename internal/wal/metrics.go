@@ -1,0 +1,19 @@
+package wal
+
+import "repro/internal/obs"
+
+// Durability latency metrics, instrumented at the append path itself so a
+// slow or failing disk is visible live. Fsync latency is only observed under
+// FsyncAlways (the policy where it sits on the commit path); batched flushes
+// are timed as part of the flush loop's sync.
+var (
+	appendSeconds = obs.Default().Histogram(
+		"joinmm_wal_append_seconds",
+		"WAL append latency (frame write + policy fsync) in seconds.", nil)
+	fsyncSeconds = obs.Default().Histogram(
+		"joinmm_wal_fsync_seconds",
+		"WAL fsync latency in seconds.", nil)
+	appendErrors = obs.Default().Counter(
+		"joinmm_wal_append_errors_total",
+		"WAL appends that failed (write or fsync), before retry.")
+)

@@ -339,22 +339,28 @@ func (w *WAL) Append(r *Record) (uint64, error) {
 			return 0, err
 		}
 	}
+	start := time.Now()
 	if _, err := w.f.Write(frame); err != nil {
 		w.repairAfterFault()
+		appendErrors.Inc()
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if w.opts.Policy == FsyncAlways {
+		syncStart := time.Now()
 		if err := w.f.Sync(); err != nil {
 			// The frame may or may not have reached the platter; either way
 			// it is un-acked and must not survive, so truncate it away.
 			w.repairAfterFault()
+			appendErrors.Inc()
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
+		fsyncSeconds.ObserveSince(syncStart)
 		w.dirty = false
 		w.syncs++
 	} else {
 		w.dirty = true
 	}
+	appendSeconds.ObserveSince(start)
 	lsn := w.nextLSN
 	w.nextLSN++
 	w.size += int64(len(frame))
@@ -472,9 +478,11 @@ func (w *WAL) syncLocked() error {
 	if !w.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	fsyncSeconds.ObserveSince(start)
 	w.dirty = false
 	w.syncs++
 	return nil
