@@ -1,13 +1,15 @@
 // Command joinmmd serves the join-project query engine over HTTP/JSON:
 // text queries, EXPLAIN (and EXPLAIN ANALYZE), catalog management,
 // tuple-level mutations, live incrementally-maintained views, durable state
-// under a data dir, and runtime observability surfaces (/metrics, /healthz,
-// optional /debug/pprof) — see internal/server for the endpoint reference.
+// under a data dir, WAL-shipping replication to read-only followers, and
+// runtime observability surfaces (/metrics, /healthz, optional
+// /debug/pprof) — see internal/server for the endpoint reference.
 //
 // Usage:
 //
 //	joinmmd -addr :8080 -load R=friends.rel -load S=follows.rel
 //	joinmmd -addr :8080 -data-dir /var/lib/joinmmd -fsync always
+//	joinmmd -addr :8081 -replicate-from http://primary:8080
 //	curl -d '{"query": "Q(x, z) :- R(x, y), S(y, z)"}' localhost:8080/query
 //	curl -d '{"name": "v", "query": "V(x, z) :- R(x, y), S(y, z)"}' localhost:8080/views
 //	curl -d '{"pairs": [[1, 2]]}' localhost:8080/catalog/relations/R/insert
@@ -33,7 +35,15 @@
 //	                           skipped — the durable state wins over the seed file
 //	-data-dir                  durability directory: state is recovered from it on
 //	                           start (snapshot + WAL replay) and every mutation is
-//	                           write-ahead logged to it ("" = ephemeral)
+//	                           write-ahead logged to it ("" = ephemeral); a node
+//	                           with a data dir also serves /repl/* so followers
+//	                           can replicate from it
+//	-replicate-from            primary base URL: run as a read-only follower that
+//	                           bootstraps from the primary's snapshot and tails
+//	                           its WAL; mutations answer 503 pointing at the
+//	                           primary; incompatible with -data-dir and -load
+//	-repl-poll-interval        how often a caught-up follower re-polls the
+//	                           primary (default 500ms; steady-state lag bound)
 //	-fsync                     WAL fsync policy: always|interval|never (default always)
 //	-fsync-interval            fsync period under -fsync interval (default 100ms)
 //	-checkpoint-every          automatic checkpoint after N logged mutation batches
@@ -145,6 +155,8 @@ func run() error {
 		ckptEvery   = flag.Int("checkpoint-every", 0, "automatic checkpoint after N logged mutation batches (0 = defer to -checkpoint-replay-target)")
 		ckptReplay  = flag.Duration("checkpoint-replay-target", 2*time.Second, "checkpoint when estimated WAL replay cost exceeds this (0 = no automatic checkpoints)")
 		degPolicy   = flag.String("degraded-policy", "readonly", "on persistent WAL failure: readonly (serve reads, 503 mutations) or exit (shut down for failover)")
+		replFrom    = flag.String("replicate-from", "", "primary base URL; runs this node as a read-only follower that bootstraps from the primary's snapshot and tails its WAL (\"\" = primary)")
+		replPoll    = flag.Duration("repl-poll-interval", 500*time.Millisecond, "how often a caught-up follower re-polls the primary (steady-state lag bound)")
 		slowQuery   = flag.Duration("slow-query-threshold", 0, "log a structured warning for queries at or above this duration (0 = disabled)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logFormat   = flag.String("log-format", "text", "log output format: text|json")
@@ -176,6 +188,17 @@ func run() error {
 	}
 	logger := slog.New(handler)
 	slog.SetDefault(logger)
+
+	if *replFrom != "" {
+		// A follower keeps no WAL (its durability is the primary's) and
+		// takes no seed files (its state is the primary's).
+		if *dataDir != "" {
+			return fmt.Errorf("-replicate-from is incompatible with -data-dir: a follower keeps no local durability")
+		}
+		if len(loads) > 0 {
+			return fmt.Errorf("-replicate-from is incompatible with -load: a follower's state is the primary's")
+		}
+	}
 
 	eng := core.NewEngine(core.WithWorkers(*workers), core.WithQueryBudget(*maxQBytes, 0))
 	degradeCh := make(chan error, 1)
@@ -235,10 +258,21 @@ func run() error {
 				"already_recovered", skipped)
 		}
 	}
+	var replica *core.Replica
+	if *replFrom != "" {
+		var err error
+		replica, err = eng.StartReplica(*replFrom, core.ReplicaOptions{
+			PollInterval: *replPoll, Logger: logger,
+		})
+		if err != nil {
+			return fmt.Errorf("invalid -replicate-from: %w", err)
+		}
+		logger.Info("replicating from primary", "primary", *replFrom, "poll_interval", replPoll.String())
+	}
 	s := server.New(server.Config{
 		Engine: eng, Timeout: *timeout, MaxInFlight: *inflight, QueueDepth: *queueDepth,
 		Logger: logger, SlowQueryThreshold: *slowQuery, EnablePprof: *pprofOn,
-		Build: build,
+		Build: build, Replica: replica,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -288,6 +322,9 @@ func run() error {
 	}
 	if err := s.Drain(shutdownCtx); err != nil {
 		logger.Error("drain", "error", err)
+	}
+	if replica != nil {
+		replica.Stop()
 	}
 	if err := eng.Close(); err != nil && degradeErr == nil {
 		return fmt.Errorf("closing wal: %w", err)

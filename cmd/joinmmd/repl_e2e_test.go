@@ -1,0 +1,245 @@
+package main
+
+// Multi-process replication end-to-end test: a real primary process with a
+// data dir, a real follower process started with -replicate-from, write load
+// on the primary, a SIGKILL of the primary mid-load, and a restart on the
+// same dir and address. The follower must keep serving reads (and rejecting
+// writes) throughout, converge to exact equality once the primary is back,
+// and report zero lag.
+
+import (
+	"math/rand"
+	"net"
+	"net/http"
+	"os/exec"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort reserves a kernel-chosen TCP port and releases it for the process
+// under test. The primary needs a FIXED address so it can be killed and
+// restarted without the follower losing track of it.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// replStatus mirrors the replication section of the follower's /healthz.
+type replStatus struct {
+	State      string  `json:"state"`
+	AppliedLSN uint64  `json:"applied_lsn"`
+	LagRecords uint64  `json:"lag_records"`
+	LagSeconds float64 `json:"lag_seconds"`
+	CaughtUp   bool    `json:"caught_up"`
+	Bootstraps uint64  `json:"bootstraps"`
+}
+
+func followerRepl(t *testing.T, base string) replStatus {
+	t.Helper()
+	var out struct {
+		Role        string     `json:"role"`
+		Replication replStatus `json:"replication"`
+	}
+	if code := getJSON(t, base, "/healthz", &out); code != http.StatusOK {
+		t.Fatalf("follower healthz: status %d", code)
+	}
+	if out.Role != "replica" {
+		t.Fatalf("follower role %q", out.Role)
+	}
+	return out.Replication
+}
+
+// waitReplConverged polls until the follower has applied everything the
+// primary's /repl/status reports and says it is caught up.
+func waitReplConverged(t *testing.T, primaryBase, followerBase string) replStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var src struct {
+			NextLSN uint64 `json:"next_lsn"`
+		}
+		if code := getJSON(t, primaryBase, "/repl/status", &src); code == http.StatusOK {
+			st := followerRepl(t, followerBase)
+			if st.CaughtUp && st.AppliedLSN == src.NextLSN-1 {
+				return st
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged with primary")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestReplicationKillPrimaryMidLoad(t *testing.T) {
+	dir := t.TempDir()
+	addr := freePort(t)
+	primaryArgs := []string{"-addr", addr, "-data-dir", dir, "-fsync", "always"}
+	primary := startProc(t, primaryArgs...)
+
+	rng := rand.New(rand.NewSource(99))
+	pairs := func(n int) [][2]int32 {
+		out := make([][2]int32, n)
+		for i := range out {
+			out[i] = [2]int32{rng.Int31n(20), rng.Int31n(20)}
+		}
+		return out
+	}
+	for _, rel := range []string{"R", "S"} {
+		if code := postJSON(t, primary.base, "/catalog/relations", map[string]any{"name": rel, "pairs": pairs(40)}, nil); code != http.StatusOK {
+			t.Fatalf("register %s: status %d", rel, code)
+		}
+	}
+	if code := postJSON(t, primary.base, "/views", map[string]any{"name": "vp", "query": "VP(x, z) :- R(x, y), S(y, z)"}, nil); code != http.StatusOK {
+		t.Fatalf("create view: status %d", code)
+	}
+
+	follower := startProc(t, "-replicate-from", primary.base, "-repl-poll-interval", "10ms")
+	waitReplConverged(t, primary.base, follower.base)
+
+	// First half of the load, every batch acked by the primary.
+	batch := func(i int) bool {
+		rel := []string{"R", "S"}[i%2]
+		code := postJSON(t, primary.base, "/catalog/relations/"+rel+"/insert", map[string]any{"pairs": pairs(5)}, nil)
+		return code == http.StatusOK
+	}
+	for i := 0; i < 8; i++ {
+		if !batch(i) {
+			t.Fatalf("batch %d rejected by healthy primary", i)
+		}
+	}
+
+	// Kill the primary mid-load: no drain, no WAL close.
+	if err := primary.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = primary.cmd.Process.Wait()
+
+	// The follower keeps serving reads off its replicated state while the
+	// primary is gone, and still points writers at the (dead) primary.
+	var q struct {
+		Tuples [][]int64 `json:"tuples"`
+	}
+	if code := postJSON(t, follower.base, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, &q); code != http.StatusOK {
+		t.Fatalf("follower query while primary down: status %d", code)
+	}
+	if len(q.Tuples) == 0 {
+		t.Fatal("follower query returned nothing while primary down")
+	}
+	resp, err := http.Post(follower.base+"/catalog/relations/R/insert", "application/json", strings.NewReader(`{"pairs":[[1,1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower accepted a write while primary down: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Repl-Primary"); got != primary.base {
+		t.Fatalf("X-Repl-Primary = %q, want %q", got, primary.base)
+	}
+
+	// Restart the primary on the same dir and address; it recovers every
+	// acked batch, and the follower resumes tailing the same URL.
+	primary2 := startProc(t, primaryArgs...)
+	if !strings.Contains(primary2.logText(), `msg="recovered data dir"`) {
+		t.Fatalf("restart did not recover:\n%s", primary2.logText())
+	}
+	for i := 8; i < 15; i++ {
+		if !batch(i) {
+			t.Fatalf("batch %d rejected by restarted primary", i)
+		}
+	}
+	st := waitReplConverged(t, primary2.base, follower.base)
+	if st.LagRecords != 0 {
+		t.Fatalf("converged lag_records = %d", st.LagRecords)
+	}
+	if st.State != "tailing" {
+		t.Fatalf("converged state = %q", st.State)
+	}
+
+	// Exact equality across processes: ad-hoc join and the maintained view,
+	// which must still be incrementally fresh on the follower.
+	for _, query := range []string{
+		"Q(x, z) :- R(x, y), S(y, z)",
+		"Q(x, COUNT(z)) :- R(x, y), S(y, z)",
+	} {
+		var pq, fq struct {
+			Tuples [][]int64 `json:"tuples"`
+		}
+		if code := postJSON(t, primary2.base, "/query", map[string]any{"query": query}, &pq); code != http.StatusOK {
+			t.Fatalf("primary query: status %d", code)
+		}
+		if code := postJSON(t, follower.base, "/query", map[string]any{"query": query}, &fq); code != http.StatusOK {
+			t.Fatalf("follower query: status %d", code)
+		}
+		sortTuples(pq.Tuples)
+		sortTuples(fq.Tuples)
+		if !reflect.DeepEqual(pq.Tuples, fq.Tuples) {
+			t.Fatalf("query %q diverged: primary %d tuples, follower %d", query, len(pq.Tuples), len(fq.Tuples))
+		}
+	}
+	var pv, fv viewResult
+	if code := getJSON(t, primary2.base, "/views/vp", &pv); code != http.StatusOK {
+		t.Fatalf("primary view: status %d", code)
+	}
+	if code := getJSON(t, follower.base, "/views/vp", &fv); code != http.StatusOK {
+		t.Fatalf("follower view: status %d", code)
+	}
+	sortTuples(pv.Tuples)
+	sortTuples(fv.Tuples)
+	if !reflect.DeepEqual(pv.Tuples, fv.Tuples) {
+		t.Fatalf("view diverged: primary %d tuples, follower %d", len(pv.Tuples), len(fv.Tuples))
+	}
+	if fv.Freshness.Mode != "incremental" {
+		t.Fatalf("follower view mode %q, want incremental", fv.Freshness.Mode)
+	}
+
+	// Clean follower shutdown: the replica loop stops before the engine
+	// closes.
+	if err := follower.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := waitExit(t, follower); code != 0 {
+		t.Fatalf("follower exit %d after SIGTERM; logs:\n%s", code, follower.logText())
+	}
+	_ = primary2.cmd.Process.Signal(syscall.SIGTERM)
+	if code := waitExit(t, primary2); code != 0 {
+		t.Fatalf("primary exit %d after SIGTERM", code)
+	}
+}
+
+// TestReplicateFromFlagValidation covers the follower flag contract without
+// booting a primary.
+func TestReplicateFromFlagValidation(t *testing.T) {
+	bin := buildBinary(t)
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-replicate-from", "http://127.0.0.1:1", "-data-dir", t.TempDir()}, "-replicate-from is incompatible with -data-dir"},
+		{[]string{"-replicate-from", "not a url"}, "invalid -replicate-from"},
+	} {
+		out, err := runBinary(bin, tc.args...)
+		if err == nil {
+			t.Fatalf("args %v: exited 0, want failure", tc.args)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("args %v: output %q does not mention %q", tc.args, out, tc.want)
+		}
+	}
+}
+
+// runBinary runs the built binary to completion and returns combined output.
+func runBinary(bin string, args ...string) (string, error) {
+	out, err := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...).CombinedOutput()
+	return string(out), err
+}

@@ -16,10 +16,14 @@
 package catalog
 
 import (
+	"bytes"
 	"container/list"
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,6 +68,22 @@ type Mutation struct {
 	Version uint64
 	// Epoch is the catalog epoch after the change.
 	Epoch uint64
+	// Origin, when non-nil on a Reset registration, identifies the file the
+	// relation was loaded from — the durability sink may log the reference
+	// instead of the full tuple image.
+	Origin *FileOrigin
+}
+
+// FileOrigin identifies the source file of a LoadFile registration: enough
+// for a durability sink to log a ~100-byte reference (and verify it on
+// replay) instead of re-serializing the whole relation.
+type FileOrigin struct {
+	// Path is the absolute path the relation was read from.
+	Path string
+	// SHA256 is the digest of the file's bytes at load time.
+	SHA256 [sha256.Size]byte
+	// Tuples is the loaded relation's size, a cheap replay cross-check.
+	Tuples uint64
 }
 
 // Empty reports whether the mutation changed nothing (fully coalesced away).
@@ -216,6 +236,12 @@ func (c *Catalog) notify(m Mutation) {
 // Register binds name to r, replacing any existing binding. Subscribers see
 // it as a Reset mutation (no tuple delta).
 func (c *Catalog) Register(name string, r *relation.Relation) error {
+	return c.registerOrigin(name, r, nil)
+}
+
+// registerOrigin is Register carrying an optional file origin for the
+// durability sink.
+func (c *Catalog) registerOrigin(name string, r *relation.Relation, origin *FileOrigin) error {
 	if name == "" {
 		return fmt.Errorf("catalog: empty relation name")
 	}
@@ -225,11 +251,11 @@ func (c *Catalog) Register(name string, r *relation.Relation) error {
 	c.mutMu.Lock()
 	defer c.mutMu.Unlock()
 	old, _ := c.Get(name)
-	if err := c.logMutation(Mutation{Name: name, Reset: true, Old: old, New: r}); err != nil {
+	if err := c.logMutation(Mutation{Name: name, Reset: true, Old: old, New: r, Origin: origin}); err != nil {
 		return fmt.Errorf("catalog: register %q: %w", name, err)
 	}
 	ver, epoch := c.mutate(func(m map[string]*relation.Relation) { m[name] = r }, name)
-	c.notify(Mutation{Name: name, Reset: true, Old: old, New: r, Version: ver, Epoch: epoch})
+	c.notify(Mutation{Name: name, Reset: true, Old: old, New: r, Version: ver, Epoch: epoch, Origin: origin})
 	return nil
 }
 
@@ -373,13 +399,25 @@ func (c *Catalog) List() []Info {
 }
 
 // LoadFile reads a relation from a file written by (*Relation).Save and
-// registers it under name, returning the loaded relation.
+// registers it under name, returning the loaded relation. The registration
+// carries the file's absolute path, SHA-256 and tuple count as its origin,
+// so a durability sink can log the ~100-byte reference instead of the full
+// tuple image (replay re-reads the file and verifies the digest).
 func (c *Catalog) LoadFile(name, path string) (*relation.Relation, error) {
-	r, err := relation.Load(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
 	}
-	if err := c.Register(name, r); err != nil {
+	r, err := relation.ReadFrom(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: load %q: %s: %w", name, path, err)
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	origin := &FileOrigin{Path: abs, SHA256: sha256.Sum256(data), Tuples: uint64(r.Size())}
+	if err := c.registerOrigin(name, r, origin); err != nil {
 		return nil, err
 	}
 	return r, nil

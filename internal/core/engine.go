@@ -115,6 +115,7 @@ type Engine struct {
 
 	pmu     sync.Mutex
 	persist *persistence // durability layer; nil until Open
+	replica *Replica     // follower loop; nil unless StartReplica
 }
 
 // NewEngine builds an engine; calibration of the optimizer's machine

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -197,6 +200,14 @@ type persistence struct {
 func (p *persistence) LogMutation(m catalog.Mutation) error {
 	rec := &wal.Record{Name: m.Name}
 	switch {
+	case m.Reset && m.New != nil && m.Origin != nil:
+		// A file-backed registration logs the ~100-byte path+hash reference
+		// instead of the full tuple image, keeping the log (and shipped
+		// replication segments) small; replay re-reads and verifies the file.
+		rec.Kind = wal.KindRegisterFile
+		rec.Path = m.Origin.Path
+		rec.Hash = m.Origin.SHA256[:]
+		rec.Tuples = m.Origin.Tuples
 	case m.Reset && m.New != nil:
 		rec.Kind = wal.KindRegister
 		rec.Pairs = m.New.Pairs()
@@ -374,25 +385,8 @@ func (e *Engine) Open(dir string, opts PersistOptions) error {
 		if err != nil {
 			return fmt.Errorf("core: open %s: %w", dir, err)
 		}
-		rec.SnapshotLSN = st.AppliedLSN
-		for _, r := range st.Relations {
-			// Images decode strictly sorted, so index rebuild skips a sort.
-			if err := e.cat.Register(r.Name, relation.FromSortedPairs(r.Name, r.Pairs)); err != nil {
-				return fmt.Errorf("core: restore relation %q: %w", r.Name, err)
-			}
-			rec.RestoredRelations++
-		}
-		for _, v := range st.Views {
-			entries := make([]view.StateEntry, len(v.Entries))
-			for i, t := range v.Entries {
-				entries[i] = view.StateEntry{Vals: t.Vals, Count: t.Count}
-			}
-			if err := e.views.Restore(view.State{
-				Name: v.Name, Text: v.Text, Incremental: v.Incremental, Entries: entries,
-			}); err != nil {
-				return fmt.Errorf("core: restore view %q: %w", v.Name, err)
-			}
-			rec.RestoredViews++
+		if err := e.restoreSnapshot(st, &rec); err != nil {
+			return err
 		}
 	}
 
@@ -432,6 +426,32 @@ func (e *Engine) Open(dir string, opts PersistOptions) error {
 	return nil
 }
 
+// restoreSnapshot loads a decoded snapshot state into an empty engine —
+// shared by recovery (Open) and replica bootstrap.
+func (e *Engine) restoreSnapshot(st *snapshot.State, rec *RecoveryStats) error {
+	rec.SnapshotLSN = st.AppliedLSN
+	for _, r := range st.Relations {
+		// Images decode strictly sorted, so index rebuild skips a sort.
+		if err := e.cat.Register(r.Name, relation.FromSortedPairs(r.Name, r.Pairs)); err != nil {
+			return fmt.Errorf("core: restore relation %q: %w", r.Name, err)
+		}
+		rec.RestoredRelations++
+	}
+	for _, v := range st.Views {
+		entries := make([]view.StateEntry, len(v.Entries))
+		for i, t := range v.Entries {
+			entries[i] = view.StateEntry{Vals: t.Vals, Count: t.Count}
+		}
+		if err := e.views.Restore(view.State{
+			Name: v.Name, Text: v.Text, Incremental: v.Incremental, Entries: entries,
+		}); err != nil {
+			return fmt.Errorf("core: restore view %q: %w", v.Name, err)
+		}
+		rec.RestoredViews++
+	}
+	return nil
+}
+
 // applyRecord replays one WAL record through the engine.
 func (e *Engine) applyRecord(r *wal.Record, rec *RecoveryStats) error {
 	switch r.Kind {
@@ -446,6 +466,28 @@ func (e *Engine) applyRecord(r *wal.Record, rec *RecoveryStats) error {
 		}
 	case wal.KindDrop:
 		if _, err := e.cat.Drop(r.Name); err != nil {
+			return err
+		}
+	case wal.KindRegisterFile:
+		// The log holds a path+hash reference, not the tuples: re-read the
+		// source file and verify it is byte-identical to what was loaded.
+		// A missing or changed file is a loud failure — silently registering
+		// different data would corrupt acked state.
+		data, err := os.ReadFile(r.Path)
+		if err != nil {
+			return fmt.Errorf("core: replaying file registration %q: %w", r.Name, err)
+		}
+		if sum := sha256.Sum256(data); !bytes.Equal(sum[:], r.Hash) {
+			return fmt.Errorf("core: replaying file registration %q: %s changed since it was logged (SHA-256 mismatch)", r.Name, r.Path)
+		}
+		rel, err := relation.ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("core: replaying file registration %q: %s: %w", r.Name, r.Path, err)
+		}
+		if uint64(rel.Size()) != r.Tuples {
+			return fmt.Errorf("core: replaying file registration %q: %s decoded %d tuples, logged %d", r.Name, r.Path, rel.Size(), r.Tuples)
+		}
+		if err := e.cat.Register(r.Name, rel); err != nil {
 			return err
 		}
 	case wal.KindRegisterView:

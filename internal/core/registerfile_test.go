@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// saveRelation writes a relation file a LoadFile can read back.
+func saveRelation(t *testing.T, name, path string, ps []relation.Pair) {
+	t.Helper()
+	if err := relation.FromPairs(name, ps).Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walKinds lists the record kinds in dir's WAL, in LSN order.
+func walKinds(t *testing.T, dir string) []byte {
+	t.Helper()
+	var kinds []byte
+	if err := wal.ReplayFS(nil, dir, 0, func(lsn uint64, r *wal.Record) error {
+		kinds = append(kinds, r.Kind)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return kinds
+}
+
+func TestLoadFileLogsPathHashNotImage(t *testing.T) {
+	dir := t.TempDir()
+	ps := randPairs(rand.New(rand.NewSource(5)), 500, 100)
+	file := filepath.Join(t.TempDir(), "r.jmmr")
+	saveRelation(t, "R", file, ps)
+
+	e := NewEngine()
+	if err := e.Open(dir, PersistOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := e.Catalog().LoadFile("R", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Mutate("R", []relation.Pair{{X: 1000, Y: 1000}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log holds the ~100-byte file reference, not the tuple image.
+	kinds := walKinds(t, dir)
+	if len(kinds) != 2 || kinds[0] != wal.KindRegisterFile || kinds[1] != wal.KindMutate {
+		t.Fatalf("wal kinds = %v, want [RegisterFile Mutate]", kinds)
+	}
+	var logged *wal.Record
+	if err := wal.ReplayFS(nil, dir, 0, func(lsn uint64, r *wal.Record) error {
+		if r.Kind == wal.KindRegisterFile {
+			logged = r
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if logged.Tuples != uint64(loaded.Size()) {
+		t.Fatalf("logged %d tuples, loaded %d", logged.Tuples, loaded.Size())
+	}
+	if !filepath.IsAbs(logged.Path) {
+		t.Fatalf("logged path %q not absolute", logged.Path)
+	}
+
+	// Recovery re-reads the file and lands on the identical state.
+	e2 := NewEngine()
+	if err := e2.Open(dir, PersistOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	r2, ok := e2.Catalog().Get("R")
+	if !ok {
+		t.Fatal("R missing after recovery")
+	}
+	want := append(loaded.Pairs(), relation.Pair{X: 1000, Y: 1000})
+	got := r2.Pairs()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d pairs, want %d", len(got), len(want))
+	}
+}
+
+func TestLoadFileReplayFailsLoudly(t *testing.T) {
+	ps := randPairs(rand.New(rand.NewSource(9)), 50, 30)
+
+	t.Run("tampered", func(t *testing.T) {
+		dir := t.TempDir()
+		file := filepath.Join(t.TempDir(), "r.jmmr")
+		saveRelation(t, "R", file, ps)
+		e := NewEngine()
+		if err := e.Open(dir, PersistOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Catalog().LoadFile("R", file); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Swap the file for different (but still valid) contents.
+		saveRelation(t, "R", file, randPairs(rand.New(rand.NewSource(10)), 50, 30))
+		err := NewEngine().Open(dir, PersistOptions{})
+		if err == nil || !strings.Contains(err.Error(), "SHA-256 mismatch") {
+			t.Fatalf("tampered replay: %v, want SHA-256 mismatch", err)
+		}
+	})
+
+	t.Run("missing", func(t *testing.T) {
+		dir := t.TempDir()
+		file := filepath.Join(t.TempDir(), "r.jmmr")
+		saveRelation(t, "R", file, ps)
+		e := NewEngine()
+		if err := e.Open(dir, PersistOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Catalog().LoadFile("R", file); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(file); err != nil {
+			t.Fatal(err)
+		}
+		if err := NewEngine().Open(dir, PersistOptions{}); err == nil {
+			t.Fatal("replay with the source file missing succeeded")
+		}
+	})
+
+	t.Run("checkpoint-folds-the-file-away", func(t *testing.T) {
+		// After a checkpoint the relation lives in the snapshot; deleting
+		// the source file must no longer break recovery.
+		dir := t.TempDir()
+		file := filepath.Join(t.TempDir(), "r.jmmr")
+		saveRelation(t, "R", file, ps)
+		e := NewEngine()
+		if err := e.Open(dir, PersistOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := e.Catalog().LoadFile("R", file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(file); err != nil {
+			t.Fatal(err)
+		}
+		e2 := NewEngine()
+		if err := e2.Open(dir, PersistOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		defer e2.Close()
+		r2, ok := e2.Catalog().Get("R")
+		if !ok || !reflect.DeepEqual(r2.Pairs(), loaded.Pairs()) {
+			t.Fatal("post-checkpoint recovery diverged")
+		}
+	})
+}
+
+// TestRegisterFileUpgradeReadsOldForm replays a log written before
+// KindRegisterFile existed: file-loaded relations were logged as plain
+// KindRegister full images. Those logs must keep recovering unchanged.
+func TestRegisterFileUpgradeReadsOldForm(t *testing.T) {
+	dir := t.TempDir()
+	ps := randPairs(rand.New(rand.NewSource(12)), 80, 40)
+	// Write the old record form directly: a full image registration for a
+	// relation that (in an old binary) came from LoadFile.
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := relation.FromPairs("R", ps)
+	if _, err := w.Append(&wal.Record{Kind: wal.KindRegister, Name: "R", Pairs: img.Pairs()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(&wal.Record{Kind: wal.KindMutate, Name: "R", Added: []relation.Pair{{X: 999, Y: 999}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEngine()
+	if err := e.Open(dir, PersistOptions{}); err != nil {
+		t.Fatalf("old-form log failed to recover: %v", err)
+	}
+	defer e.Close()
+	r, ok := e.Catalog().Get("R")
+	if !ok {
+		t.Fatal("R missing after old-form recovery")
+	}
+	if r.Size() != img.Size()+1 {
+		t.Fatalf("recovered %d pairs, want %d", r.Size(), img.Size()+1)
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+var replTortureSchedules = flag.Int("repl-torture.schedules", 200,
+	"number of seeded replication torture schedules to run")
+
+// chaosTransport is a fault-injecting http.RoundTripper for the follower's
+// poll loop: it drops whole requests and truncates response bodies, both
+// from a seeded rng, until healed.
+type chaosTransport struct {
+	inner  http.RoundTripper
+	mu     sync.Mutex
+	rng    *rand.Rand
+	failP  float64
+	truncP float64
+	healed bool
+}
+
+func (c *chaosTransport) heal() {
+	c.mu.Lock()
+	c.healed = true
+	c.mu.Unlock()
+}
+
+func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.mu.Lock()
+	fail := !c.healed && c.rng.Float64() < c.failP
+	trunc := !c.healed && c.rng.Float64() < c.truncP
+	c.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("chaos: injected connection failure to %s", req.URL.Path)
+	}
+	resp, err := c.inner.RoundTrip(req)
+	if err != nil || !trunc {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > 0 {
+		c.mu.Lock()
+		n := c.rng.Intn(len(body))
+		c.mu.Unlock()
+		body = body[:n]
+	}
+	// A "clean" truncation: Content-Length matches the cut body, so the
+	// client reads it without a transport error and the stream decoder (or
+	// snapshot CRC) must catch the damage itself.
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(body)))
+	return resp, nil
+}
+
+// chain3Across is π_{a,d} R(a,b) ⋈ S(b,c) ⋈ U(c,d) by nested loops.
+func (o *oracleState) chain3Across(r, s, u string) [][]int64 {
+	seen := map[[2]int64]bool{}
+	for rp := range o.rels[r] {
+		for sp := range o.rels[s] {
+			if rp.Y != sp.X {
+				continue
+			}
+			for up := range o.rels[u] {
+				if sp.Y == up.X {
+					seen[[2]int64{int64(rp.X), int64(up.Y)}] = true
+				}
+			}
+		}
+	}
+	return setToTuples(seen)
+}
+
+// star3 is π_{a,b,c} R(a,y) ⋈ S(b,y) ⋈ U(c,y) by nested loops, sorted
+// lexicographically to match sortedViewTuples.
+func (o *oracleState) star3(r, s, u string) [][]int64 {
+	seen := map[[3]int64]bool{}
+	for rp := range o.rels[r] {
+		for sp := range o.rels[s] {
+			if rp.Y != sp.Y {
+				continue
+			}
+			for up := range o.rels[u] {
+				if up.Y == rp.Y {
+					seen[[3]int64{int64(rp.X), int64(sp.X), int64(up.X)}] = true
+				}
+			}
+		}
+	}
+	out := make([][]int64, 0, len(seen))
+	for t := range seen {
+		out = append(out, []int64{t[0], t[1], t[2]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// TestReplTortureSchedules drives seeded schedules of mutation load on a
+// live primary while a follower tails it through injected faults on both
+// sides: scripted and random disk faults on the primary's WAL, dropped and
+// truncated replication responses on the wire, history truncation under the
+// follower's feet (checkpoints), primary crash-restarts, and follower
+// kill-restarts. After healing, the follower's catalog and all three view
+// shapes (2-chain, 3-chain, 3-star) must equal the primary's exactly and
+// agree with a nested-loop oracle, every view must still be in incremental
+// mode (no refresh fallback), and reported lag must be zero.
+func TestReplTortureSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite is not -short")
+	}
+	n := *replTortureSchedules
+	for i := 0; i < n; i++ {
+		i := i
+		t.Run(fmt.Sprintf("schedule%03d", i), func(t *testing.T) {
+			replTortureSchedule(t, int64(2000+i))
+		})
+	}
+}
+
+func replTortureSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	popts := PersistOptions{
+		Fsync: wal.FsyncAlways, FS: in, RetryBackoff: 20 * time.Microsecond,
+		SegmentBytes: 1 << 10, // rotate often so checkpoints truncate history
+	}
+
+	primary := NewEngine()
+	if err := primary.Open(dir, popts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Base state and all three view shapes land before any fault is armed.
+	const dom = 8
+	rels := []string{"R", "S", "T"}
+	for _, rel := range rels {
+		if _, err := primary.Register(rel, randPairs(rng, 3+rng.Intn(5), dom)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	views := []struct{ name, def string }{
+		{"vp", "VP(x, z) :- R(x, y), S(y, z)"},
+		{"vc", "VC(a, d) :- R(a, b), S(b, c), T(c, d)"},
+		{"vs", "VS(a, b, c) :- R(a, y), S(b, y), T(c, y)"},
+	}
+	for _, v := range views {
+		if _, err := primary.RegisterView(t.Context(), v.name, v.def); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The follower reaches whichever engine currently owns the data dir
+	// through this proxy; `down` simulates the primary being unreachable
+	// mid-restart.
+	var cur atomic.Pointer[Engine]
+	var down atomic.Bool
+	cur.Store(primary)
+	var abandoned []*Engine // crash-abandoned engines, closed at teardown
+	defer func() {
+		cur.Load().Close()
+		for _, e := range abandoned {
+			e.Close()
+		}
+	}()
+	proxy := func(pick func(*Engine) http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if down.Load() {
+				http.Error(w, "primary restarting", http.StatusBadGateway)
+				return
+			}
+			pick(cur.Load())(w, r)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /repl/segments", proxy(func(e *Engine) http.HandlerFunc { return e.ReplSource().ServeSegments }))
+	mux.HandleFunc("GET /repl/snapshot", proxy(func(e *Engine) http.HandlerFunc { return e.ReplSource().ServeSnapshot }))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	chaos := &chaosTransport{
+		inner:  http.DefaultTransport,
+		rng:    rand.New(rand.NewSource(seed ^ 0x5ca1e)),
+		failP:  0.10 + rng.Float64()*0.15,
+		truncP: 0.10 + rng.Float64()*0.15,
+	}
+	startFollower := func() (*Engine, *Replica) {
+		f := NewEngine()
+		rep, err := f.StartReplica(ts.URL, ReplicaOptions{
+			PollInterval: 2 * time.Millisecond,
+			MaxBackoff:   10 * time.Millisecond,
+			HTTP:         &http.Client{Transport: chaos, Timeout: 2 * time.Second},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, rep
+	}
+	follower, rep := startFollower()
+	defer func() { rep.Stop() }()
+
+	healPrimary := func() {
+		in.Heal()
+		if deg, _, _ := cur.Load().Degraded(); deg {
+			if err := cur.Load().Resume(); err != nil {
+				t.Fatalf("resume on healed disk: %v", err)
+			}
+		}
+	}
+
+	crashes, followerKills := 0, 0
+	steps := 10 + rng.Intn(12)
+	for step := 0; step < steps; step++ {
+		// Arm this step's primary-side disk fault, if any.
+		switch r := rng.Float64(); {
+		case r < 0.15:
+			errs := []error{faultfs.ErrInjectedENOSPC, faultfs.ErrInjectedEIO}
+			in.Script(faultfs.Rule{
+				Op:         faultfs.OpWrite,
+				Err:        errs[rng.Intn(len(errs))],
+				Times:      1 + rng.Intn(3),
+				ShortWrite: rng.Intn(3) == 0,
+			})
+		case r < 0.21:
+			in.SetRandom(rng.Int63(), faultfs.Probs{Write: 0.2, Sync: 0.15})
+		case r < 0.29:
+			in.Heal()
+		}
+
+		// Seeded mutation load. Rejected mutations (fault or degraded) are
+		// simply absent from the primary; the final comparison is against
+		// the primary's own live state, so no ack bookkeeping is needed.
+		rel := rels[rng.Intn(len(rels))]
+		var ins, del []relation.Pair
+		if rng.Intn(4) > 0 {
+			ins = randPairs(rng, 1+rng.Intn(3), dom)
+		}
+		if rng.Intn(3) == 0 {
+			del = pickKnown(rng, cur.Load(), t, rel)
+		}
+		_, _ = cur.Load().Mutate(rel, ins, del)
+
+		// Degraded primaries must keep shipping history; heal sometimes.
+		if deg, _, _ := cur.Load().Degraded(); deg && rng.Intn(2) == 0 {
+			healPrimary()
+		}
+
+		// Occasional checkpoint on a healed disk: truncates shipped WAL
+		// history and forces lagging followers through the 410 re-bootstrap
+		// path.
+		if rng.Intn(5) == 0 {
+			healPrimary()
+			if _, err := cur.Load().Checkpoint(); err != nil {
+				t.Fatalf("checkpoint on healed disk: %v", err)
+			}
+		}
+
+		// Primary kill-point: abandon the engine without closing it (its WAL
+		// file handle stays open, as after a real kill -9) and recover a
+		// fresh engine from the same dir. Crashes land between mutations, so
+		// with FsyncAlways the recovered state is exactly the acked state.
+		if crashes < 2 && rng.Float64() < 0.12 {
+			crashes++
+			down.Store(true)
+			abandoned = append(abandoned, cur.Load())
+			in.Heal()
+			next := NewEngine()
+			if err := next.Open(dir, popts); err != nil {
+				t.Fatalf("primary recovery after crash %d: %v", crashes, err)
+			}
+			cur.Store(next)
+			down.Store(false)
+		}
+
+		// Follower kill-point: stop the replica mid-tail and start a fresh
+		// follower from nothing; it must re-bootstrap and converge.
+		if followerKills < 1 && rng.Float64() < 0.10 {
+			followerKills++
+			rep.Stop()
+			follower, rep = startFollower()
+		}
+	}
+
+	// Heal everything and settle with a couple of final acked mutations.
+	chaos.heal()
+	healPrimary()
+	final := cur.Load()
+	for _, rel := range rels {
+		if _, err := final.Mutate(rel, randPairs(rng, 2, dom), nil); err != nil {
+			t.Fatalf("post-heal mutate %s: %v", rel, err)
+		}
+	}
+
+	st := waitConverged(t, rep, final)
+	if st.LagRecords != 0 {
+		t.Fatalf("converged lag_records = %d", st.LagRecords)
+	}
+
+	// Catalog equality, and a nested-loop oracle over the primary's live
+	// relations agrees with both engines' maintained views.
+	oracle := newOracle()
+	for _, rel := range rels {
+		pr, ok := final.Catalog().Get(rel)
+		if !ok {
+			t.Fatalf("primary lost %q", rel)
+		}
+		fr, ok := follower.Catalog().Get(rel)
+		if !ok {
+			t.Fatalf("follower missing %q", rel)
+		}
+		if !reflect.DeepEqual(pr.Pairs(), fr.Pairs()) {
+			t.Fatalf("%q diverged: primary %d pairs, follower %d", rel, pr.Size(), fr.Size())
+		}
+		oracle.register(rel, pr.Pairs())
+	}
+	want := map[string][][]int64{
+		"vp": oracle.twoPath("R", "S"),
+		"vc": oracle.chain3Across("R", "S", "T"),
+		"vs": oracle.star3("R", "S", "T"),
+	}
+	for _, v := range views {
+		pv := sortedViewTuples(t, final, v.name)
+		fv := sortedViewTuples(t, follower, v.name)
+		if !reflect.DeepEqual(pv, want[v.name]) {
+			t.Fatalf("%s: primary has %d tuples, oracle %d", v.name, len(pv), len(want[v.name]))
+		}
+		if !reflect.DeepEqual(fv, pv) {
+			t.Fatalf("%s: follower diverged (%d tuples vs %d)", v.name, len(fv), len(pv))
+		}
+		// Freshness stayed incremental on both sides: no refresh fallback.
+		for engName, e := range map[string]*Engine{"primary": final, "follower": follower} {
+			view, ok := e.View(v.name)
+			if !ok {
+				t.Fatalf("%s missing view %s", engName, v.name)
+			}
+			if view.Mode() != "incremental" {
+				t.Fatalf("%s view %s mode %q, want incremental", engName, v.name, view.Mode())
+			}
+		}
+	}
+}

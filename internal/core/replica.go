@@ -1,0 +1,395 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/repl"
+)
+
+// Follower-side replication metrics.
+var (
+	replAppliedLSN = obs.Default().Gauge(
+		"joinmm_repl_applied_lsn",
+		"Last WAL LSN this follower has applied.")
+	replLagRecords = obs.Default().Gauge(
+		"joinmm_repl_lag_records",
+		"Records the follower is behind the primary (primary next LSN - 1 - applied).")
+	replLagSeconds = obs.Default().Gauge(
+		"joinmm_repl_lag_seconds",
+		"Seconds since the follower last observed itself caught up.")
+	replRecordsApplied = obs.Default().Counter(
+		"joinmm_repl_records_applied_total",
+		"WAL records this follower has applied through the mutation path.")
+	replBootstraps = obs.Default().Counter(
+		"joinmm_repl_bootstraps_total",
+		"Snapshot bootstraps this follower has performed (1 = clean start; more = history truncation or divergence forced a reset).")
+)
+
+// Replica states, as reported on /healthz.
+const (
+	// ReplicaBootstrapping: fetching and restoring a snapshot (also the
+	// state while retrying an unreachable primary before the first
+	// successful bootstrap).
+	ReplicaBootstrapping = "bootstrapping"
+	// ReplicaTailing: bootstrapped, polling the primary's record stream.
+	ReplicaTailing = "tailing"
+	// ReplicaStopped: Stop was called.
+	ReplicaStopped = "stopped"
+)
+
+// ReplicaOptions configures Engine.StartReplica.
+type ReplicaOptions struct {
+	// PollInterval is how often a caught-up follower re-polls the primary
+	// (default 500ms). Steady-state lag stays at or below it.
+	PollInterval time.Duration
+	// MaxBackoff caps the doubling retry backoff after errors (default 10s).
+	MaxBackoff time.Duration
+	// HTTP overrides the transport (nil: a default client with a timeout).
+	HTTP *http.Client
+	// Logger receives replication lifecycle events (nil: slog.Default()).
+	Logger *slog.Logger
+}
+
+// ReplicaStatus is a point-in-time summary of a follower, served on
+// /healthz.
+type ReplicaStatus struct {
+	// Primary is the primary's base URL.
+	Primary string `json:"primary"`
+	// State is one of the Replica* state constants.
+	State string `json:"state"`
+	// AppliedLSN is the last WAL LSN applied locally.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// PrimaryNextLSN is the primary's next LSN at the last successful poll.
+	PrimaryNextLSN uint64 `json:"primary_next_lsn"`
+	// LagRecords is PrimaryNextLSN-1 − AppliedLSN.
+	LagRecords uint64 `json:"lag_records"`
+	// LagSeconds is the time since the follower last observed itself caught
+	// up (how stale reads can be, assuming the primary is reachable).
+	LagSeconds float64 `json:"lag_seconds"`
+	// CaughtUp reports AppliedLSN == PrimaryNextLSN-1 at the last poll.
+	CaughtUp bool `json:"caught_up"`
+	// Bootstraps counts snapshot bootstraps (1 is the clean-start value).
+	Bootstraps uint64 `json:"bootstraps"`
+	// RecordsApplied counts records applied through the mutation path.
+	RecordsApplied uint64 `json:"records_applied"`
+	// Polls and PollErrors count segment-stream fetches and their failures.
+	Polls      uint64 `json:"polls"`
+	PollErrors uint64 `json:"poll_errors"`
+	// LastError is the most recent replication error, cleared by the next
+	// successful poll.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Replica tails a primary, keeping this engine a read-only copy. It applies
+// every shipped record through the normal mutation path, so registered
+// views maintain incrementally on the follower exactly as on the primary.
+// A follower keeps no WAL and no snapshots of its own — its durability is
+// the primary's; a restarted follower re-bootstraps.
+type Replica struct {
+	eng    *Engine
+	client *repl.Client
+	opts   ReplicaOptions
+	log    *slog.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu             sync.Mutex
+	state          string
+	applied        uint64
+	primaryNext    uint64
+	caughtUp       bool
+	lastCaughtUp   time.Time
+	started        time.Time
+	bootstraps     uint64
+	recordsApplied uint64
+	polls          uint64
+	pollErrors     uint64
+	lastErr        string
+}
+
+// StartReplica turns an empty, non-persistent engine into a follower of the
+// primary at base URL primary. It is incompatible with Open (a follower
+// keeps no local durability) and must run before the engine holds state.
+// The returned Replica tails until Stop.
+func (e *Engine) StartReplica(primary string, opts ReplicaOptions) (*Replica, error) {
+	if err := repl.ValidateBase(primary); err != nil {
+		return nil, err
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 500 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 10 * time.Second
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	if e.persist != nil {
+		return nil, fmt.Errorf("core: StartReplica on an engine with data dir %s (a follower keeps no local durability)", e.persist.dir)
+	}
+	if e.replica != nil {
+		return nil, fmt.Errorf("core: engine already replicating from %s", e.replica.client.Base)
+	}
+	if e.cat.Len() > 0 || e.views.Len() > 0 {
+		return nil, fmt.Errorf("core: StartReplica on a non-empty engine (%d relations, %d views)", e.cat.Len(), e.views.Len())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Replica{
+		eng:    e,
+		client: &repl.Client{Base: primary, HTTP: opts.HTTP},
+		opts:   opts,
+		log:    opts.Logger,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		state:  ReplicaBootstrapping,
+	}
+	r.started = time.Now()
+	e.replica = r
+	go r.run()
+	return r, nil
+}
+
+// Replica returns the follower attached by StartReplica, or nil.
+func (e *Engine) Replica() *Replica {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	return e.replica
+}
+
+// ReplSource returns the repl.Source serving this engine's WAL and
+// snapshots to followers, or nil when the engine has no data dir (nothing
+// to ship).
+func (e *Engine) ReplSource() *repl.Source {
+	p := e.persistRef()
+	if p == nil {
+		return nil
+	}
+	return &repl.Source{FS: p.opts.FS, Dir: p.dir, Next: p.w.NextLSN}
+}
+
+// Stop halts replication and waits for the tail loop to exit. The engine
+// keeps serving whatever state was applied; it does not resume mutability.
+func (r *Replica) Stop() {
+	r.cancel()
+	<-r.done
+	r.mu.Lock()
+	r.state = ReplicaStopped
+	r.mu.Unlock()
+}
+
+// Status reports the follower's current position and lag.
+func (r *Replica) Status() ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ReplicaStatus{
+		Primary:        r.client.Base,
+		State:          r.state,
+		AppliedLSN:     r.applied,
+		PrimaryNextLSN: r.primaryNext,
+		CaughtUp:       r.caughtUp,
+		Bootstraps:     r.bootstraps,
+		RecordsApplied: r.recordsApplied,
+		Polls:          r.polls,
+		PollErrors:     r.pollErrors,
+		LastError:      r.lastErr,
+	}
+	if r.primaryNext > 0 && r.primaryNext-1 > r.applied {
+		st.LagRecords = r.primaryNext - 1 - r.applied
+	}
+	since := r.lastCaughtUp
+	if since.IsZero() {
+		since = r.started
+	}
+	st.LagSeconds = time.Since(since).Seconds()
+	replLagSeconds.Set(st.LagSeconds)
+	return st
+}
+
+// run is the follower's lifecycle: bootstrap (with retry), then tail until
+// the primary's history no longer covers our position, then re-bootstrap.
+func (r *Replica) run() {
+	defer close(r.done)
+	backoff := r.opts.PollInterval
+	for r.ctx.Err() == nil {
+		if err := r.bootstrap(); err != nil {
+			r.noteError(err)
+			r.log.Warn("repl: bootstrap failed", "primary", r.client.Base, "err", err)
+			if !r.sleep(backoff) {
+				return
+			}
+			backoff = r.nextBackoff(backoff)
+			continue
+		}
+		backoff = r.opts.PollInterval
+		r.tail()
+	}
+}
+
+// bootstrap fetches the primary's snapshot and restores it into a reset
+// engine.
+func (r *Replica) bootstrap() error {
+	r.setState(ReplicaBootstrapping)
+	bs, err := r.client.Snapshot(r.ctx)
+	if err != nil {
+		return err
+	}
+	r.resetEngine()
+	var stats RecoveryStats
+	if err := r.eng.restoreSnapshot(bs.State, &stats); err != nil {
+		// A half-restored engine must not serve: clear it and surface the
+		// error to the retry loop.
+		r.resetEngine()
+		return err
+	}
+	r.mu.Lock()
+	r.applied = bs.State.AppliedLSN
+	r.primaryNext = bs.PrimaryNext
+	r.bootstraps++
+	r.mu.Unlock()
+	replBootstraps.Inc()
+	replAppliedLSN.Set(float64(bs.State.AppliedLSN))
+	r.log.Info("repl: bootstrapped from snapshot",
+		"primary", r.client.Base, "applied_lsn", bs.State.AppliedLSN,
+		"relations", stats.RestoredRelations, "views", stats.RestoredViews)
+	return nil
+}
+
+// resetEngine drops every view and relation, returning the engine to empty.
+// The follower has no persistence sink, so the drops are unlogged.
+func (r *Replica) resetEngine() {
+	for _, v := range r.eng.Views() {
+		r.eng.views.Drop(v.Name)
+	}
+	for _, info := range r.eng.cat.List() {
+		r.eng.cat.Drop(info.Name)
+	}
+}
+
+// tail polls the primary's record stream, applying batches until Stop or
+// until the stream no longer covers our position (history truncated, or we
+// are ahead of a primary that lost its tail) — the caller re-bootstraps.
+func (r *Replica) tail() {
+	r.setState(ReplicaTailing)
+	backoff := r.opts.PollInterval
+	for r.ctx.Err() == nil {
+		r.mu.Lock()
+		from := r.applied + 1
+		r.mu.Unlock()
+		r.bumpPolls()
+		batch, err := r.client.Fetch(r.ctx, from)
+		switch {
+		case errors.Is(err, repl.ErrTruncatedHistory), errors.Is(err, repl.ErrAhead):
+			r.log.Warn("repl: stream position invalid, re-bootstrapping", "primary", r.client.Base, "from", from, "err", err)
+			return
+		case err != nil:
+			if r.ctx.Err() != nil {
+				return
+			}
+			r.noteError(err)
+			if !r.sleep(backoff) {
+				return
+			}
+			backoff = r.nextBackoff(backoff)
+			continue
+		}
+		backoff = r.opts.PollInterval
+		if err := r.apply(batch); err != nil {
+			// An apply failure leaves the engine mid-batch: the only safe
+			// recovery is a fresh bootstrap.
+			r.noteError(err)
+			r.log.Error("repl: apply failed, re-bootstrapping", "primary", r.client.Base, "err", err)
+			return
+		}
+		if len(batch.Records) == 0 {
+			// Caught up: idle one poll interval.
+			if !r.sleep(r.opts.PollInterval) {
+				return
+			}
+		}
+	}
+}
+
+// apply feeds one batch through the normal mutation path and advances the
+// position and lag accounting.
+func (r *Replica) apply(b *Batch) error {
+	var stats RecoveryStats
+	for _, sr := range b.Records {
+		if err := r.eng.applyRecord(sr.Record, &stats); err != nil {
+			return fmt.Errorf("core: applying replicated record at LSN %d: %w", sr.LSN, err)
+		}
+		r.mu.Lock()
+		r.applied = sr.LSN
+		r.recordsApplied++
+		r.mu.Unlock()
+		replAppliedLSN.Set(float64(sr.LSN))
+		replRecordsApplied.Inc()
+	}
+	r.mu.Lock()
+	r.primaryNext = b.PrimaryNext
+	r.caughtUp = b.PrimaryNext == r.applied+1
+	if r.caughtUp {
+		r.lastCaughtUp = time.Now()
+		r.lastErr = ""
+	}
+	lag := uint64(0)
+	if b.PrimaryNext-1 > r.applied {
+		lag = b.PrimaryNext - 1 - r.applied
+	}
+	r.mu.Unlock()
+	replLagRecords.Set(float64(lag))
+	return nil
+}
+
+// Batch aliases the wire batch so callers of apply need no repl import.
+type Batch = repl.Batch
+
+func (r *Replica) setState(s string) {
+	r.mu.Lock()
+	r.state = s
+	r.mu.Unlock()
+}
+
+func (r *Replica) bumpPolls() {
+	r.mu.Lock()
+	r.polls++
+	r.mu.Unlock()
+}
+
+func (r *Replica) noteError(err error) {
+	r.mu.Lock()
+	r.pollErrors++
+	r.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+// sleep waits d or until Stop, reporting whether to continue.
+func (r *Replica) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (r *Replica) nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > r.opts.MaxBackoff {
+		d = r.opts.MaxBackoff
+	}
+	return d
+}

@@ -1,0 +1,28 @@
+package repl
+
+import "repro/internal/obs"
+
+// Replication wire metrics. The primary-side counters measure what the
+// Source ships; the client-side counters measure the follower's poll loop.
+// Follower apply/lag gauges live in internal/core (the replica owns them).
+var (
+	sourceRequests = obs.Default().CounterVec(
+		"joinmm_repl_source_requests_total",
+		"Replication source HTTP requests served, by endpoint and outcome.",
+		"endpoint", "code")
+	sourceRecordsShipped = obs.Default().Counter(
+		"joinmm_repl_source_records_shipped_total",
+		"WAL records shipped to followers.")
+	sourceBytesShipped = obs.Default().Counter(
+		"joinmm_repl_source_bytes_shipped_total",
+		"Framed bytes shipped to followers (segment streams, excluding snapshots).")
+	clientPolls = obs.Default().Counter(
+		"joinmm_repl_client_polls_total",
+		"Segment-stream fetches issued by the replication client.")
+	clientPollErrors = obs.Default().Counter(
+		"joinmm_repl_client_poll_errors_total",
+		"Segment-stream fetches that failed (transport, decode, or server error).")
+	clientSnapshots = obs.Default().Counter(
+		"joinmm_repl_client_snapshots_total",
+		"Snapshot bootstraps fetched by the replication client.")
+)

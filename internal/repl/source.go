@@ -1,0 +1,191 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/faultfs"
+	"repro/internal/snapshot"
+	"repro/internal/wal"
+)
+
+// Default per-response caps for segment streams. A follower loops until
+// caught up, so a cap only bounds one round trip, not total throughput.
+const (
+	// DefaultMaxRecords caps records per segment-stream response.
+	DefaultMaxRecords = 4096
+	// DefaultMaxBytes caps framed bytes per segment-stream response (soft:
+	// the frame that crosses it is still shipped whole).
+	DefaultMaxBytes = 4 << 20
+)
+
+// Response headers of the replication protocol.
+const (
+	// HeaderNextLSN carries the primary's next LSN — the LSN its next
+	// append will get — on segment and snapshot responses. The follower
+	// derives its lag from it.
+	HeaderNextLSN = "X-Repl-Next-LSN"
+	// HeaderFrom echoes the validated from parameter on segment responses.
+	HeaderFrom = "X-Repl-From"
+	// HeaderAppliedLSN carries the snapshot's applied LSN on snapshot
+	// responses; tailing starts at the LSN after it.
+	HeaderAppliedLSN = "X-Repl-Applied-LSN"
+)
+
+// Source serves a primary's WAL and snapshots to followers over HTTP. It
+// reads segment files directly (the WAL writes frames unbuffered, so
+// completed appends are always visible; an in-flight append shows up as a
+// torn tail and is simply not shipped yet) and never blocks the primary's
+// write path.
+type Source struct {
+	// FS is the filesystem the persistence layer writes through; nil means
+	// the real one.
+	FS faultfs.FS
+	// Dir is the persistence root holding WAL segments and snapshots.
+	Dir string
+	// Next reports the live WAL's next LSN. Records below it are durable on
+	// the segment files by the time it is observed.
+	Next func() uint64
+	// MaxRecords and MaxBytes cap one segment-stream response (defaults
+	// DefaultMaxRecords / DefaultMaxBytes).
+	MaxRecords int
+	MaxBytes   int
+}
+
+// errStop aborts a replay once a response cap is reached.
+var errStop = errors.New("repl: response full")
+
+// ServeSegments handles GET /repl/segments?from=<lsn>: it streams framed
+// records with LSN ≥ from, up to the response caps. Status codes:
+//
+//	200 — stream follows (possibly empty, when the follower is caught up)
+//	400 — missing or malformed from
+//	410 — from is below the oldest retained LSN (checkpoint truncated the
+//	      history; the follower must re-bootstrap from a snapshot)
+//	416 — from is beyond the primary's next LSN (the follower is ahead of
+//	      this primary — e.g. the primary restarted after losing an unsynced
+//	      tail — and must re-bootstrap)
+func (s *Source) ServeSegments(w http.ResponseWriter, req *http.Request) {
+	from, err := strconv.ParseUint(req.URL.Query().Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		s.fail(w, "segments", http.StatusBadRequest, "missing or malformed from parameter")
+		return
+	}
+	next := s.Next()
+	if from > next {
+		s.fail(w, "segments", http.StatusRequestedRangeNotSatisfiable,
+			fmt.Sprintf("from %d beyond next LSN %d: follower ahead of this primary", from, next))
+		return
+	}
+	if oldest, ok, err := wal.OldestLSNFS(s.FS, s.Dir); err != nil {
+		s.fail(w, "segments", http.StatusInternalServerError, err.Error())
+		return
+	} else if from < next && (!ok || from < oldest) {
+		s.fail(w, "segments", http.StatusGone,
+			fmt.Sprintf("from %d below retained history: re-bootstrap from snapshot", from))
+		return
+	}
+	maxRecords, maxBytes := s.MaxRecords, s.MaxBytes
+	if maxRecords <= 0 {
+		maxRecords = DefaultMaxRecords
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	buf := AppendMagic(nil)
+	records := 0
+	err = wal.ReplayFS(s.FS, s.Dir, from-1, func(lsn uint64, r *wal.Record) error {
+		// Ship only up to the next-LSN observed above: records appended
+		// concurrently are left for the follower's next poll, keeping the
+		// stream consistent with the advertised header.
+		if lsn >= next || records >= maxRecords || len(buf) >= maxBytes {
+			return errStop
+		}
+		buf, err = AppendFrame(buf, lsn, r)
+		if err != nil {
+			return err
+		}
+		records++
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		s.fail(w, "segments", http.StatusInternalServerError, err.Error())
+		return
+	}
+	sourceRequests.With("segments", "200").Inc()
+	sourceRecordsShipped.Add(uint64(records))
+	sourceBytesShipped.Add(uint64(len(buf) - len(Magic)))
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HeaderNextLSN, strconv.FormatUint(next, 10))
+	h.Set(HeaderFrom, strconv.FormatUint(from, 10))
+	h.Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Write(buf)
+}
+
+// ServeSnapshot handles GET /repl/snapshot: it serves the latest checkpoint
+// image for follower bootstrap. With no checkpoint yet it serves an empty
+// state at applied LSN 0 — correct, because in that case the WAL is the
+// complete history from LSN 1 and the tail supplies everything.
+func (s *Source) ServeSnapshot(w http.ResponseWriter, req *http.Request) {
+	man, ok, err := snapshot.LoadManifestFS(s.FS, s.Dir)
+	if err != nil {
+		s.fail(w, "snapshot", http.StatusInternalServerError, err.Error())
+		return
+	}
+	var data []byte
+	var applied uint64
+	if ok {
+		data, err = faultfs.OrOS(s.FS).ReadFile(filepath.Join(s.Dir, man.Snapshot))
+		if err != nil {
+			s.fail(w, "snapshot", http.StatusInternalServerError, err.Error())
+			return
+		}
+		applied = man.AppliedLSN
+	} else {
+		data = snapshot.Encode(&snapshot.State{})
+	}
+	sourceRequests.With("snapshot", "200").Inc()
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HeaderAppliedLSN, strconv.FormatUint(applied, 10))
+	h.Set(HeaderNextLSN, strconv.FormatUint(s.Next(), 10))
+	h.Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// SourceStatus is the document ServeStatus returns.
+type SourceStatus struct {
+	// NextLSN is the primary's next LSN.
+	NextLSN uint64 `json:"next_lsn"`
+	// OldestLSN is the first LSN of retained WAL history (0 when the log is
+	// empty).
+	OldestLSN uint64 `json:"oldest_lsn"`
+	// SnapshotLSN is the applied LSN of the latest checkpoint (0 when none).
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+}
+
+// ServeStatus handles GET /repl/status with a small JSON summary of what
+// this primary can ship.
+func (s *Source) ServeStatus(w http.ResponseWriter, req *http.Request) {
+	st := SourceStatus{NextLSN: s.Next()}
+	if oldest, ok, err := wal.OldestLSNFS(s.FS, s.Dir); err == nil && ok {
+		st.OldestLSN = oldest
+	}
+	if man, ok, err := snapshot.LoadManifestFS(s.FS, s.Dir); err == nil && ok {
+		st.SnapshotLSN = man.AppliedLSN
+	}
+	sourceRequests.With("status", "200").Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// fail writes a plain-text error response and counts it.
+func (s *Source) fail(w http.ResponseWriter, endpoint string, code int, msg string) {
+	sourceRequests.With(endpoint, strconv.Itoa(code)).Inc()
+	http.Error(w, msg, code)
+}

@@ -1,0 +1,106 @@
+// Package repl implements primary→follower replication by WAL shipping.
+//
+// The primary side (Source) serves three HTTP endpoints: a snapshot export
+// for bootstrap, a framed record stream for tailing, and a small status
+// document. The follower side (Client) fetches them. The wire stream is a
+// thin envelope over the WAL's own record framing:
+//
+//	stream = magic "JMMREPL1" | frame*
+//	frame  = uvarint lsn | uvarint payload-length | payload | CRC32-C(payload)
+//
+// i.e. each frame is the record's LSN followed by the exact bytes
+// wal.AppendRecord would write to a segment. Frames carry strictly
+// increasing LSNs; the decoder errors loudly (never panics) on truncated,
+// corrupt, or non-monotonic input, so a half-delivered response is detected
+// by the follower and re-fetched rather than half-applied.
+//
+// See README.md for the full protocol reference.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/wal"
+)
+
+// Magic leads every segment-stream response body.
+const Magic = "JMMREPL1"
+
+// crcTable is the Castagnoli polynomial, matching the WAL's framing.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendMagic appends the stream magic to dst.
+func AppendMagic(dst []byte) []byte { return append(dst, Magic...) }
+
+// AppendFrame appends one framed record to dst: the uvarint LSN followed by
+// the WAL frame of r.
+func AppendFrame(dst []byte, lsn uint64, r *wal.Record) ([]byte, error) {
+	if lsn == 0 {
+		return dst, fmt.Errorf("repl: zero LSN")
+	}
+	dst = binary.AppendUvarint(dst, lsn)
+	return wal.AppendRecord(dst, r)
+}
+
+// Decoder walks a segment-stream body, yielding (LSN, record) pairs.
+type Decoder struct {
+	rest []byte
+	last uint64 // last yielded LSN, for monotonicity enforcement
+}
+
+// NewDecoder validates the stream magic and returns a decoder over the
+// remaining frames.
+func NewDecoder(data []byte) (*Decoder, error) {
+	if len(data) < len(Magic) {
+		return nil, fmt.Errorf("repl: stream shorter than magic (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("repl: bad stream magic %q", data[:len(Magic)])
+	}
+	return &Decoder{rest: data[len(Magic):]}, nil
+}
+
+// Next decodes one frame. It returns io.EOF at the clean end of the stream
+// and a descriptive error on truncated or corrupt input — a frame cut off
+// mid-body is an error here, not a silent end, because the follower must
+// re-fetch rather than assume it saw everything.
+func (d *Decoder) Next() (lsn uint64, r *wal.Record, err error) {
+	if len(d.rest) == 0 {
+		return 0, nil, io.EOF
+	}
+	lsn, used := binary.Uvarint(d.rest)
+	if used <= 0 {
+		return 0, nil, fmt.Errorf("repl: truncated frame LSN")
+	}
+	if lsn == 0 {
+		return 0, nil, fmt.Errorf("repl: zero frame LSN")
+	}
+	if lsn <= d.last {
+		return 0, nil, fmt.Errorf("repl: non-monotonic LSN %d after %d", lsn, d.last)
+	}
+	b := d.rest[used:]
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return 0, nil, fmt.Errorf("repl: truncated frame length at LSN %d", lsn)
+	}
+	b = b[used:]
+	if n > uint64(len(b)) {
+		return 0, nil, fmt.Errorf("repl: truncated frame payload at LSN %d: want %d bytes, have %d", lsn, n, len(b))
+	}
+	payload, b := b[:n], b[n:]
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("repl: truncated frame CRC at LSN %d", lsn)
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[:4]) {
+		return 0, nil, fmt.Errorf("repl: CRC mismatch at LSN %d", lsn)
+	}
+	if r, err = wal.DecodeRecord(payload); err != nil {
+		return 0, nil, fmt.Errorf("repl: frame at LSN %d: %w", lsn, err)
+	}
+	d.rest = b[4:]
+	d.last = lsn
+	return lsn, r, nil
+}

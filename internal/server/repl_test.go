@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// newPrimaryFollower boots a primary server with a data dir and a follower
+// server replicating from it, returning both plus the follower's replica.
+func newPrimaryFollower(t *testing.T) (primary, follower *httptest.Server, rep *core.Replica) {
+	t.Helper()
+	peng := core.NewEngine()
+	if err := peng.Open(t.TempDir(), core.PersistOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peng.Close() })
+	primary = newTestServer(t, Config{Engine: peng})
+
+	feng := core.NewEngine()
+	rep, err := feng.StartReplica(primary.URL, core.ReplicaOptions{PollInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Stop)
+	follower = newTestServer(t, Config{Engine: feng, Replica: rep})
+	return primary, follower, rep
+}
+
+// waitFollower blocks until the follower reports caught up with n records
+// applied at minimum.
+func waitFollower(t *testing.T, rep *core.Replica, minApplied uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := rep.Status()
+		if st.CaughtUp && st.AppliedLSN >= minApplied {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestFollowerServesReadsRejectsWrites(t *testing.T) {
+	primary, follower, rep := newPrimaryFollower(t)
+	registerChain(t, primary)
+	if code := post(t, primary, "/views", map[string]any{"name": "v", "query": "V(x, z) :- R(x, y), S(y, z)"}, nil); code != http.StatusOK {
+		t.Fatalf("create view on primary: %d", code)
+	}
+	waitFollower(t, rep, 3)
+
+	// Reads work on the follower, against replicated state.
+	var qout struct {
+		Tuples [][]int64 `json:"tuples"`
+	}
+	if code := post(t, follower, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, &qout); code != http.StatusOK {
+		t.Fatalf("query on follower: %d", code)
+	}
+	if len(qout.Tuples) == 0 {
+		t.Fatal("follower query returned no tuples")
+	}
+	resp, err := http.Get(follower.URL + "/views/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("view read on follower: %d", resp.StatusCode)
+	}
+
+	// Every mutating route 503s with a pointer at the primary.
+	mutations := []struct{ method, path string }{
+		{"POST", "/catalog/relations"},
+		{"DELETE", "/catalog/relations/R"},
+		{"POST", "/catalog/relations/R/insert"},
+		{"POST", "/catalog/relations/R/delete"},
+		{"POST", "/views"},
+		{"DELETE", "/views/v"},
+		{"POST", "/admin/checkpoint"},
+		{"POST", "/admin/resume"},
+	}
+	for _, m := range mutations {
+		req, err := http.NewRequest(m.method, follower.URL+m.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s %s on follower: %d, want 503", m.method, m.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Repl-Primary"); got != primary.URL {
+			t.Errorf("%s %s: X-Repl-Primary %q, want %q", m.method, m.path, got, primary.URL)
+		}
+	}
+
+	// The follower's state was read-only throughout: still consistent.
+	if code := post(t, follower, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, nil); code != http.StatusOK {
+		t.Fatalf("query on follower after rejections: %d", code)
+	}
+}
+
+func TestHealthzReportsRoleAndLag(t *testing.T) {
+	primary, follower, rep := newPrimaryFollower(t)
+	registerChain(t, primary)
+	waitFollower(t, rep, 2)
+
+	get := func(ts *httptest.Server) map[string]any {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	p := get(primary)
+	if p["role"] != "primary" {
+		t.Fatalf("primary role = %v", p["role"])
+	}
+	if _, ok := p["replication"]; ok {
+		t.Fatal("primary healthz has a replication section")
+	}
+	f := get(follower)
+	if f["role"] != "replica" {
+		t.Fatalf("follower role = %v", f["role"])
+	}
+	repl, ok := f["replication"].(map[string]any)
+	if !ok {
+		t.Fatalf("follower healthz missing replication: %v", f)
+	}
+	if repl["state"] != "tailing" || repl["caught_up"] != true {
+		t.Fatalf("replication section: %v", repl)
+	}
+	if repl["lag_records"].(float64) != 0 {
+		t.Fatalf("caught-up lag_records = %v", repl["lag_records"])
+	}
+	// Caught-up lag in seconds stays at or below the poll interval (plus
+	// scheduling slack).
+	if lag := repl["lag_seconds"].(float64); lag > 1.0 {
+		t.Fatalf("caught-up lag_seconds = %v", lag)
+	}
+}
+
+func TestPrimaryMountsReplEndpoints(t *testing.T) {
+	primary, _, _ := newPrimaryFollower(t)
+	resp, err := http.Get(primary.URL + "/repl/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/repl/status on primary: %d", resp.StatusCode)
+	}
+	var st struct {
+		NextLSN uint64 `json:"next_lsn"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NextLSN == 0 {
+		t.Fatal("next_lsn = 0")
+	}
+	// An ephemeral engine (no data dir) has nothing to ship: /repl/* is not
+	// mounted at all.
+	eph := newTestServer(t, Config{Engine: core.NewEngine()})
+	resp2, err := http.Get(eph.URL + "/repl/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("/repl/status on ephemeral engine: %d, want 404", resp2.StatusCode)
+	}
+}

@@ -104,6 +104,10 @@ type Config struct {
 	EnablePprof bool
 	// Build identifies the binary on /healthz, /metrics and -version.
 	Build BuildInfo
+	// Replica, when set, marks this server a read-only follower: mutating
+	// routes answer 503 pointing at the primary, and /healthz reports the
+	// replica's position and lag.
+	Replica *core.Replica
 }
 
 // DefaultQueueDepth is the admission waiting room used when Config leaves
@@ -120,6 +124,7 @@ type Server struct {
 	slow    time.Duration // slow-query log threshold (0: off)
 	pprof   bool
 	build   BuildInfo
+	replica *core.Replica // non-nil: read-only follower
 	start   time.Time
 	bootID  string // per-construction prefix of request IDs
 	reqSeq  atomic.Uint64
@@ -168,6 +173,7 @@ func New(cfg Config) *Server {
 		slow:    cfg.SlowQueryThreshold,
 		pprof:   cfg.EnablePprof,
 		build:   build,
+		replica: cfg.Replica,
 		start:   now,
 		bootID:  fmt.Sprintf("%08x", uint32(now.UnixNano())),
 	}
@@ -185,19 +191,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
 	mux.HandleFunc("POST /explain", s.instrument("/explain", s.handleExplain))
 	mux.HandleFunc("GET /catalog", s.instrument("/catalog", s.handleCatalog))
-	mux.HandleFunc("POST /catalog/relations", s.instrument("/catalog/relations", s.handleRegister))
-	mux.HandleFunc("DELETE /catalog/relations/{name}", s.instrument("/catalog/relations/{name}", s.handleDrop))
-	mux.HandleFunc("POST /catalog/relations/{name}/insert", s.instrument("/catalog/relations/{name}/insert", s.handleMutate(false)))
-	mux.HandleFunc("POST /catalog/relations/{name}/delete", s.instrument("/catalog/relations/{name}/delete", s.handleMutate(true)))
-	mux.HandleFunc("POST /views", s.instrument("/views", s.handleCreateView))
+	mux.HandleFunc("POST /catalog/relations", s.instrument("/catalog/relations", s.primaryOnly(s.handleRegister)))
+	mux.HandleFunc("DELETE /catalog/relations/{name}", s.instrument("/catalog/relations/{name}", s.primaryOnly(s.handleDrop)))
+	mux.HandleFunc("POST /catalog/relations/{name}/insert", s.instrument("/catalog/relations/{name}/insert", s.primaryOnly(s.handleMutate(false))))
+	mux.HandleFunc("POST /catalog/relations/{name}/delete", s.instrument("/catalog/relations/{name}/delete", s.primaryOnly(s.handleMutate(true))))
+	mux.HandleFunc("POST /views", s.instrument("/views", s.primaryOnly(s.handleCreateView)))
 	mux.HandleFunc("GET /views", s.instrument("/views", s.handleListViews))
 	mux.HandleFunc("GET /views/{name}", s.instrument("/views/{name}", s.handleGetView))
 	mux.HandleFunc("GET /views/{name}/explain", s.instrument("/views/{name}/explain", s.handleExplainView))
-	mux.HandleFunc("DELETE /views/{name}", s.instrument("/views/{name}", s.handleDropView))
-	mux.HandleFunc("POST /admin/checkpoint", s.instrument("/admin/checkpoint", s.handleCheckpoint))
-	mux.HandleFunc("POST /admin/resume", s.instrument("/admin/resume", s.handleResume))
+	mux.HandleFunc("DELETE /views/{name}", s.instrument("/views/{name}", s.primaryOnly(s.handleDropView)))
+	mux.HandleFunc("POST /admin/checkpoint", s.instrument("/admin/checkpoint", s.primaryOnly(s.handleCheckpoint)))
+	mux.HandleFunc("POST /admin/resume", s.instrument("/admin/resume", s.primaryOnly(s.handleResume)))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if src := s.eng.ReplSource(); src != nil {
+		// This node has a WAL to ship: serve followers.
+		mux.HandleFunc("GET /repl/segments", s.instrument("/repl/segments", src.ServeSegments))
+		mux.HandleFunc("GET /repl/snapshot", s.instrument("/repl/snapshot", src.ServeSnapshot))
+		mux.HandleFunc("GET /repl/status", s.instrument("/repl/status", src.ServeStatus))
+	}
 	if s.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -206,6 +218,21 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// primaryOnly gates a mutating route on a follower: replicas serve reads
+// only, so mutations answer 503 with the primary's URL (the client should
+// retry there). On a primary it is a pass-through.
+func (s *Server) primaryOnly(h http.HandlerFunc) http.HandlerFunc {
+	if s.replica == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		st := s.replica.Status()
+		w.Header().Set("X-Repl-Primary", st.Primary)
+		s.error(w, r, http.StatusServiceUnavailable,
+			"read-only replica: mutations go to the primary at %s", st.Primary)
+	}
 }
 
 // handleHealthz reports liveness, the degraded/healthy write state, the
@@ -235,6 +262,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if ps.LastCheckpointUnix > 0 {
 			out["last_checkpoint_age_seconds"] = time.Since(time.Unix(ps.LastCheckpointUnix, 0)).Seconds()
 		}
+	}
+	if s.replica != nil {
+		out["role"] = "replica"
+		out["replication"] = s.replica.Status()
+	} else {
+		out["role"] = "primary"
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -21,11 +21,21 @@ const (
 	KindRegisterView byte = 4
 	// KindDropView removes one view.
 	KindDropView byte = 5
+	// KindRegisterFile registers a relation loaded from a file, logging the
+	// file's path and SHA-256 instead of the full tuple image — so a bulk
+	// load costs ~100 log bytes instead of re-serializing the whole relation,
+	// and shipped replication segments stay small. Replay re-reads the file
+	// and fails loudly when it is missing or its hash no longer matches: a
+	// changed source file cannot silently resurrect different data. (A
+	// checkpoint folds the relation into the snapshot, after which the file
+	// is no longer needed.)
+	KindRegisterFile byte = 6
 )
 
 // Record is one logged catalog or view mutation. Exactly the fields for its
 // kind are set: Mutate uses Name/Added/Removed, Register uses Name/Pairs,
-// Drop and DropView use Name, RegisterView uses Name/Query.
+// Drop and DropView use Name, RegisterView uses Name/Query, RegisterFile
+// uses Name/Path/Hash/Tuples.
 type Record struct {
 	// Kind is one of the Kind* constants.
 	Kind byte
@@ -37,6 +47,12 @@ type Record struct {
 	Pairs []relation.Pair
 	// Query is the canonical query text of a RegisterView record.
 	Query string
+	// Path, Hash and Tuples describe the source file of a RegisterFile
+	// record: its absolute path, the SHA-256 of its bytes, and the tuple
+	// count the load produced (a cheap replay cross-check).
+	Path   string
+	Hash   []byte
+	Tuples uint64
 }
 
 // crcTable is the Castagnoli polynomial, hardware-accelerated on amd64.
@@ -47,6 +63,12 @@ const maxNameLen = 1 << 16
 
 // maxQueryLen bounds the logged query text of a view registration.
 const maxQueryLen = 1 << 20
+
+// maxPathLen bounds the logged source path of a file registration.
+const maxPathLen = 1 << 16
+
+// hashLen is the SHA-256 digest size a RegisterFile record carries.
+const hashLen = 32
 
 // AppendRecord appends the framed encoding of r to dst and returns it:
 // uvarint payload length, the payload, and a CRC32-C of the payload. The
@@ -83,6 +105,16 @@ func appendPayload(dst []byte, r *Record) ([]byte, error) {
 			return dst, fmt.Errorf("wal: view query length %d out of range", len(r.Query))
 		}
 		dst = appendString(dst, r.Query)
+	case KindRegisterFile:
+		if len(r.Path) == 0 || len(r.Path) > maxPathLen {
+			return dst, fmt.Errorf("wal: file path length %d out of range", len(r.Path))
+		}
+		if len(r.Hash) != hashLen {
+			return dst, fmt.Errorf("wal: file hash length %d, want %d", len(r.Hash), hashLen)
+		}
+		dst = appendString(dst, r.Path)
+		dst = append(dst, r.Hash...)
+		dst = binary.AppendUvarint(dst, r.Tuples)
 	default:
 		return dst, fmt.Errorf("wal: unknown record kind %d", r.Kind)
 	}
@@ -122,6 +154,22 @@ func DecodeRecord(payload []byte) (*Record, error) {
 		if r.Query, rest, err = decodeString(rest, maxQueryLen); err != nil {
 			return nil, fmt.Errorf("wal: view query: %w", err)
 		}
+	case KindRegisterFile:
+		if r.Path, rest, err = decodeString(rest, maxPathLen); err != nil {
+			return nil, fmt.Errorf("wal: file path: %w", err)
+		}
+		if r.Path == "" {
+			return nil, fmt.Errorf("wal: empty file path")
+		}
+		if len(rest) < hashLen {
+			return nil, fmt.Errorf("wal: truncated file hash: want %d bytes, have %d", hashLen, len(rest))
+		}
+		r.Hash, rest = append([]byte(nil), rest[:hashLen]...), rest[hashLen:]
+		n, used := binary.Uvarint(rest)
+		if used <= 0 {
+			return nil, fmt.Errorf("wal: truncated tuple count")
+		}
+		r.Tuples, rest = n, rest[used:]
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
 	}

@@ -187,6 +187,26 @@ func listSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
 	return segs, nil
 }
 
+// OldestLSNFS reports the first LSN of the oldest retained segment in dir.
+// ok is false when the directory does not exist or holds no segments — i.e.
+// the log's history starts at LSN 1 (nothing has been truncated away).
+// Replication sources use this to tell a "from before retained history"
+// request (follower must re-bootstrap from a snapshot) apart from a merely
+// caught-up one.
+func OldestLSNFS(fsys faultfs.FS, dir string) (oldest uint64, ok bool, err error) {
+	segs, err := listSegments(faultfs.OrOS(fsys), dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("wal: %w", err)
+	}
+	if len(segs) == 0 {
+		return 0, false, nil
+	}
+	return segs[0], true, nil
+}
+
 // Open opens (or creates) the log in dir, scanning the last segment to find
 // the next LSN and truncating a torn tail record left by a crash mid-append.
 func Open(dir string, opts Options) (*WAL, error) {
