@@ -3,7 +3,9 @@
 // tuple-level mutations, live incrementally-maintained views, durable state
 // under a data dir, WAL-shipping replication to read-only followers, and
 // runtime observability surfaces (/metrics, /healthz, optional
-// /debug/pprof) — see internal/server for the endpoint reference.
+// /debug/pprof) and workload introspection (/stats/statements,
+// /stats/activity with external kill, /debug/flight) — see internal/server
+// for the endpoint reference.
 //
 // Usage:
 //
@@ -58,7 +60,19 @@
 //	                           exit = shut down so a supervisor can fail over
 //	                           (default readonly)
 //	-slow-query-threshold      log a structured "slow query" warning for any
-//	                           query at or above this duration (0 = disabled)
+//	                           query at or above this duration, and retain such
+//	                           queries in the flight recorder unconditionally
+//	                           (0 = disable the log and use the recorder's
+//	                           default 100ms slow threshold)
+//	-stmt-stats-max            distinct statement fingerprints tracked by
+//	                           /stats/statements before new ones fold into the
+//	                           overflow bucket (0 = default 512)
+//	-flight-ring-size          flight-recorder capacity: recently completed
+//	                           query traces kept for /debug/flight
+//	                           (0 = default 256)
+//	-flight-sample-rate        keep 1-in-N unremarkable queries in the flight
+//	                           recorder; slow, failed, killed and shed queries
+//	                           are always kept (0 = default 16)
 //	-pprof                     mount net/http/pprof under /debug/pprof/ on the
 //	                           service mux (off by default)
 //	-log-format                log output format: text|json (default text)
@@ -157,7 +171,10 @@ func run() error {
 		degPolicy   = flag.String("degraded-policy", "readonly", "on persistent WAL failure: readonly (serve reads, 503 mutations) or exit (shut down for failover)")
 		replFrom    = flag.String("replicate-from", "", "primary base URL; runs this node as a read-only follower that bootstraps from the primary's snapshot and tails its WAL (\"\" = primary)")
 		replPoll    = flag.Duration("repl-poll-interval", 500*time.Millisecond, "how often a caught-up follower re-polls the primary (steady-state lag bound)")
-		slowQuery   = flag.Duration("slow-query-threshold", 0, "log a structured warning for queries at or above this duration (0 = disabled)")
+		slowQuery   = flag.Duration("slow-query-threshold", 0, "log a structured warning for queries at or above this duration and always retain them in the flight recorder (0 = no log, default recorder threshold)")
+		stmtMax     = flag.Int("stmt-stats-max", 0, "distinct statement fingerprints in /stats/statements before overflow (0 = default 512)")
+		flightSize  = flag.Int("flight-ring-size", 0, "flight-recorder capacity for /debug/flight (0 = default 256)")
+		flightRate  = flag.Int("flight-sample-rate", 0, "keep 1-in-N unremarkable queries in the flight recorder; slow and failed queries are always kept (0 = default 16)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logFormat   = flag.String("log-format", "text", "log output format: text|json")
 		showVersion = flag.Bool("version", false, "print version, commit, and Go runtime, then exit")
@@ -200,7 +217,15 @@ func run() error {
 		}
 	}
 
-	eng := core.NewEngine(core.WithWorkers(*workers), core.WithQueryBudget(*maxQBytes, 0))
+	eng := core.NewEngine(
+		core.WithWorkers(*workers),
+		core.WithQueryBudget(*maxQBytes, 0),
+		core.WithIntrospection(core.IntrospectionConfig{
+			MaxStatements: *stmtMax,
+			FlightSize:    *flightSize,
+			FlightSample:  *flightRate,
+			SlowThreshold: *slowQuery,
+		}))
 	degradeCh := make(chan error, 1)
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsync)

@@ -22,11 +22,13 @@ import (
 	"repro/internal/compress"
 	"repro/internal/govern"
 	"repro/internal/joinproject"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/scj"
 	"repro/internal/ssj"
+	"repro/internal/stats"
 	"repro/internal/view"
 	"repro/internal/wal"
 )
@@ -78,6 +80,9 @@ type Config struct {
 	// caps.
 	MaxQueryBytes int64
 	MaxQueryRows  int64
+	// Introspect sizes the workload-introspection layer (statement stats,
+	// activity view, flight recorder); the zero value takes defaults.
+	Introspect IntrospectionConfig
 }
 
 // Option mutates the engine configuration.
@@ -116,6 +121,11 @@ type Engine struct {
 	pmu     sync.Mutex
 	persist *persistence // durability layer; nil until Open
 	replica *Replica     // follower loop; nil unless StartReplica
+
+	// Workload introspection; always non-nil (see IntrospectionConfig).
+	stmts    *stats.Statements
+	activity *stats.Activity
+	flight   *stats.Flight
 }
 
 // NewEngine builds an engine; calibration of the optimizer's machine
@@ -125,7 +135,12 @@ func NewEngine(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	e := &Engine{cfg: cfg, opt: optimizer.New(), cat: catalog.New()}
+	e := &Engine{
+		cfg: cfg, opt: optimizer.New(), cat: catalog.New(),
+		stmts:    stats.NewStatements(cfg.Introspect.MaxStatements),
+		activity: stats.NewActivity(),
+		flight:   stats.NewFlight(cfg.Introspect.FlightSize, cfg.Introspect.FlightSample, cfg.Introspect.SlowThreshold),
+	}
 	e.views = view.NewRegistry(view.Config{
 		Catalog:   e.cat,
 		Optimizer: e.opt,
@@ -485,12 +500,31 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*query.Result, e
 	p, hit, err := e.cat.PrepareContext(ctx, src)
 	if err != nil {
 		queryErrors.Inc()
+		// Prepare failures re-derive the fingerprint from the raw text (an
+		// extra parse only on this cold error path); unparseable statements
+		// land in the <invalid> bucket.
+		e.recordQuery(ctx, query.FingerprintText(src), src, start,
+			classifyOutcome(err, false), 0, 0, false, nil, err, nil)
 		return nil, err
 	}
 	prepared := time.Now()
-	res, err := p.Execute(ctx, e.execOptions())
+
+	// The per-query cancel lets /stats/activity kill this evaluation from
+	// outside; the executor's Stop hooks poll the derived context inside the
+	// kernels.
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	act := e.activity.Begin(obs.RequestIDFrom(ctx), p.Fingerprint, p.Text, cancel)
+	// Deferred so a panicking evaluation (confined to its request by the
+	// server's guard) still leaves the activity view.
+	defer e.activity.Finish(act)
+	opts := e.execOptions()
+	opts.Observer = act
+	res, err := p.Execute(qctx, opts)
 	if err != nil {
 		queryErrors.Inc()
+		e.recordQuery(ctx, p.Fingerprint, p.Text, start,
+			classifyOutcome(err, act.Killed()), act.Rows(), act.Bytes(), hit, nil, err, nil)
 		return nil, err
 	}
 	res.Plan.CacheHit = hit
@@ -500,6 +534,15 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*query.Result, e
 	querySeconds.ObserveSince(start)
 	queryRowsTotal.Add(uint64(len(res.Tuples)))
 	queryBudgetBytes.Add(uint64(res.Plan.BudgetBytes))
+	e.recordQuery(ctx, p.Fingerprint, p.Text, start, stats.OutcomeOK,
+		int64(len(res.Tuples)), res.Plan.BudgetBytes, hit, res.Plan.Strategies(), nil,
+		func() string {
+			// Lazily rendered only when the flight recorder retains the
+			// record; the copy keeps the caller's plan un-mutated.
+			pl := *res.Plan
+			pl.Analyzed = true
+			return pl.String()
+		})
 	return res, nil
 }
 

@@ -21,9 +21,12 @@ var (
 	replLagRecords = obs.Default().Gauge(
 		"joinmm_repl_lag_records",
 		"Records the follower is behind the primary (primary next LSN - 1 - applied).")
-	replLagSeconds = obs.Default().Gauge(
+	replLagLastSeconds = obs.Default().Gauge(
+		"joinmm_repl_lag_last_seconds",
+		"Point-in-time seconds since the follower last observed itself caught up.")
+	replLagSeconds = obs.Default().Histogram(
 		"joinmm_repl_lag_seconds",
-		"Seconds since the follower last observed itself caught up.")
+		"Follower lag in seconds, sampled once per successful poll (0 while caught up).", nil)
 	replRecordsApplied = obs.Default().Counter(
 		"joinmm_repl_records_applied_total",
 		"WAL records this follower has applied through the mutation path.")
@@ -85,7 +88,21 @@ type ReplicaStatus struct {
 	// LastError is the most recent replication error, cleared by the next
 	// successful poll.
 	LastError string `json:"last_error,omitempty"`
+	// LagHistory is a short ring of per-poll lag samples, oldest first, so
+	// /repl/status shows the recent lag trajectory (spike vs steady drift)
+	// without a metrics backend.
+	LagHistory []LagSample `json:"lag_history,omitempty"`
 }
+
+// LagSample is one per-poll lag observation in ReplicaStatus.LagHistory.
+type LagSample struct {
+	UnixMs     int64   `json:"unix_ms"`
+	LagRecords uint64  `json:"lag_records"`
+	LagSeconds float64 `json:"lag_seconds"`
+}
+
+// lagHistorySize bounds the ring on /repl/status.
+const lagHistorySize = 60
 
 // Replica tails a primary, keeping this engine a read-only copy. It applies
 // every shipped record through the normal mutation path, so registered
@@ -114,6 +131,9 @@ type Replica struct {
 	polls          uint64
 	pollErrors     uint64
 	lastErr        string
+	lagRing        []LagSample // per-poll samples, ring of lagHistorySize
+	lagNext        int
+	lagN           int
 }
 
 // StartReplica turns an empty, non-persistent engine into a follower of the
@@ -213,7 +233,17 @@ func (r *Replica) Status() ReplicaStatus {
 		since = r.started
 	}
 	st.LagSeconds = time.Since(since).Seconds()
-	replLagSeconds.Set(st.LagSeconds)
+	replLagLastSeconds.Set(st.LagSeconds)
+	if r.lagN > 0 {
+		st.LagHistory = make([]LagSample, 0, r.lagN)
+		start := r.lagNext - r.lagN
+		if start < 0 {
+			start += len(r.lagRing)
+		}
+		for i := 0; i < r.lagN; i++ {
+			st.LagHistory = append(st.LagHistory, r.lagRing[(start+i)%len(r.lagRing)])
+		}
+	}
 	return st
 }
 
@@ -347,9 +377,36 @@ func (r *Replica) apply(b *Batch) error {
 	if b.PrimaryNext-1 > r.applied {
 		lag = b.PrimaryNext - 1 - r.applied
 	}
+	lagSec := 0.0
+	if !r.caughtUp {
+		since := r.lastCaughtUp
+		if since.IsZero() {
+			since = r.started
+		}
+		lagSec = time.Since(since).Seconds()
+	}
+	r.recordLagSample(LagSample{
+		UnixMs:     time.Now().UnixMilli(),
+		LagRecords: lag,
+		LagSeconds: lagSec,
+	})
 	r.mu.Unlock()
 	replLagRecords.Set(float64(lag))
+	replLagSeconds.Observe(lagSec)
 	return nil
+}
+
+// recordLagSample appends one per-poll sample to the lag-history ring.
+// Caller holds r.mu.
+func (r *Replica) recordLagSample(s LagSample) {
+	if r.lagRing == nil {
+		r.lagRing = make([]LagSample, lagHistorySize)
+	}
+	r.lagRing[r.lagNext] = s
+	r.lagNext = (r.lagNext + 1) % len(r.lagRing)
+	if r.lagN < len(r.lagRing) {
+		r.lagN++
+	}
 }
 
 // Batch aliases the wire batch so callers of apply need no repl import.

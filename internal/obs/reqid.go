@@ -1,0 +1,39 @@
+package obs
+
+import "context"
+
+// reqIDKey carries the request correlation ID through contexts. It lives in
+// obs (not the server) so the engine core and the replication client can
+// read and set it without importing HTTP layers.
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying the request correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request correlation ID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// SanitizeRequestID validates an externally supplied correlation ID (e.g. an
+// inbound X-Request-Id header): at most 64 bytes of printable ASCII with no
+// spaces, quotes or backslashes, so IDs pass through structured logs and
+// headers unmangled. Returns "" when the candidate fails.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}

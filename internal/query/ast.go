@@ -79,6 +79,23 @@ type Hints struct {
 
 func (h Hints) empty() bool { return h.Strategy == "" && h.Workers == 0 }
 
+// String renders the hints in WITH-clause source form (without the WITH
+// keyword); empty hints render as "".
+func (h Hints) String() string {
+	var b strings.Builder
+	if h.Strategy != "" {
+		b.WriteString("strategy=")
+		b.WriteString(h.Strategy)
+	}
+	if h.Workers != 0 {
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "workers=%d", h.Workers)
+	}
+	return b.String()
+}
+
 // Query is the parsed AST of one rule.
 type Query struct {
 	// Name is the head predicate name (purely cosmetic).
@@ -116,18 +133,7 @@ func (q *Query) String() string {
 	}
 	if !q.Hints.empty() {
 		b.WriteString(" WITH ")
-		first := true
-		if q.Hints.Strategy != "" {
-			b.WriteString("strategy=")
-			b.WriteString(q.Hints.Strategy)
-			first = false
-		}
-		if q.Hints.Workers != 0 {
-			if !first {
-				b.WriteString(", ")
-			}
-			fmt.Fprintf(&b, "workers=%d", q.Hints.Workers)
-		}
+		b.WriteString(q.Hints.String())
 	}
 	return b.String()
 }

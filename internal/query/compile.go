@@ -71,6 +71,10 @@ type Prepared struct {
 	Query *Query
 	// Text is the canonical query text (the plan-cache key).
 	Text string
+	// Fingerprint is the statement fingerprint: constants normalized, atoms
+	// canonically ordered. Statements differing only in constant values share
+	// one fingerprint; statement statistics aggregate on it.
+	Fingerprint string
 
 	vars     []string // variable names by index
 	comps    []*component
@@ -91,7 +95,7 @@ func Compile(q *Query, resolve Resolver) (*Prepared, error) {
 // evaluation, so the context is polled during that work and a deadline
 // abandons compilation mid-bag.
 func CompileContext(ctx context.Context, q *Query, resolve Resolver) (*Prepared, error) {
-	p := &Prepared{Query: q, Text: q.String()}
+	p := &Prepared{Query: q, Text: q.String(), Fingerprint: q.Fingerprint()}
 
 	varIdx := map[string]int{}
 	varOf := func(name string) int {

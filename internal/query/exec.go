@@ -26,6 +26,21 @@ type ExecOptions struct {
 	// Strategy is the engine-level pin ("", "auto", "mm", "wcoj", "nonmm").
 	// A strategy hint in the query overrides it.
 	Strategy string
+	// Observer, when non-nil, receives live execution progress for the
+	// activity view. Calls happen on the evaluating goroutine at operator
+	// granularity, so implementations must be cheap (atomics, no locks on the
+	// hot path).
+	Observer ExecObserver
+}
+
+// ExecObserver is the executor's progress hook: ExecNode fires when
+// evaluation enters a plan node (before its kernel work, so an in-flight
+// view shows what is running now, not what last finished); ExecProgress
+// reports rows materialized and budget-bytes charged, cumulatively
+// per call site.
+type ExecObserver interface {
+	ExecNode(op, detail string)
+	ExecProgress(rows, bytes int64)
 }
 
 // Result is one evaluated query: column labels, distinct output tuples and
@@ -93,6 +108,7 @@ type executor struct {
 	// charged accumulates every byte debited through charge, budget or not —
 	// the working-set figure EXPLAIN ANALYZE reports per query.
 	charged int64
+	watch   ExecObserver // nil unless an activity view is attached
 }
 
 func (p *Prepared) newExecutor(ctx context.Context, opts ExecOptions, dry bool) *executor {
@@ -105,6 +121,9 @@ func (p *Prepared) newExecutor(ctx context.Context, opts ExecOptions, dry bool) 
 		workers = p.Query.Hints.Workers
 	}
 	ex := &executor{p: p, ctx: ctx, dry: dry, budget: govern.FromContext(ctx)}
+	if !dry {
+		ex.watch = opts.Observer
+	}
 	ex.aopt = acyclic.Options{Join: joinproject.Options{Workers: workers}}
 	if !dry {
 		// Coarse cancellation polled inside the long kernel tile loops, so a
@@ -196,7 +215,17 @@ func rowBudgetBytes(cols int) int { return 24 + 4*cols }
 // rowBytes each; a nil budget is free.
 func (ex *executor) charge(rows, rowBytes int) error {
 	ex.charged += int64(rows) * int64(rowBytes)
+	if ex.watch != nil {
+		ex.watch.ExecProgress(int64(rows), int64(rows)*int64(rowBytes))
+	}
 	return ex.budget.ChargeRows(int64(rows), int64(rowBytes))
+}
+
+// nodeEvent reports entry into a plan node to the attached observer.
+func (ex *executor) nodeEvent(op, detail string) {
+	if ex.watch != nil {
+		ex.watch.ExecNode(op, detail)
+	}
 }
 
 // compResult is one component's contribution: the variables it binds (cols,
@@ -590,6 +619,7 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, *
 		if ex.dry {
 			node.Strategy, node.Detail = ex.dryComposeStrategy(r1, r2, &detail)
 		} else {
+			ex.nodeEvent("fold", detail)
 			t0 := time.Now()
 			rel, step := acyclic.Compose(r1, r2, ex.aopt)
 			node.TimeNs = time.Since(t0).Nanoseconds()
@@ -670,6 +700,7 @@ func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) (*co
 		}
 		jopt.Delta1, jopt.Delta2 = t+1, t+1
 	}
+	ex.nodeEvent("groupfold", detail)
 	t0 := time.Now()
 	groups := joinproject.TwoPathGroupBy(gRel, cvRel, jopt)
 	node.TimeNs = time.Since(t0).Nanoseconds()
@@ -847,6 +878,7 @@ func (ex *executor) starNode(live []liveEdge, center int) (*compResult, error) {
 		return cr, nil
 	}
 	node.Strategy = strategy
+	ex.nodeEvent("star", node.Detail)
 	t0 := time.Now()
 	if strategy == acyclic.StrategyNonMM {
 		cr.rows = joinproject.StarNonMM(views, jopt)
@@ -947,6 +979,7 @@ func (ex *executor) enumerate(c *component, live []liveEdge, heads map[int]bool)
 		return rows
 	}
 
+	ex.nodeEvent("enumerate", node.Detail)
 	t0 := time.Now()
 	var out [][]int32
 	for _, val := range c.allowed[root] {
@@ -1007,6 +1040,7 @@ func (ex *executor) evalBagTree(c *component) (*compResult, error) {
 		return cr, nil
 	}
 
+	ex.nodeEvent("bagjoin", c.ghd)
 	t0 := time.Now()
 	cols, rows, err := joinBagTree(ex.ctx, c.bags, root)
 	if err != nil {

@@ -1,0 +1,134 @@
+package query
+
+import (
+	"sort"
+	"strings"
+)
+
+// Fingerprint renders the query's statement fingerprint: a canonical form
+// with every constant normalized to `?`, variables renamed positionally and
+// body atoms sorted, so statements that differ only in constant values,
+// variable spelling or atom order aggregate under one statement-statistics
+// row. `Q(x) :- R(x, 5)` and `Q(y) :- R(y, 9)` share a fingerprint;
+// `Q(x) :- R(x, y), S(y, z)` and `Q(a) :- S(b, c), R(a, b)` do too. WITH
+// hints participate (a strategy pin is a different statement class: it runs
+// a different plan), as does the head shape including COUNT aggregates.
+func (q *Query) Fingerprint() string {
+	atoms := append([]Atom(nil), q.Atoms...)
+	// Two normalize+sort rounds: the first orders atoms under the original
+	// variable spelling, the second re-derives the positional names from
+	// that order and re-sorts, making the result stable under variable
+	// renaming for all but pathologically symmetric bodies.
+	for round := 0; round < 2; round++ {
+		names := canonicalVarNames(q.Head, atoms)
+		sort.SliceStable(atoms, func(i, j int) bool {
+			return fingerprintAtom(atoms[i], names) < fingerprintAtom(atoms[j], names)
+		})
+	}
+	names := canonicalVarNames(q.Head, atoms)
+
+	var b strings.Builder
+	b.WriteString("Q(")
+	for i, h := range q.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if h.Count {
+			b.WriteString("COUNT(")
+			b.WriteString(names[h.Var])
+			b.WriteByte(')')
+		} else {
+			b.WriteString(names[h.Var])
+		}
+	}
+	b.WriteString(") :- ")
+	for i, a := range atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(fingerprintAtom(a, names))
+	}
+	if !q.Hints.empty() {
+		b.WriteString(" WITH ")
+		b.WriteString(q.Hints.String())
+	}
+	return b.String()
+}
+
+// FingerprintText parses src and returns its fingerprint, or "" when the
+// text does not parse (callers bucket unparseable statements separately).
+func FingerprintText(src string) string {
+	q, err := Parse(src)
+	if err != nil {
+		return ""
+	}
+	return q.Fingerprint()
+}
+
+// canonicalVarNames assigns positional names ($0, $1, ...) to variables in
+// first-appearance order over the head, then the body atoms in their current
+// order.
+func canonicalVarNames(head []HeadTerm, atoms []Atom) map[string]string {
+	names := map[string]string{}
+	assign := func(v string) {
+		if v == "" {
+			return
+		}
+		if _, ok := names[v]; !ok {
+			names[v] = "$" + itoa(len(names))
+		}
+	}
+	for _, h := range head {
+		assign(h.Var)
+	}
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if !t.IsConst {
+				assign(t.Var)
+			}
+		}
+	}
+	return names
+}
+
+// fingerprintAtom renders one atom with constants normalized to `?` and
+// variables replaced by their canonical names (unrenamed spellings pass
+// through, for the pre-rename sort round).
+func fingerprintAtom(a Atom, names map[string]string) string {
+	var b strings.Builder
+	b.WriteString(a.Rel)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case t.IsConst:
+			b.WriteByte('?')
+		default:
+			if n, ok := names[t.Var]; ok {
+				b.WriteString(n)
+			} else {
+				b.WriteString(t.Var)
+			}
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// itoa is strconv.Itoa for the tiny non-negative ints of variable numbering,
+// kept local to avoid the import in this hot-ish path.
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,88 @@
+package query
+
+import "testing"
+
+func fp(t *testing.T, src string) string {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q.Fingerprint()
+}
+
+func TestFingerprintNormalizesConstants(t *testing.T) {
+	a := fp(t, "Q(x) :- R(x, 5)")
+	b := fp(t, "Q(x) :- R(x, 9)")
+	if a != b {
+		t.Fatalf("constant-differing queries split: %q vs %q", a, b)
+	}
+	if want := "Q($0) :- R($0, ?)"; a != want {
+		t.Fatalf("fingerprint = %q, want %q", a, want)
+	}
+}
+
+func TestFingerprintCanonicalizesVariablesAndAtomOrder(t *testing.T) {
+	a := fp(t, "Q(x, z) :- R(x, y), S(y, z)")
+	b := fp(t, "Q(u, w) :- S(v, w), R(u, v)")
+	if a != b {
+		t.Fatalf("renamed/reordered query split: %q vs %q", a, b)
+	}
+	if want := "Q($0, $1) :- R($0, $2), S($2, $1)"; a != want {
+		t.Fatalf("fingerprint = %q, want %q", a, want)
+	}
+}
+
+func TestFingerprintDistinguishesShapes(t *testing.T) {
+	cases := [][2]string{
+		// Different relation: different statement.
+		{"Q(x) :- R(x, 5)", "Q(x) :- S(x, 5)"},
+		// Constant in a different position.
+		{"Q(x) :- R(x, 5)", "Q(x) :- R(5, x)"},
+		// Chain vs star shape.
+		{"Q(a, c) :- R(a, b), S(b, c)", "Q(a, c) :- R(b, a), S(b, c)"},
+		// COUNT head vs plain head.
+		{"Q(x, z) :- R(x, y), S(y, z)", "Q(x, COUNT(z)) :- R(x, y), S(y, z)"},
+		// Strategy hint pins a different plan: different statement class.
+		{"Q(x, z) :- R(x, y), S(y, z)", "Q(x, z) :- R(x, y), S(y, z) WITH strategy=wcoj"},
+	}
+	for _, c := range cases {
+		if fp(t, c[0]) == fp(t, c[1]) {
+			t.Errorf("distinct statements collide: %q vs %q", c[0], c[1])
+		}
+	}
+}
+
+func TestFingerprintSelfJoin(t *testing.T) {
+	a := fp(t, "Q(a, d) :- R(a, b), R(b, c), R(c, d)")
+	b := fp(t, "Q(x, w) :- R(z, w), R(x, y), R(y, z)")
+	if a != b {
+		t.Fatalf("renamed self-join split: %q vs %q", a, b)
+	}
+}
+
+func TestFingerprintText(t *testing.T) {
+	if got := FingerprintText("Q(x) :- R(x, 7)"); got != "Q($0) :- R($0, ?)" {
+		t.Fatalf("FingerprintText = %q", got)
+	}
+	if got := FingerprintText("not a query"); got != "" {
+		t.Fatalf("unparseable FingerprintText = %q, want empty", got)
+	}
+}
+
+func TestFingerprintStableUnderReuse(t *testing.T) {
+	// Fingerprint must not mutate the query: String() still round-trips and a
+	// second Fingerprint call agrees.
+	q, err := Parse("Q(x, z) :- S(y, z), R(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := q.String()
+	f1 := q.Fingerprint()
+	if q.String() != text {
+		t.Fatalf("Fingerprint mutated query text: %q -> %q", text, q.String())
+	}
+	if f2 := q.Fingerprint(); f2 != f1 {
+		t.Fatalf("fingerprint unstable: %q vs %q", f1, f2)
+	}
+}

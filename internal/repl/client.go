@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/snapshot"
@@ -34,6 +36,24 @@ type Client struct {
 	Base string
 	// HTTP is the transport; nil means a default client with a 30s timeout.
 	HTTP *http.Client
+
+	// Request-ID minting: every pull carries an X-Request-Id the primary's
+	// instrumented routes honor, so a follower's fetches correlate in the
+	// primary's access and slow-query logs instead of arriving anonymous.
+	// The prefix is derived from the first request's wall time, matching the
+	// server's own boot-prefixed ID shape.
+	ridPrefix string
+	ridOnce   sync.Once
+	ridSeq    atomic.Uint64
+}
+
+// nextRequestID mints a correlation ID for one pull, e.g.
+// "repl-1a2b3c4d-000042".
+func (c *Client) nextRequestID() string {
+	c.ridOnce.Do(func() {
+		c.ridPrefix = fmt.Sprintf("repl-%08x", uint32(time.Now().UnixNano()))
+	})
+	return fmt.Sprintf("%s-%06d", c.ridPrefix, c.ridSeq.Add(1))
 }
 
 // defaultHTTP bounds a hung primary: responses are capped server-side, so a
@@ -83,6 +103,7 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, http.Header, err
 	if err != nil {
 		return nil, nil, fmt.Errorf("repl: %w", err)
 	}
+	req.Header.Set("X-Request-Id", c.nextRequestID())
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, nil, fmt.Errorf("repl: %w", err)

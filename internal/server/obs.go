@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -71,14 +70,10 @@ type BuildInfo struct {
 	Go      string `json:"go"`
 }
 
-// ridKey carries the per-request ID through the request context.
-type ridKey struct{}
-
 // RequestID returns the request's correlation ID, assigned by the metrics
 // middleware; empty outside an instrumented request.
 func RequestID(r *http.Request) string {
-	id, _ := r.Context().Value(ridKey{}).(string)
-	return id
+	return obs.RequestIDFrom(r.Context())
 }
 
 // nextRequestID mints a process-unique correlation ID: a per-boot prefix (so
@@ -101,16 +96,22 @@ func (sr *statusRecorder) WriteHeader(code int) {
 
 // instrument wraps one route with the observability middleware: it assigns
 // the request ID (context + X-Request-Id response header), then records the
-// route's latency histogram and per-status request counter. The histogram
-// child is resolved once per route at mount time, not per request.
+// route's latency histogram and per-status request counter. A sane inbound
+// X-Request-Id header is honored so IDs correlate across the fleet
+// (follower pulls carry the follower's ID to the primary's logs); anything
+// else gets a freshly minted ID. The histogram child is resolved once per
+// route at mount time, not per request.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	lat := httpSeconds.With(route)
 	return func(w http.ResponseWriter, r *http.Request) {
-		rid := s.nextRequestID()
+		rid := obs.SanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if rid == "" {
+			rid = s.nextRequestID()
+		}
 		w.Header().Set("X-Request-Id", rid)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
-		h(rec, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+		h(rec, r.WithContext(obs.WithRequestID(r.Context(), rid)))
 		lat.ObserveSince(start)
 		httpRequests.With(route, strconv.Itoa(rec.code)).Inc()
 	}

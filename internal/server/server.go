@@ -23,6 +23,11 @@
 //	POST   /admin/checkpoint                 → durability checkpoint
 //	POST   /admin/resume                     → re-arm a degraded engine
 //	GET    /healthz                          → ok|degraded + WAL/recovery stats
+//	GET    /stats/statements?sort=K&limit=N  → per-fingerprint statement stats
+//	POST   /stats/reset                      → clear the statement sheet
+//	GET    /stats/activity                   → in-flight queries (live view)
+//	POST   /stats/activity/{id}/cancel       → kill a running query
+//	GET    /debug/flight?limit=N             → recently completed query traces
 //
 // Failures map to distinct statuses so callers can react mechanically:
 // 429 (+Retry-After) when the bounded admission queue is full or a request
@@ -204,11 +209,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /admin/resume", s.instrument("/admin/resume", s.primaryOnly(s.handleResume)))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Workload introspection serves identically on primaries and replicas:
+	// these are read-only views of this node's own workload.
+	mux.HandleFunc("GET /stats/statements", s.instrument("/stats/statements", s.handleStatements))
+	mux.HandleFunc("POST /stats/reset", s.instrument("/stats/reset", s.handleStatsReset))
+	mux.HandleFunc("GET /stats/activity", s.instrument("/stats/activity", s.handleActivity))
+	mux.HandleFunc("POST /stats/activity/{id}/cancel", s.instrument("/stats/activity/{id}/cancel", s.handleActivityCancel))
+	mux.HandleFunc("GET /debug/flight", s.instrument("/debug/flight", s.handleFlight))
 	if src := s.eng.ReplSource(); src != nil {
 		// This node has a WAL to ship: serve followers.
 		mux.HandleFunc("GET /repl/segments", s.instrument("/repl/segments", src.ServeSegments))
 		mux.HandleFunc("GET /repl/snapshot", s.instrument("/repl/snapshot", src.ServeSnapshot))
 		mux.HandleFunc("GET /repl/status", s.instrument("/repl/status", src.ServeStatus))
+	} else if s.replica != nil {
+		// A follower has no WAL to ship but its own position to report.
+		mux.HandleFunc("GET /repl/status", s.instrument("/repl/status", s.handleReplStatus))
 	}
 	if s.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -449,11 +464,12 @@ func (s *Server) evaluate(r *http.Request, req queryRequest) (*query.Result, err
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 	defer cancel()
 	if err := s.admit(ctx); err != nil {
+		s.noteShed(r, req.Query, err)
 		return nil, err
 	}
 	defer s.release()
 	start := time.Now()
-	res, err := guardPanic(s.log, RequestID(r), req.Query, func() (*query.Result, error) {
+	res, err := guardPanic(s.log, RequestID(r), req.Query, s.flightDump, func() (*query.Result, error) {
 		if testHookEvaluate != nil {
 			return testHookEvaluate(ctx, req.Query)
 		}
@@ -484,12 +500,19 @@ func (s *Server) noteSlow(r *http.Request, q string, elapsed time.Duration, rows
 // and stack are logged with the request's correlation ID, the caller gets
 // ErrInternal (a 500), and every other in-flight request is untouched.
 // Without it a single poisoned query would tear down the whole connection
-// via net/http's recover.
-func guardPanic[T any](logger *slog.Logger, rid, q string, fn func() (T, error)) (out T, err error) {
+// via net/http's recover. flight, when non-nil, supplies the flight
+// recorder's recent traces for the crash log — the queries that completed
+// just before the panic are usually the context that explains it.
+func guardPanic[T any](logger *slog.Logger, rid, q string, flight func() string, fn func() (T, error)) (out T, err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			logger.Error("query panic",
-				"request_id", rid, "query", q, "panic", fmt.Sprint(v), "stack", string(debug.Stack()))
+			attrs := []any{
+				"request_id", rid, "query", q, "panic", fmt.Sprint(v), "stack", string(debug.Stack()),
+			}
+			if flight != nil {
+				attrs = append(attrs, "recent_flight", flight())
+			}
+			logger.Error("query panic", attrs...)
 			var zero T
 			out, err = zero, fmt.Errorf("%w: query panicked: %v", ErrInternal, v)
 		}
@@ -557,10 +580,11 @@ func (s *Server) handleQueryPage(w http.ResponseWriter, r *http.Request, req que
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 	defer cancel()
 	if err := s.admit(ctx); err != nil {
+		s.noteShed(r, req.Query, err)
 		s.error(w, r, statusFor(err), "query failed: %v", err)
 		return
 	}
-	res, err := guardPanic(s.log, RequestID(r), req.Query, func() (catalog.SortedResult, error) {
+	res, err := guardPanic(s.log, RequestID(r), req.Query, s.flightDump, func() (catalog.SortedResult, error) {
 		return s.eng.QuerySorted(ctx, req.Query)
 	})
 	s.release()

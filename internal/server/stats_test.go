@@ -1,0 +1,387 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// statementsEnvelope mirrors the GET /stats/statements response.
+type statementsEnvelope struct {
+	Role       string               `json:"role"`
+	Sort       string               `json:"sort"`
+	Count      int                  `json:"count"`
+	Statements []stats.StatementRow `json:"statements"`
+}
+
+// activityEnvelope mirrors the GET /stats/activity response.
+type activityEnvelope struct {
+	Role   string             `json:"role"`
+	Count  int                `json:"count"`
+	Active []stats.ActiveInfo `json:"active"`
+}
+
+// flightEnvelope mirrors the GET /debug/flight response.
+type flightEnvelope struct {
+	Role       string               `json:"role"`
+	Count      int                  `json:"count"`
+	SampledOut uint64               `json:"sampled_out"`
+	Records    []stats.FlightRecord `json:"records"`
+}
+
+// findStatement returns the row for fingerprint fp, or nil.
+func findStatement(rows []stats.StatementRow, fp string) *stats.StatementRow {
+	for i := range rows {
+		if rows[i].Fingerprint == fp {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+// TestStatementsAggregateByFingerprint drives two queries that differ only in
+// a constant through the live HTTP stack and asserts they aggregate under one
+// fingerprint, then resets the sheet.
+func TestStatementsAggregateByFingerprint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+
+	for _, q := range []string{
+		"Q(x) :- R(x, y), S(y, 5)",
+		"Q(x) :- R(x, y), S(y, 6)",
+	} {
+		if code := post(t, ts, "/query", map[string]any{"query": q}, nil); code != http.StatusOK {
+			t.Fatalf("query %q: status %d", q, code)
+		}
+	}
+
+	var env statementsEnvelope
+	if code := get(t, ts, "/stats/statements", &env); code != http.StatusOK {
+		t.Fatalf("statements: status %d", code)
+	}
+	if env.Role != "primary" {
+		t.Fatalf("role = %q, want primary", env.Role)
+	}
+	fp := "Q($0) :- R($0, $1), S($1, ?)"
+	row := findStatement(env.Statements, fp)
+	if row == nil {
+		t.Fatalf("no row for fingerprint %q in %+v", fp, env.Statements)
+	}
+	if row.Calls != 2 || row.OK != 2 {
+		t.Fatalf("fingerprint %q: calls=%d ok=%d, want 2/2", fp, row.Calls, row.OK)
+	}
+	if row.MeanMs <= 0 || row.MaxMs < row.MeanMs {
+		t.Fatalf("latency aggregates look wrong: mean=%v max=%v", row.MeanMs, row.MaxMs)
+	}
+
+	// Unknown sort key is a 400; a valid one works.
+	if code := get(t, ts, "/stats/statements?sort=nope", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad sort key: status %d", code)
+	}
+	if code := get(t, ts, "/stats/statements?sort=calls&limit=1", &env); code != http.StatusOK || env.Count != 1 {
+		t.Fatalf("sorted+limited: status %d count %d", code, env.Count)
+	}
+
+	var reset struct {
+		Reset   bool `json:"reset"`
+		Dropped int  `json:"dropped"`
+	}
+	if code := post(t, ts, "/stats/reset", map[string]any{}, &reset); code != http.StatusOK || !reset.Reset || reset.Dropped == 0 {
+		t.Fatalf("reset: status %d %+v", code, reset)
+	}
+	if code := get(t, ts, "/stats/statements", &env); code != http.StatusOK || env.Count != 0 {
+		t.Fatalf("after reset: status %d count %d", code, env.Count)
+	}
+}
+
+// heavyEngine builds an engine holding a relation large enough that a
+// triangle-ish self-join runs for many seconds — long enough to observe and
+// kill from outside.
+func heavyEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	eng := core.NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([]relation.Pair, 90_000)
+	for i := range pairs {
+		pairs[i] = relation.Pair{X: rng.Int31n(400), Y: rng.Int31n(400)}
+	}
+	if _, err := eng.Register("R", pairs); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestActivityExternalKill starts a heavy query, finds it in /stats/activity,
+// kills it via POST /stats/activity/{id}/cancel and asserts the query's own
+// request unwinds promptly and the kill is attributed in the statement sheet.
+func TestActivityExternalKill(t *testing.T) {
+	eng := heavyEngine(t)
+	ts2 := httptest.NewServer(New(Config{Engine: eng, Timeout: time.Minute}).Handler())
+	defer ts2.Close()
+
+	const heavy = "Q(a, d) :- R(a, b), R(b, c), R(c, d)"
+	done := make(chan int, 1)
+	go func() {
+		done <- post(t, ts2, "/query", map[string]any{"query": heavy}, nil)
+	}()
+
+	// Wait for the query to surface in the live activity view.
+	var target *stats.ActiveInfo
+	deadline := time.Now().Add(10 * time.Second)
+	for target == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("heavy query never appeared in /stats/activity")
+		}
+		var env activityEnvelope
+		if code := get(t, ts2, "/stats/activity", &env); code != http.StatusOK {
+			t.Fatalf("activity: status %d", code)
+		}
+		for i := range env.Active {
+			if env.Active[i].Query == heavy {
+				target = &env.Active[i]
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if target.Fingerprint == "" || target.ID == 0 {
+		t.Fatalf("incomplete activity row: %+v", target)
+	}
+
+	// Kill it and require the query's request to unwind within 100ms.
+	var killed struct {
+		Killed uint64 `json:"killed"`
+	}
+	killedAt := time.Now()
+	if code := post(t, ts2, "/stats/activity/"+strconv.FormatUint(target.ID, 10)+"/cancel", map[string]any{}, &killed); code != http.StatusOK || killed.Killed != target.ID {
+		t.Fatalf("cancel: status %d %+v", code, killed)
+	}
+	select {
+	case code := <-done:
+		if took := time.Since(killedAt); took > 100*time.Millisecond {
+			t.Fatalf("query survived %v after the kill (want <100ms)", took)
+		}
+		if code != http.StatusRequestTimeout {
+			t.Fatalf("killed query answered %d, want 408", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("killed query never returned")
+	}
+
+	// The kill is attributed per-fingerprint and the flight recorder kept it.
+	var senv statementsEnvelope
+	if code := get(t, ts2, "/stats/statements", &senv); code != http.StatusOK {
+		t.Fatalf("statements: status %d", code)
+	}
+	row := findStatement(senv.Statements, target.Fingerprint)
+	if row == nil || row.Killed != 1 {
+		t.Fatalf("kill not attributed: %+v", row)
+	}
+	var fenv flightEnvelope
+	if code := get(t, ts2, "/debug/flight", &fenv); code != http.StatusOK {
+		t.Fatalf("flight: status %d", code)
+	}
+	var rec *stats.FlightRecord
+	for i := range fenv.Records {
+		if fenv.Records[i].Class == "killed" {
+			rec = &fenv.Records[i]
+		}
+	}
+	if rec == nil || rec.Fingerprint != target.Fingerprint {
+		t.Fatalf("flight recorder missed the kill: %+v", fenv.Records)
+	}
+
+	// Cancelling an unknown id is a 404; a malformed one a 400.
+	if code := post(t, ts2, "/stats/activity/999999/cancel", map[string]any{}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", code)
+	}
+	if code := post(t, ts2, "/stats/activity/zap/cancel", map[string]any{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed id: status %d", code)
+	}
+}
+
+// TestFlightRecorderRetainsFailuresUnderLoad hammers a server with a mix of
+// succeeding and failing queries from several goroutines and asserts every
+// failure is retained while unremarkable successes are sampled out. Run under
+// -race this also exercises the introspection layer's concurrency.
+func TestFlightRecorderRetainsFailuresUnderLoad(t *testing.T) {
+	eng := core.NewEngine(core.WithIntrospection(core.IntrospectionConfig{
+		FlightSize:    256,
+		FlightSample:  1 << 20,   // keep (almost) no unremarkable queries
+		SlowThreshold: time.Hour, // nothing counts as slow
+	}))
+	ts := httptest.NewServer(New(Config{Engine: eng}).Handler())
+	defer ts.Close()
+	registerChain(t, ts)
+
+	const (
+		workers = 4
+		perKind = 25
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perKind; i++ {
+				post(t, ts, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, nil)
+				post(t, ts, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), Missing(y, z)"}, nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var env flightEnvelope
+	if code := get(t, ts, "/debug/flight", &env); code != http.StatusOK {
+		t.Fatalf("flight: status %d", code)
+	}
+	errors, sampled := 0, 0
+	for _, r := range env.Records {
+		switch r.Class {
+		case "error":
+			errors++
+		case "sampled":
+			sampled++
+		}
+	}
+	if want := workers * perKind; errors != want {
+		t.Fatalf("flight retained %d error records, want every one of %d", errors, want)
+	}
+	if sampled > 1 {
+		t.Fatalf("sampling kept %d unremarkable queries at 1-in-2^20", sampled)
+	}
+	if env.SampledOut == 0 {
+		t.Fatal("sampled_out not reported")
+	}
+
+	// A slow-threshold-zero... rather, a tiny threshold retains successes too.
+	slow := core.NewEngine(core.WithIntrospection(core.IntrospectionConfig{
+		FlightSample:  1 << 20,
+		SlowThreshold: time.Nanosecond, // every query counts as slow
+	}))
+	ts2 := httptest.NewServer(New(Config{Engine: slow}).Handler())
+	defer ts2.Close()
+	registerChain(t, ts2)
+	for i := 0; i < 5; i++ {
+		if code := post(t, ts2, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, nil); code != http.StatusOK {
+			t.Fatalf("query: status %d", code)
+		}
+	}
+	if code := get(t, ts2, "/debug/flight", &env); code != http.StatusOK {
+		t.Fatalf("flight: status %d", code)
+	}
+	slowKept := 0
+	for _, r := range env.Records {
+		if r.Class == "slow" {
+			slowKept++
+			if r.Plan == "" {
+				t.Fatalf("slow record missing its plan tree: %+v", r)
+			}
+		}
+	}
+	if slowKept != 5 {
+		t.Fatalf("retained %d slow records, want 5", slowKept)
+	}
+}
+
+// TestIntrospectionOnReplica runs the same loop against a read-only follower:
+// statements aggregate, activity lists, the flight recorder records, and
+// every envelope is tagged role=replica. /repl/status on the follower reports
+// the lag history ring.
+func TestIntrospectionOnReplica(t *testing.T) {
+	primary, follower, rep := newPrimaryFollower(t)
+	registerChain(t, primary)
+	waitFollower(t, rep, 2)
+
+	for _, q := range []string{
+		"Q(x) :- R(x, y), S(y, 5)",
+		"Q(x) :- R(x, y), S(y, 6)",
+	} {
+		if code := post(t, follower, "/query", map[string]any{"query": q}, nil); code != http.StatusOK {
+			t.Fatalf("query on follower %q: status %d", q, code)
+		}
+	}
+
+	var senv statementsEnvelope
+	if code := get(t, follower, "/stats/statements", &senv); code != http.StatusOK {
+		t.Fatalf("statements on follower: status %d", code)
+	}
+	if senv.Role != "replica" {
+		t.Fatalf("role = %q, want replica", senv.Role)
+	}
+	row := findStatement(senv.Statements, "Q($0) :- R($0, $1), S($1, ?)")
+	if row == nil || row.Calls != 2 {
+		t.Fatalf("follower statement sheet missing aggregated row: %+v", senv.Statements)
+	}
+
+	var aenv activityEnvelope
+	if code := get(t, follower, "/stats/activity", &aenv); code != http.StatusOK || aenv.Role != "replica" {
+		t.Fatalf("activity on follower: status %d role %q", code, aenv.Role)
+	}
+	var fenv flightEnvelope
+	if code := get(t, follower, "/debug/flight", &fenv); code != http.StatusOK || fenv.Role != "replica" {
+		t.Fatalf("flight on follower: status %d role %q", code, fenv.Role)
+	}
+	if fenv.Count == 0 {
+		t.Fatal("follower flight recorder empty after queries")
+	}
+
+	// The follower's /repl/status serves its position including lag history.
+	var rst core.ReplicaStatus
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := get(t, follower, "/repl/status", &rst); code != http.StatusOK {
+			t.Fatalf("/repl/status on follower: status %d", code)
+		}
+		if len(rst.LagHistory) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no lag history on follower: %+v", rst)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rst.State != core.ReplicaTailing || !rst.CaughtUp {
+		t.Fatalf("unexpected follower state: %+v", rst)
+	}
+	last := rst.LagHistory[len(rst.LagHistory)-1]
+	if last.UnixMs == 0 {
+		t.Fatalf("lag sample missing timestamp: %+v", last)
+	}
+}
+
+// TestRequestIDPropagation asserts the server honors a caller-supplied
+// X-Request-Id (the replication client's pulls rely on this to correlate on
+// the primary) and replaces garbage ones.
+func TestRequestIDPropagation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "repl-cafebabe-000001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "repl-cafebabe-000001" {
+		t.Fatalf("honored id = %q", got)
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "bad id \"with\" spaces")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got == "" || got == "bad id \"with\" spaces" {
+		t.Fatalf("garbage id not replaced: %q", got)
+	}
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Active is one in-flight query. The executor reports progress into it
+// through the ExecNode/ExecProgress observer methods (lock-free: an atomic
+// pointer swap per plan node, two atomic adds per operator); /stats/activity
+// reads it concurrently.
+type Active struct {
+	id          uint64
+	requestID   string
+	fingerprint string
+	text        string
+	started     time.Time
+
+	node   atomic.Pointer[string]
+	rows   atomic.Int64
+	bytes  atomic.Int64
+	killed atomic.Bool
+	cancel func()
+}
+
+// ExecNode records that evaluation entered the given plan node. It
+// implements the executor's observer hook.
+func (a *Active) ExecNode(op, detail string) {
+	n := op
+	if detail != "" {
+		n = op + " " + detail
+	}
+	a.node.Store(&n)
+}
+
+// ExecProgress accumulates rows produced and budget bytes charged so far.
+// It implements the executor's observer hook.
+func (a *Active) ExecProgress(rows, bytes int64) {
+	if rows != 0 {
+		a.rows.Add(rows)
+	}
+	if bytes != 0 {
+		a.bytes.Add(bytes)
+	}
+}
+
+// Killed reports whether an external kill was delivered to this query.
+func (a *Active) Killed() bool { return a.killed.Load() }
+
+// Rows returns the rows produced so far (all operators, not just output).
+func (a *Active) Rows() int64 { return a.rows.Load() }
+
+// Bytes returns the budget bytes charged so far.
+func (a *Active) Bytes() int64 { return a.bytes.Load() }
+
+// ActiveInfo is one in-flight query as /stats/activity serves it.
+type ActiveInfo struct {
+	ID          uint64  `json:"id"`
+	RequestID   string  `json:"request_id,omitempty"`
+	Fingerprint string  `json:"fingerprint"`
+	Query       string  `json:"query"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	Node        string  `json:"node,omitempty"`
+	Rows        int64   `json:"rows"`
+	BudgetBytes int64   `json:"budget_bytes"`
+	Killed      bool    `json:"killed,omitempty"`
+}
+
+// Activity is the registry of in-flight queries. The zero value is not
+// usable; use NewActivity. All methods are safe for concurrent use.
+type Activity struct {
+	mu     sync.Mutex
+	seq    uint64
+	active map[uint64]*Active
+}
+
+// NewActivity returns an empty in-flight registry.
+func NewActivity() *Activity {
+	return &Activity{active: make(map[uint64]*Active)}
+}
+
+// Begin registers a starting query and returns its activity handle. cancel
+// is the query's own context cancel; Cancel(id) invokes it to kill the query
+// from outside. The caller must Finish the handle when evaluation returns.
+func (r *Activity) Begin(requestID, fingerprint, text string, cancel func()) *Active {
+	a := &Active{
+		requestID:   requestID,
+		fingerprint: fingerprint,
+		text:        text,
+		started:     time.Now(),
+		cancel:      cancel,
+	}
+	r.mu.Lock()
+	r.seq++
+	a.id = r.seq
+	r.active[a.id] = a
+	r.mu.Unlock()
+	activityStarted.Inc()
+	activityInFlight.Add(1)
+	return a
+}
+
+// Finish removes a query from the in-flight view.
+func (r *Activity) Finish(a *Active) {
+	r.mu.Lock()
+	delete(r.active, a.id)
+	r.mu.Unlock()
+	activityInFlight.Add(-1)
+}
+
+// Cancel kills the in-flight query with the given id, returning false when
+// no such query is running. The kill is cooperative: the query's context is
+// cancelled and the executor's Stop hooks unwind it at the next poll point.
+func (r *Activity) Cancel(id uint64) bool {
+	r.mu.Lock()
+	a, ok := r.active[id]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	a.killed.Store(true)
+	if a.cancel != nil {
+		a.cancel()
+	}
+	activityKills.Inc()
+	return true
+}
+
+// List snapshots the in-flight queries, oldest first.
+func (r *Activity) List() []ActiveInfo {
+	now := time.Now()
+	r.mu.Lock()
+	out := make([]ActiveInfo, 0, len(r.active))
+	for _, a := range r.active {
+		info := ActiveInfo{
+			ID:          a.id,
+			RequestID:   a.requestID,
+			Fingerprint: a.fingerprint,
+			Query:       a.text,
+			ElapsedMs:   float64(now.Sub(a.started).Nanoseconds()) / 1e6,
+			Rows:        a.rows.Load(),
+			BudgetBytes: a.bytes.Load(),
+			Killed:      a.killed.Load(),
+		}
+		if n := a.node.Load(); n != nil {
+			info.Node = *n
+		}
+		out = append(out, info)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

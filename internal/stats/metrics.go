@@ -1,0 +1,40 @@
+package stats
+
+import "repro/internal/obs"
+
+// Workload-introspection metrics. Statement and activity counters are
+// instrumented inline (not scrape-time mirrors); all engines in a process
+// share these series, so tests assert on deltas.
+var (
+	stmtObservations = obs.Default().CounterVec(
+		"joinmm_stmt_observations_total",
+		"Statement-statistics observations by outcome (ok, error, budget, killed, timeout, canceled, shed).",
+		"outcome")
+	stmtFingerprints = obs.Default().Gauge(
+		"joinmm_stmt_fingerprints",
+		"Distinct statement fingerprints currently tracked by the statement-stats registry.")
+	stmtOverflow = obs.Default().Counter(
+		"joinmm_stmt_overflow_total",
+		"Observations folded into the overflow bucket because the registry hit its fingerprint cap.")
+	stmtResets = obs.Default().Counter(
+		"joinmm_stmt_resets_total",
+		"Statement-statistics resets via POST /stats/reset.")
+
+	activityInFlight = obs.Default().Gauge(
+		"joinmm_activity_in_flight",
+		"Queries currently executing (registered in the live activity view).")
+	activityStarted = obs.Default().Counter(
+		"joinmm_activity_started_total",
+		"Queries that entered the live activity view since process start.")
+	activityKills = obs.Default().Counter(
+		"joinmm_activity_kills_total",
+		"External kills delivered through POST /stats/activity/{id}/cancel.")
+
+	flightRecords = obs.Default().CounterVec(
+		"joinmm_flight_records_total",
+		"Query traces retained by the flight recorder, by retention class (slow, error, budget, killed, timeout, canceled, shed, sampled).",
+		"class")
+	flightSampledOut = obs.Default().Counter(
+		"joinmm_flight_sampled_out_total",
+		"Unremarkable query completions the flight recorder sampled out.")
+)
