@@ -14,6 +14,7 @@
 //	joinbench -views                                 # view maintenance bench
 //	joinbench -views -views-baseline BENCH_views.json  # + maintenance gate
 //	joinbench -recovery                              # replay-vs-recompute bench
+//	joinbench -query-overhead                        # planner telemetry overhead gate
 //
 // Each experiment prints the same rows/series the paper's corresponding
 // table or figure reports (dataset × algorithm × running time, or a
@@ -49,20 +50,29 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("experiment", "", "experiment id (e.g. fig4a), or 'all'")
-		scale     = flag.Float64("scale", 0.5, "dataset scale factor")
-		list      = flag.Bool("list", false, "list available experiments")
-		csv       = flag.Bool("csv", false, "emit CSV rows instead of tables")
-		jsonOut   = flag.Bool("json", false, "measure the matrix kernels and write a BENCH_kernels.json snapshot")
-		baseline  = flag.String("baseline", "", "with -json: compare against this snapshot and fail on regressions")
-		tolerance = flag.Float64("tolerance", 0.10, "with -baseline: allowed ns/op regression fraction")
-		queryStr  = flag.String("query", "", "benchmark end-to-end query evaluation: a query string, or 'suite'")
-		queryBase = flag.String("query-baseline", "", "with -query: gate end-to-end times against this BENCH_queries.json snapshot")
-		viewsMode = flag.Bool("views", false, "benchmark incremental view maintenance vs full recompute; writes BENCH_views.json")
-		viewsBase = flag.String("views-baseline", "", "with -views: gate per-batch maintenance times against this BENCH_views.json snapshot")
-		recovery  = flag.Bool("recovery", false, "benchmark crash recovery (snapshot + WAL replay) vs recompute; writes BENCH_recovery.json")
+		exp        = flag.String("experiment", "", "experiment id (e.g. fig4a), or 'all'")
+		scale      = flag.Float64("scale", 0.5, "dataset scale factor")
+		list       = flag.Bool("list", false, "list available experiments")
+		csv        = flag.Bool("csv", false, "emit CSV rows instead of tables")
+		jsonOut    = flag.Bool("json", false, "measure the matrix kernels and write a BENCH_kernels.json snapshot")
+		baseline   = flag.String("baseline", "", "with -json: compare against this snapshot and fail on regressions")
+		tolerance  = flag.Float64("tolerance", 0.10, "with -baseline: allowed ns/op regression fraction")
+		queryStr   = flag.String("query", "", "benchmark end-to-end query evaluation: a query string, or 'suite'")
+		queryBase  = flag.String("query-baseline", "", "with -query: gate end-to-end times against this BENCH_queries.json snapshot")
+		viewsMode  = flag.Bool("views", false, "benchmark incremental view maintenance vs full recompute; writes BENCH_views.json")
+		viewsBase  = flag.String("views-baseline", "", "with -views: gate per-batch maintenance times against this BENCH_views.json snapshot")
+		recovery   = flag.Bool("recovery", false, "benchmark crash recovery (snapshot + WAL replay) vs recompute; writes BENCH_recovery.json")
+		overhead   = flag.Bool("query-overhead", false, "measure planner-accuracy telemetry overhead (instrumented vs baseline, back-to-back) over the query suite")
+		overBudget = flag.Float64("overhead-budget", 0.02, "with -query-overhead: fail when the telemetry overhead fraction exceeds this")
 	)
 	flag.Parse()
+
+	if *overhead {
+		runOverheadBench(*scale, *overBudget)
+		if *exp == "" && !*list && !*jsonOut && !*viewsMode && !*recovery && *queryStr == "" {
+			return
+		}
+	}
 
 	if *queryStr != "" {
 		runQueryBench(*queryStr, *scale, *queryBase, *tolerance)
@@ -261,6 +271,30 @@ func runQueryBench(q string, scale float64, baseline string, tolerance float64) 
 		}
 		fmt.Printf("no query regressions beyond %.0f%% vs %s\n", tolerance*100, baseline)
 	}
+}
+
+// runOverheadBench measures the planner-accuracy telemetry overhead: the
+// query suite runs back-to-back with and without the accuracy-aggregation
+// path (min-of-reps on both sides) and the suite-weighted ratio is gated
+// against the budget.
+func runOverheadBench(scale, budget float64) {
+	rep, err := experiments.QueryOverhead(experiments.DefaultQuerySuite(), scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-55s %14s %14s %8s\n", "query", "baseline ns", "instrumented", "ratio")
+	for _, row := range rep.PerQuery {
+		fmt.Printf("%-55s %14d %14d %7.3f×\n", row.Query, row.BaselineNs, row.InstrumentedNs, row.Ratio)
+	}
+	fmt.Printf("%-55s %14d %14d %7.3f×\n", "suite total", rep.BaselineNs, rep.InstrumentedNs, rep.Ratio)
+	over := rep.Ratio - 1
+	if over > budget {
+		fmt.Fprintf(os.Stderr, "joinbench: planner telemetry overhead %.2f%% exceeds budget %.2f%%\n",
+			over*100, budget*100)
+		os.Exit(1)
+	}
+	fmt.Printf("planner telemetry overhead %.2f%% within budget %.2f%%\n", over*100, budget*100)
 }
 
 // runRecoveryBench measures replay-vs-recompute and writes

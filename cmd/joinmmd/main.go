@@ -73,6 +73,19 @@
 //	-flight-sample-rate        keep 1-in-N unremarkable queries in the flight
 //	                           recorder; slow, failed, killed and shed queries
 //	                           are always kept (0 = default 16)
+//	-optimizer-constants       pin the optimizer's Ts,Tm,TI machine constants in
+//	                           nanoseconds (e.g. 0.5,6,4), skipping the startup
+//	                           micro-probe: reproducible plan choices across
+//	                           runners, and the escape hatch when the
+//	                           /stats/planner drift gauges fire ("" = probe)
+//	-optimizer-recalibrate     adopt EWMA-smoothed observed constants online:
+//	                           bounded step per adoption, never mid-query,
+//	                           logged and counted in
+//	                           joinmm_optimizer_recalibrations_total (off by
+//	                           default)
+//	-optimizer-near-margin     decisions whose MM-vs-WCOJ margin falls below
+//	                           this ratio are flagged near-margin in
+//	                           /stats/planner (0 = default 1.5)
 //	-pprof                     mount net/http/pprof under /debug/pprof/ on the
 //	                           service mux (off by default)
 //	-log-format                log output format: text|json (default text)
@@ -95,11 +108,13 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/optimizer"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -129,6 +144,23 @@ func buildInfo() server.BuildInfo {
 		}
 	}
 	return b
+}
+
+// parseConstants parses the -optimizer-constants "ts,tm,ti" form.
+func parseConstants(s string) (optimizer.Constants, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return optimizer.Constants{}, fmt.Errorf("-optimizer-constants wants ts,tm,ti (3 values), got %q", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return optimizer.Constants{}, fmt.Errorf("-optimizer-constants: bad value %q (want positive nanoseconds)", p)
+		}
+		vals[i] = v
+	}
+	return optimizer.Constants{Ts: vals[0], Tm: vals[1], TI: vals[2]}, nil
 }
 
 // loadFlags collects repeated -load name=path specs.
@@ -175,6 +207,9 @@ func run() error {
 		stmtMax     = flag.Int("stmt-stats-max", 0, "distinct statement fingerprints in /stats/statements before overflow (0 = default 512)")
 		flightSize  = flag.Int("flight-ring-size", 0, "flight-recorder capacity for /debug/flight (0 = default 256)")
 		flightRate  = flag.Int("flight-sample-rate", 0, "keep 1-in-N unremarkable queries in the flight recorder; slow and failed queries are always kept (0 = default 16)")
+		optConsts   = flag.String("optimizer-constants", "", "pin the optimizer machine constants as ts,tm,ti in nanoseconds, skipping the startup probe (\"\" = probe)")
+		optRecal    = flag.Bool("optimizer-recalibrate", false, "let the optimizer adopt EWMA-smoothed observed constants (bounded step, between queries)")
+		optBand     = flag.Float64("optimizer-near-margin", 0, "flag planner decisions with margin below this ratio as near-margin in /stats/planner (0 = default 1.5)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logFormat   = flag.String("log-format", "text", "log output format: text|json")
 		showVersion = flag.Bool("version", false, "print version, commit, and Go runtime, then exit")
@@ -217,15 +252,32 @@ func run() error {
 		}
 	}
 
-	eng := core.NewEngine(
+	engOpts := []core.Option{
 		core.WithWorkers(*workers),
 		core.WithQueryBudget(*maxQBytes, 0),
+		core.WithNearMarginBand(*optBand),
 		core.WithIntrospection(core.IntrospectionConfig{
 			MaxStatements: *stmtMax,
 			FlightSize:    *flightSize,
 			FlightSample:  *flightRate,
 			SlowThreshold: *slowQuery,
-		}))
+		}),
+	}
+	if *optConsts != "" {
+		c, err := parseConstants(*optConsts)
+		if err != nil {
+			return err
+		}
+		// Pin both the engine's optimizer and the process-wide calibration
+		// (the GHD bag planner builds its own optimizer through it).
+		optimizer.PinConstants(c.Ts, c.Tm, c.TI)
+		engOpts = append(engOpts, core.WithOptimizerConstants(c))
+		logger.Info("optimizer constants pinned", "ts", c.Ts, "tm", c.Tm, "ti", c.TI)
+	}
+	if *optRecal {
+		engOpts = append(engOpts, core.WithRecalibration(optimizer.RecalConfig{}))
+	}
+	eng := core.NewEngine(engOpts...)
 	degradeCh := make(chan error, 1)
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsync)

@@ -67,6 +67,13 @@ type ComposeDecision struct {
 	// EstOut and OutJoin record the estimates behind the decision, when the
 	// planner computed them (0 otherwise).
 	EstOut, OutJoin int64
+	// PredictedNs is the modeled cost of the chosen plan in nanoseconds
+	// (0 = the planner priced nothing).
+	PredictedNs float64
+	// Margin is how decisively the chosen strategy won (see
+	// optimizer.Decision.Margin); NearMargin flags coin-flip decisions.
+	Margin     float64
+	NearMargin bool
 }
 
 // Planner chooses a strategy for one composition
@@ -100,6 +107,11 @@ type Step struct {
 	Delta1, Delta2 int
 	// EstOut and OutJoin are the planner's estimates (0 without a planner).
 	EstOut, OutJoin int64
+	// PredictedNs, Margin and NearMargin carry the planner's modeled cost
+	// and decision margin through to plan reporting (0 without a planner).
+	PredictedNs float64
+	Margin      float64
+	NearMargin  bool
 	// Rows is the actual output size of the fold.
 	Rows int
 }
@@ -112,6 +124,12 @@ func (s Step) String() string {
 	}
 	if s.OutJoin > 0 {
 		out += fmt.Sprintf(" est|OUT|=%d |OUT⋈|=%d", s.EstOut, s.OutJoin)
+	}
+	if s.Margin > 0 {
+		out += fmt.Sprintf(" margin=%.2f×", s.Margin)
+		if s.NearMargin {
+			out += " (near)"
+		}
 	}
 	return out + fmt.Sprintf(" rows=%d", s.Rows)
 }
@@ -181,7 +199,9 @@ func Compose(l, r *relation.Relation, opt Options) (*relation.Relation, Step) {
 	step := Step{
 		Left: l.Name(), Right: r.Name(),
 		Strategy: dec.Strategy, Delta1: jopt.Delta1, Delta2: jopt.Delta2,
-		EstOut: dec.EstOut, OutJoin: dec.OutJoin, Rows: v.Size(),
+		EstOut: dec.EstOut, OutJoin: dec.OutJoin,
+		PredictedNs: dec.PredictedNs, Margin: dec.Margin, NearMargin: dec.NearMargin,
+		Rows: v.Size(),
 	}
 	if dec.Strategy == StrategyWCOJ {
 		step.Delta1, step.Delta2 = 0, 0

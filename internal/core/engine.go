@@ -83,6 +83,14 @@ type Config struct {
 	// Introspect sizes the workload-introspection layer (statement stats,
 	// activity view, flight recorder); the zero value takes defaults.
 	Introspect IntrospectionConfig
+	// OptimizerConstants, when non-nil, pins the optimizer's (Ts, Tm, TI)
+	// machine constants, skipping the startup probe.
+	OptimizerConstants *optimizer.Constants
+	// Recalibrate, when non-nil, enables online constant recalibration with
+	// the given tuning (default off).
+	Recalibrate *optimizer.RecalConfig
+	// NearMarginBand overrides the decision-audit band (0 = default 1.5×).
+	NearMarginBand float64
 }
 
 // Option mutates the engine configuration.
@@ -126,20 +134,30 @@ type Engine struct {
 	stmts    *stats.Statements
 	activity *stats.Activity
 	flight   *stats.Flight
+	planner  *stats.Planner
 }
 
 // NewEngine builds an engine; calibration of the optimizer's machine
-// constants happens once per process.
+// constants happens once per process (skipped when Config pins them).
 func NewEngine(opts ...Option) *Engine {
 	var cfg Config
 	for _, o := range opts {
 		o(&cfg)
 	}
+	opt := optimizer.New()
+	if cfg.OptimizerConstants != nil {
+		opt = optimizer.NewWithConstants(*cfg.OptimizerConstants)
+	}
+	opt.NearMarginBand = cfg.NearMarginBand
+	if cfg.Recalibrate != nil {
+		opt.EnableRecalibration(*cfg.Recalibrate)
+	}
 	e := &Engine{
-		cfg: cfg, opt: optimizer.New(), cat: catalog.New(),
+		cfg: cfg, opt: opt, cat: catalog.New(),
 		stmts:    stats.NewStatements(cfg.Introspect.MaxStatements),
 		activity: stats.NewActivity(),
 		flight:   stats.NewFlight(cfg.Introspect.FlightSize, cfg.Introspect.FlightSample, cfg.Introspect.SlowThreshold),
+		planner:  stats.NewPlanner(cfg.Introspect.MaxStatements),
 	}
 	e.views = view.NewRegistry(view.Config{
 		Catalog:   e.cat,
@@ -543,6 +561,10 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*query.Result, e
 			pl.Analyzed = true
 			return pl.String()
 		})
+	e.notePlanner(p.Fingerprint, res.Plan)
+	// Between queries is the only place constants may move: every decision
+	// in the evaluation above read one consistent snapshot.
+	e.opt.MaybeRecalibrate()
 	return res, nil
 }
 

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/optimizer"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Planner-accuracy overhead harness: the accuracy telemetry rides the
+// engine's query path (per-node predicted-vs-actual capture, the
+// /stats/planner aggregation, the optimizer drift EWMAs), and its budget is
+// ≤2% of end-to-end query time. QueryOverhead measures the same suite
+// back-to-back with and without the aggregation layer — min-of-reps on both
+// sides, interleaved per query so machine drift hits both equally.
+
+// QueryOverheadRow is one query's baseline-vs-instrumented comparison.
+// BaselineNs/InstrumentedNs are each side's fastest rep (informational);
+// Ratio is the median of per-pair instrumented/baseline ratios, the robust
+// estimator the budget gate consumes.
+type QueryOverheadRow struct {
+	Query          string  `json:"query"`
+	BaselineNs     int64   `json:"baseline_ns_per_op"`
+	InstrumentedNs int64   `json:"instrumented_ns_per_op"`
+	Ratio          float64 `json:"ratio"`
+}
+
+// OverheadReport is the suite-wide accuracy-telemetry overhead measurement.
+type OverheadReport struct {
+	// BaselineNs and InstrumentedNs sum the per-query fastest reps; Ratio is
+	// the baseline-time-weighted mean of the per-query median ratios
+	// (1.02 = 2% overhead).
+	BaselineNs     int64              `json:"baseline_ns"`
+	InstrumentedNs int64              `json:"instrumented_ns"`
+	Ratio          float64            `json:"ratio"`
+	PerQuery       []QueryOverheadRow `json:"per_query"`
+}
+
+// QueryOverhead measures the planner-accuracy telemetry's overhead over the
+// query suite: each query runs min-of-reps twice back-to-back — plain
+// execution, then execution plus the full accuracy-aggregation path (plan
+// walk, per-fingerprint sheet record, drift observation, recalibration
+// check) — against one shared catalog.
+func QueryOverhead(queries []string, scale float64) (*OverheadReport, error) {
+	cat := QueryBenchCatalog(scale)
+	resolver := catalogResolver(cat)
+	opt := optimizer.New()
+	sheet := stats.NewPlanner(0)
+	rep := &OverheadReport{}
+	var sumWeighted float64
+	for _, src := range queries {
+		p, err := query.Prepare(src, resolver)
+		if err != nil {
+			return nil, fmt.Errorf("query %q: %w", src, err)
+		}
+		execOpts := query.ExecOptions{Optimizer: opt}
+		run := func() (*query.Result, error) {
+			return p.Execute(context.Background(), execOpts)
+		}
+		base, instr, ratio := measurePairNs(
+			func() error { _, err := run(); return err },
+			func() error {
+				res, err := run()
+				if err != nil {
+					return err
+				}
+				recordAccuracy(sheet, opt, p.Fingerprint, res.Plan)
+				opt.MaybeRecalibrate()
+				return nil
+			})
+		if base < 0 || instr < 0 {
+			return nil, fmt.Errorf("query %q failed during measurement", src)
+		}
+		rep.PerQuery = append(rep.PerQuery, QueryOverheadRow{
+			Query: p.Text, BaselineNs: base, InstrumentedNs: instr, Ratio: ratio,
+		})
+		rep.BaselineNs += base
+		rep.InstrumentedNs += instr
+		sumWeighted += float64(base) * ratio
+	}
+	if rep.BaselineNs > 0 {
+		rep.Ratio = sumWeighted / float64(rep.BaselineNs)
+	}
+	return rep, nil
+}
+
+// measurePairNs times two variants of the same work with strictly
+// alternating reps (A, B, A, B, ...). It reports each side's fastest rep
+// plus the median of the per-pair instrumented/baseline ratios — the
+// estimator the budget gate uses. Alternation plus a paired-ratio median is
+// what makes a ≤2% budget measurable at all: cache state and co-tenant
+// drift hit both halves of a pair equally, and a GC pause landing in one
+// rep contaminates that single pair's ratio, which the median discards,
+// instead of permanently poisoning one side's minimum.
+func measurePairNs(base, instr func() error) (baseNs, instrNs int64, ratio float64) {
+	if base() != nil || instr() != nil { // warm-up both sides
+		return -1, -1, 0
+	}
+	baseNs, instrNs = int64(1<<63-1), int64(1<<63-1)
+	var ratios []float64
+	start := time.Now()
+	for n := 0; time.Since(start) < 2*queryBudget || n < 3; n++ {
+		t0 := time.Now()
+		if base() != nil {
+			return -1, -1, 0
+		}
+		b := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		if instr() != nil {
+			return -1, -1, 0
+		}
+		i := time.Since(t0).Nanoseconds()
+		if b < baseNs {
+			baseNs = b
+		}
+		if i < instrNs {
+			instrNs = i
+		}
+		ratios = append(ratios, float64(i)/float64(b))
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	ratio = ratios[mid]
+	if len(ratios)%2 == 0 {
+		ratio = (ratios[mid-1] + ratios[mid]) / 2
+	}
+	return baseNs, instrNs, ratio
+}
+
+// recordAccuracy mirrors the engine's notePlanner wiring: extract every
+// optimizer-priced node and feed the sheet and drift EWMAs.
+func recordAccuracy(sheet *stats.Planner, opt *optimizer.Optimizer, fingerprint string, plan *query.Plan) {
+	var nodes []stats.NodeObservation
+	plan.Walk(func(n *query.Node) {
+		if n.PredictedNs <= 0 && n.OutJoin <= 0 {
+			return
+		}
+		nodes = append(nodes, stats.NodeObservation{
+			Op: n.Op, Strategy: n.Strategy,
+			PredictedNs: n.PredictedNs, ActualNs: n.TimeNs,
+			EstRows: n.EstRows, Rows: n.Rows,
+			Margin: n.Margin, NearMargin: n.NearMargin,
+			Delta1: n.Delta1, Delta2: n.Delta2,
+		})
+		opt.ObserveNode(n.Strategy, n.PredictedNs, float64(n.TimeNs))
+	})
+	sheet.Record(fingerprint, nodes)
+}

@@ -1,7 +1,9 @@
 package optimizer
 
 import (
+	"log/slog"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -20,29 +22,71 @@ var (
 //	Tm — average allocation of 32 bytes,
 //	TI — average random access + insert in a vector.
 //
-// Each probe takes the best of three trials: the constants feed the
-// MM-vs-combinatorial crossover of Algorithm 3, and with the blocked matrix
-// kernels the two plans sit closer together than before, so a scheduler
-// hiccup inflating one constant would visibly misplace the crossover.
+// Each probe takes the best of three trials on a locked OS thread: the
+// constants feed the MM-vs-combinatorial crossover of Algorithm 3, and with
+// the blocked matrix kernels the two plans sit closer together than before,
+// so a scheduler hiccup inflating one constant would visibly misplace the
+// crossover for the life of the process. If the three trials of a probe
+// disagree by more than 2× — the signature of a cold-start migration or
+// frequency ramp — the probe is re-run once and the better (tighter-spread)
+// attempt wins.
 func CalibrateConstants() (ts, tm, ti float64) {
-	calOnce.Do(func() {
-		calTs = bestOf3(measureSequential)
-		calTm = bestOf3(measureAlloc)
-		calTI = bestOf3(measureRandomInsert)
-	})
+	calOnce.Do(runProbes)
 	return calTs, calTm, calTI
 }
 
-// bestOf3 returns the minimum of three runs of probe — the run least
-// disturbed by preemption or frequency ramping.
-func bestOf3(probe func() float64) float64 {
-	best := probe()
-	for i := 0; i < 2; i++ {
-		if v := probe(); v < best {
-			best = v
+// PinConstants pre-seeds the process-wide calibration with externally
+// supplied values (the -optimizer-constants flag), skipping the startup
+// probe. A no-op if calibration already ran.
+func PinConstants(ts, tm, ti float64) {
+	calOnce.Do(func() {
+		calTs, calTm, calTI = clampConst(ts), clampConst(tm), clampConst(ti)
+		slog.Debug("optimizer constants pinned", "ts", calTs, "tm", calTm, "ti", calTI)
+	})
+}
+
+// runProbes measures all three constants on one locked OS thread so the
+// trials are not migrated between cores mid-probe.
+func runProbes() {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	calTs = stableProbe("ts", measureSequential)
+	calTm = stableProbe("tm", measureAlloc)
+	calTI = stableProbe("ti", measureRandomInsert)
+}
+
+// stableProbe runs best-of-3 trials, recording the spread (worst/best). A
+// spread over 2× means at least one trial was disturbed; re-probe once and
+// keep the attempt with the tighter spread.
+func stableProbe(name string, probe func() float64) float64 {
+	best, spread := trials3(probe)
+	if spread > 2 {
+		best2, spread2 := trials3(probe)
+		slog.Debug("optimizer probe re-run: trials disagreed by >2x",
+			"constant", name, "spread", spread, "respread", spread2)
+		if spread2 < spread {
+			best, spread = best2, spread2
 		}
 	}
+	slog.Debug("optimizer probe", "constant", name, "ns", best, "spread", spread)
 	return best
+}
+
+// trials3 runs three trials and returns the minimum plus the worst/best
+// spread.
+func trials3(probe func() float64) (best, spread float64) {
+	best = probe()
+	worst := best
+	for i := 0; i < 2; i++ {
+		v := probe()
+		if v < best {
+			best = v
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return best, worst / best
 }
 
 const probeN = 1 << 16

@@ -1,0 +1,48 @@
+package optimizer
+
+import "repro/internal/obs"
+
+// Decision-audit and constant-drift metric families. The gauges get children
+// for every (name, source) and class at optimizer construction, so the
+// families are scrapeable (and promcheck-checkable) before any drift exists;
+// the drift ratios start at their no-drift value 1.0.
+var (
+	decisionsTotal = obs.Default().CounterVec(
+		"joinmm_optimizer_decisions_total",
+		"Planner MM-vs-WCOJ decisions by chosen strategy.",
+		"strategy")
+	nearMarginTotal = obs.Default().Counter(
+		"joinmm_optimizer_near_margin_total",
+		"Planner decisions whose margin fell inside the near-margin band (nearly a coin flip).")
+	recalTotal = obs.Default().Counter(
+		"joinmm_optimizer_recalibrations_total",
+		"Constant recalibration adoptions (optimizer constants moved toward observed values).")
+	constantGauge = obs.Default().GaugeVec(
+		"joinmm_optimizer_constant",
+		"Optimizer machine constants in nanoseconds by source: probed (startup baseline), current (in use), observed (EWMA-implied).",
+		"name", "source")
+	driftGauge = obs.Default().GaugeVec(
+		"joinmm_optimizer_constant_drift",
+		"Observed-over-predicted cost ratio per node class (light = scalar kernels driving Ts/Tm/TI, mm = matrix kernels). 1.0 = no drift.",
+		"class")
+)
+
+// setConstGauges exports one constants triple under a source label.
+func setConstGauges(source string, c Constants) {
+	constantGauge.With("ts", source).Set(c.Ts)
+	constantGauge.With("tm", source).Set(c.Tm)
+	constantGauge.With("ti", source).Set(c.TI)
+}
+
+// publishConstants (re)exports every constant gauge family for this
+// optimizer: the probed baseline, the triple currently in use, the
+// observed-equivalent triple, and the drift ratios.
+func (o *Optimizer) publishConstants() {
+	cur := o.Constants()
+	setConstGauges("probed", o.probed)
+	setConstGauges("current", cur)
+	light, mm := o.recal.drift()
+	setConstGauges("observed", Constants{Ts: cur.Ts * light, Tm: cur.Tm * light, TI: cur.TI * light})
+	driftGauge.With("light").Set(light)
+	driftGauge.With("mm").Set(mm)
+}

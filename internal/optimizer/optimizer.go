@@ -21,6 +21,7 @@ package optimizer
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/joinproject"
 	"repro/internal/matrix"
@@ -33,6 +34,11 @@ import (
 // worst-case optimal join (the paper uses 20).
 const WCOJFallbackFactor = 20
 
+// DefaultNearMarginBand is the decision-audit band: a decision whose margin
+// falls below this ratio was nearly a coin flip, and a miscalibrated
+// constant set could have flipped it.
+const DefaultNearMarginBand = 1.5
+
 // Decision is the optimizer's plan choice for one query instance.
 type Decision struct {
 	// UseWCOJ is true when the plain worst-case optimal join + dedup plan is
@@ -40,12 +46,27 @@ type Decision struct {
 	UseWCOJ bool
 	// Delta1, Delta2 are the chosen thresholds (valid when !UseWCOJ).
 	Delta1, Delta2 int
-	// PredictedCost is the modeled cost of the chosen thresholds, in
-	// abstract nanoseconds.
+	// PredictedCost is the modeled cost of the chosen plan in abstract
+	// nanoseconds — for MM the descent's best thresholds, for WCOJ the
+	// closed-form expansion cost — so every executed node has a prediction
+	// to compare its measured time against.
 	PredictedCost float64
 	// EstOut and OutJoin record the estimates the decision was based on.
 	EstOut  int64
 	OutJoin int64
+	// Margin is how decisively the chosen plan won. For cost-descent
+	// decisions it is the rejected plan's modeled cost over the chosen
+	// plan's; for Algorithm-3 guard decisions (|OUT⋈| ≤ 20·N, where the MM
+	// alternative is never priced because pricing it would build the
+	// O(N log N) indexes the guard exists to skip) it is the guard bound's
+	// slack, WCOJFallbackFactor·N / |OUT⋈|. 0 means no margin was computed.
+	// A margin below 1 means the model actually preferred the rejected plan
+	// (possible when the descent stalls early).
+	Margin float64
+	// NearMargin flags margins inside the optimizer's near-margin band
+	// (Margin < Band): the decisions worth auditing first, since a small
+	// constant drift flips them.
+	NearMargin bool
 }
 
 // cdf answers weighted prefix sums over a degree distribution: sumUpTo(δ)
@@ -154,33 +175,87 @@ func ones(n int) []float64 {
 	return w
 }
 
+// Constants is one calibrated (Ts, Tm, TI) triple in nanoseconds: average
+// sequential access, 32-byte allocation, and random access + insert (the
+// paper's Table 1).
+type Constants struct {
+	Ts float64 `json:"ts"`
+	Tm float64 `json:"tm"`
+	TI float64 `json:"ti"`
+}
+
 // Optimizer chooses evaluation plans using calibrated machine constants.
 type Optimizer struct {
-	// Ts, Tm, TI are the Table-1 constants in nanoseconds: sequential
-	// access, 32-byte allocation, random access + insert.
-	Ts, Tm, TI float64
 	// Model prices the matrix steps.
 	Model *matrix.CostModel
 	// Shrink is the multiplicative descent factor on Δ1 per Algorithm-3
 	// iteration (the paper's (1−ϵ); it fixes ϵ=0.95, we default to a gentler
 	// 0.5 so the search inspects more candidate thresholds).
 	Shrink float64
+	// NearMarginBand flags decisions whose margin falls below this ratio
+	// (0 = DefaultNearMarginBand).
+	NearMarginBand float64
+
+	// consts holds the Table-1 constants in use. Recalibration swaps the
+	// pointer whole between queries, so every decision reads one consistent
+	// (Ts, Tm, TI) triple and in-flight snapshots are never torn.
+	consts atomic.Pointer[Constants]
+	// probed is the startup baseline (micro-probed or pinned), kept for
+	// drift reporting.
+	probed Constants
+	// recal tracks predicted-vs-actual drift and adoption state (recal.go).
+	recal recalState
 }
 
 // New returns an optimizer with freshly calibrated constants.
 func New() *Optimizer {
 	ts, tm, ti := CalibrateConstants()
-	return &Optimizer{Ts: ts, Tm: tm, TI: ti, Model: matrix.DefaultCostModel(), Shrink: 0.5}
+	return NewWithConstants(Constants{Ts: ts, Tm: tm, TI: ti})
+}
+
+// NewWithConstants returns an optimizer with pinned constants, skipping the
+// startup probe: reproducible plans across runners, and the manual escape
+// hatch when drift detection fires.
+func NewWithConstants(c Constants) *Optimizer {
+	o := &Optimizer{Model: matrix.DefaultCostModel(), Shrink: 0.5, probed: c}
+	o.consts.Store(&c)
+	o.publishConstants()
+	return o
+}
+
+// Constants returns the (Ts, Tm, TI) triple currently in use — the probed
+// or pinned baseline, moved by recalibration adoptions when enabled.
+func (o *Optimizer) Constants() Constants {
+	if p := o.consts.Load(); p != nil {
+		return *p
+	}
+	// Zero-value Optimizer: fall back to the process-wide calibration.
+	ts, tm, ti := CalibrateConstants()
+	c := Constants{Ts: ts, Tm: tm, TI: ti}
+	o.consts.CompareAndSwap(nil, &c)
+	return *o.consts.Load()
+}
+
+// ProbedConstants returns the startup baseline the drift gauges compare
+// against.
+func (o *Optimizer) ProbedConstants() Constants { return o.probed }
+
+// Band resolves the near-margin band.
+func (o *Optimizer) Band() float64 {
+	if o.NearMarginBand > 0 {
+		return o.NearMarginBand
+	}
+	return DefaultNearMarginBand
 }
 
 // lightCost models the light-part work of Algorithm 1 for thresholds
 // (d1, d2): expansion of light-y witnesses, expansion of light-x values and
 // the dedup bookkeeping (Algorithm 3 lines 10–11).
-func (o *Optimizer) lightCost(ix *Indexes, d1, d2 int) float64 {
-	return o.TI*ix.sumY.sumUpTo(d1) +
-		o.TI*ix.sumX.sumUpTo(d2) +
-		o.Tm*float64(ix.domZ) +
-		o.Ts*ix.cdfx.sumUpTo(d1)
+func (o *Optimizer) lightCost(c Constants, ix *Indexes, d1, d2 int) float64 {
+	return c.TI*ix.sumY.sumUpTo(d1) +
+		c.TI*ix.sumX.sumUpTo(d2) +
+		c.Tm*float64(ix.domZ) +
+		c.Ts*ix.cdfx.sumUpTo(d1)
 }
 
 // heavyCost models the heavy part: matrix construction plus M̂(u,v,w,co)
@@ -200,7 +275,24 @@ func (o *Optimizer) heavyCost(ix *Indexes, d1, d2, cores int) float64 {
 // Cost returns the full modeled cost for explicit thresholds; exposed for
 // the threshold-ablation benchmark.
 func (o *Optimizer) Cost(ix *Indexes, d1, d2, cores int) float64 {
-	return o.lightCost(ix, d1, d2) + o.heavyCost(ix, d1, d2, cores)
+	return o.costWith(o.Constants(), ix, d1, d2, cores)
+}
+
+// costWith is Cost against one constants snapshot, so a descent prices every
+// candidate under the same triple even if recalibration lands mid-search.
+func (o *Optimizer) costWith(c Constants, ix *Indexes, d1, d2, cores int) float64 {
+	return o.lightCost(c, ix, d1, d2) + o.heavyCost(ix, d1, d2, cores)
+}
+
+// wcojPlanCost prices the plain WCOJ + dedup plan in closed form, without
+// building indexes: every full-join pair is expanded and inserted (TI, and
+// |OUT⋈| counts each witness from both sides of the light sums), the dedup
+// stamps touch the output domain (Tm), and the per-witness lists are walked
+// sequentially (Ts, bounded by N). It deliberately mirrors lightCost at
+// Δ1 = Δ2 = N — where sum(y_N) + sum(x_N) = 2·|OUT⋈| and cdfx(y_N) ≤ N — so
+// margins compare like with like.
+func wcojPlanCost(c Constants, outJoin, n int64, domZ int) float64 {
+	return c.TI*2*float64(outJoin) + c.Tm*float64(domZ) + c.Ts*float64(n)
 }
 
 // Choose runs Algorithm 3 for the 2-path instance (r, s) on the given
@@ -236,9 +328,15 @@ func (o *Optimizer) chooseWithEstimate(r, s *relation.Relation, cores int, estOu
 	if int64(s.Size()) > n {
 		n = int64(s.Size())
 	}
+	c := o.Constants()
 	dec := Decision{OutJoin: outJoin, EstOut: estOut}
 	if outJoin <= WCOJFallbackFactor*n || n == 0 {
 		dec.UseWCOJ = true
+		dec.PredictedCost = wcojPlanCost(c, outJoin, n, 0)
+		if outJoin > 0 {
+			dec.Margin = float64(WCOJFallbackFactor*n) / float64(outJoin)
+		}
+		o.noteDecision(&dec)
 		return dec
 	}
 	ix := BuildIndexes(r, s)
@@ -266,7 +364,7 @@ func (o *Optimizer) chooseWithEstimate(r, s *relation.Relation, cores int, estOu
 		if int64(d2) > n {
 			d2 = int(n)
 		}
-		cost := o.Cost(ix, d1, d2, cores)
+		cost := o.costWith(c, ix, d1, d2, cores)
 		if prevCost <= cost {
 			break
 		}
@@ -277,7 +375,25 @@ func (o *Optimizer) chooseWithEstimate(r, s *relation.Relation, cores int, estOu
 	}
 	dec.Delta1, dec.Delta2 = prevD1, prevD2
 	dec.PredictedCost = prevCost
+	if wcoj := wcojPlanCost(c, outJoin, n, ix.domZ); prevCost > 0 {
+		dec.Margin = wcoj / prevCost
+	}
+	o.noteDecision(&dec)
 	return dec
+}
+
+// noteDecision stamps the near-margin flag and feeds the decision-audit
+// counters. Called on every planner decision that computed a margin.
+func (o *Optimizer) noteDecision(dec *Decision) {
+	dec.NearMargin = dec.Margin > 0 && dec.Margin < o.Band()
+	strategy := "mm"
+	if dec.UseWCOJ {
+		strategy = "wcoj"
+	}
+	decisionsTotal.With(strategy).Inc()
+	if dec.NearMargin {
+		nearMarginTotal.Inc()
+	}
 }
 
 // DecideCompose plans one chain composition V(a,c) = π_{a,c}(L(a,b) ⋈ R(b,c)),
@@ -303,9 +419,15 @@ func (o *Optimizer) ChooseStar(rels []*relation.Relation, cores int) Decision {
 			n = int64(r.Size())
 		}
 	}
+	c := o.Constants()
 	dec := Decision{OutJoin: outJoin}
 	if n == 0 || outJoin <= WCOJFallbackFactor*n {
 		dec.UseWCOJ = true
+		dec.PredictedCost = wcojPlanCost(c, outJoin, n, 0)
+		if outJoin > 0 {
+			dec.Margin = float64(WCOJFallbackFactor*n) / float64(outJoin)
+		}
+		o.noteDecision(&dec)
 		return dec
 	}
 	est := float64(joinproject.EstimateOutputSize(rels[0], rels[len(rels)-1]))
@@ -322,7 +444,7 @@ func (o *Optimizer) ChooseStar(rels []*relation.Relation, cores int) Decision {
 			w := math.Pow(float64(n)/float64(d2), math.Floor(float64(k)/2))
 			v := float64(n) / float64(d1)
 			heavy := float64(o.Model.EstimateMul(int64(u)+1, int64(v)+1, int64(w)+1, cores).Nanoseconds())
-			cost := o.TI*(light+lightX) + heavy
+			cost := c.TI*(light+lightX) + heavy
 			if cost < best {
 				best = cost
 				dec.Delta1, dec.Delta2 = d1, d2
@@ -330,5 +452,9 @@ func (o *Optimizer) ChooseStar(rels []*relation.Relation, cores int) Decision {
 		}
 	}
 	dec.PredictedCost = best
+	if wcoj := wcojPlanCost(c, outJoin, n, 0); best > 0 {
+		dec.Margin = wcoj / best
+	}
+	o.noteDecision(&dec)
 	return dec
 }

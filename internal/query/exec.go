@@ -59,14 +59,17 @@ type optPlanner struct {
 
 func (p optPlanner) ChooseCompose(l, r *relation.Relation, workers int) acyclic.ComposeDecision {
 	d := p.opt.DecideCompose(l, r, workers)
-	if d.UseWCOJ {
-		return acyclic.ComposeDecision{Strategy: acyclic.StrategyWCOJ, EstOut: d.EstOut, OutJoin: d.OutJoin}
-	}
-	return acyclic.ComposeDecision{
-		Strategy: acyclic.StrategyMM,
-		Delta1:   d.Delta1, Delta2: d.Delta2,
+	cd := acyclic.ComposeDecision{
 		EstOut: d.EstOut, OutJoin: d.OutJoin,
+		PredictedNs: d.PredictedCost, Margin: d.Margin, NearMargin: d.NearMargin,
 	}
+	if d.UseWCOJ {
+		cd.Strategy = acyclic.StrategyWCOJ
+		return cd
+	}
+	cd.Strategy = acyclic.StrategyMM
+	cd.Delta1, cd.Delta2 = d.Delta1, d.Delta2
+	return cd
 }
 
 // Execute evaluates the prepared query. The context is checked between plan
@@ -617,7 +620,7 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, *
 		node := &Node{Op: "fold", Rows: -1, Children: []*Node{e1.node, e2.node}}
 		detail := fmt.Sprintf("π[%s, %s] eliminating %s", p.vars[u], p.vars[w], p.vars[v])
 		if ex.dry {
-			node.Strategy, node.Detail = ex.dryComposeStrategy(r1, r2, &detail)
+			ex.dryComposeStrategy(r1, r2, node, detail)
 		} else {
 			ex.nodeEvent("fold", detail)
 			t0 := time.Now()
@@ -636,10 +639,11 @@ func (ex *executor) collapse(live []liveEdge, heads map[int]bool) ([]liveEdge, *
 			node.Strategy = step.Strategy
 			if step.Strategy == acyclic.StrategyMM {
 				detail += fmt.Sprintf(" Δ1=%d Δ2=%d", step.Delta1, step.Delta2)
+				node.Delta1, node.Delta2 = step.Delta1, step.Delta2
 			}
-			if step.OutJoin > 0 {
-				detail += fmt.Sprintf(" est|OUT|=%d |OUT⋈|=%d", step.EstOut, step.OutJoin)
-			}
+			node.EstRows, node.OutJoin = step.EstOut, step.OutJoin
+			node.PredictedNs = step.PredictedNs
+			node.Margin, node.NearMargin = step.Margin, step.NearMargin
 			node.Detail = detail
 			node.Rows = int64(rel.Size())
 		}
@@ -722,23 +726,27 @@ func (ex *executor) tryGroupedFold(live []liveEdge, e1, e2 liveEdge, v int) (*co
 	return cr, nil
 }
 
-// dryComposeStrategy predicts a fold's strategy without running it.
-func (ex *executor) dryComposeStrategy(r1, r2 *relation.Relation, detail *string) (string, string) {
+// dryComposeStrategy predicts a fold's strategy without running it, filling
+// the plan node with the optimizer's estimates and decision margin so a
+// predicted-only EXPLAIN already shows why the strategy was picked.
+func (ex *executor) dryComposeStrategy(r1, r2 *relation.Relation, node *Node, detail string) {
 	if ex.aopt.Force != "" {
-		return ex.aopt.Force, *detail
+		node.Strategy, node.Detail = ex.aopt.Force, detail
+		return
 	}
 	if r1 == nil || r2 == nil || ex.aopt.Planner == nil {
-		return "auto", *detail + " (decided at run time)"
+		node.Strategy, node.Detail = "auto", detail+" (decided at run time)"
+		return
 	}
 	dec := ex.aopt.Planner.ChooseCompose(r1, r2, ex.aopt.Join.Workers)
-	d := *detail
 	if dec.Strategy == acyclic.StrategyMM {
-		d += fmt.Sprintf(" Δ1=%d Δ2=%d", dec.Delta1, dec.Delta2)
+		detail += fmt.Sprintf(" Δ1=%d Δ2=%d", dec.Delta1, dec.Delta2)
+		node.Delta1, node.Delta2 = dec.Delta1, dec.Delta2
 	}
-	if dec.OutJoin > 0 {
-		d += fmt.Sprintf(" est|OUT|=%d |OUT⋈|=%d", dec.EstOut, dec.OutJoin)
-	}
-	return dec.Strategy, d
+	node.EstRows, node.OutJoin = dec.EstOut, dec.OutJoin
+	node.PredictedNs = dec.PredictedNs
+	node.Margin, node.NearMargin = dec.Margin, dec.NearMargin
+	node.Strategy, node.Detail = dec.Strategy, detail
 }
 
 // orient returns e's relation with variable v on the Y side (asHead=false,
@@ -853,6 +861,9 @@ func (ex *executor) starNode(live []liveEdge, center int) (*compResult, error) {
 	if strategy == "" {
 		if ex.opt != nil && ready {
 			dec := ex.opt.ChooseStar(views, jopt.Workers)
+			node.EstRows, node.OutJoin = dec.EstOut, dec.OutJoin
+			node.PredictedNs = dec.PredictedCost
+			node.Margin, node.NearMargin = dec.Margin, dec.NearMargin
 			if dec.UseWCOJ {
 				strategy = acyclic.StrategyNonMM
 			} else {
@@ -863,6 +874,7 @@ func (ex *executor) starNode(live []liveEdge, center int) (*compResult, error) {
 				if jopt.Delta2 == 0 {
 					jopt.Delta2 = dec.Delta2
 				}
+				node.Delta1, node.Delta2 = jopt.Delta1, jopt.Delta2
 			}
 		} else if ready {
 			strategy = acyclic.StrategyMM

@@ -28,8 +28,45 @@ type Node struct {
 	// node did not run or is too cheap to time (scan/bag leaves). Recorded on
 	// every execution but only rendered when Plan.Analyzed is set.
 	TimeNs int64
+	// PredictedNs is the optimizer's modeled cost for this node in
+	// nanoseconds (0 = the planner priced nothing here).
+	PredictedNs float64
+	// EstRows is the optimizer's output-cardinality estimate est|OUT|
+	// (0 = no estimate; real estimates are ≥ 1).
+	EstRows int64
+	// OutJoin is the full-join size |OUT⋈| the decision was based on.
+	OutJoin int64
+	// Margin is the decision margin (rejected/chosen predicted cost, or the
+	// Algorithm-3 guard's slack; see optimizer.Decision.Margin). NearMargin
+	// flags decisions inside the near-margin band — nearly coin flips.
+	Margin     float64
+	NearMargin bool
+	// Delta1, Delta2 are the chosen thresholds for MM nodes.
+	Delta1, Delta2 int
 	// Children are the operator inputs.
 	Children []*Node
+}
+
+// CostErr returns the node's actual/predicted cost ratio, or 0 when either
+// side is missing. >1 = the node ran slower than modeled.
+func (n *Node) CostErr() float64 {
+	if n.PredictedNs <= 0 || n.TimeNs <= 0 {
+		return 0
+	}
+	return float64(n.TimeNs) / n.PredictedNs
+}
+
+// RowsErr returns the node's actual/estimated cardinality ratio, or 0 when
+// there is no estimate or the node did not run.
+func (n *Node) RowsErr() float64 {
+	if n.EstRows <= 0 || n.Rows < 0 {
+		return 0
+	}
+	actual := float64(n.Rows)
+	if actual < 1 {
+		actual = 1 // empty outputs still carry signal against an estimate ≥ 1
+	}
+	return actual / float64(n.EstRows)
 }
 
 // line renders the node's own EXPLAIN line. analyzed appends the measured
@@ -44,11 +81,34 @@ func (n *Node) line(analyzed bool) string {
 		b.WriteByte(' ')
 		b.WriteString(n.Detail)
 	}
+	if n.OutJoin > 0 {
+		fmt.Fprintf(&b, " est|OUT|=%d |OUT⋈|=%d", n.EstRows, n.OutJoin)
+	}
+	if n.Margin > 0 {
+		fmt.Fprintf(&b, " margin=%.2f×", n.Margin)
+		if n.NearMargin {
+			b.WriteString(" (near)")
+		}
+	}
 	if n.Rows >= 0 {
 		fmt.Fprintf(&b, " rows=%d", n.Rows)
 	}
 	if analyzed && n.TimeNs > 0 {
 		fmt.Fprintf(&b, " time=%s", fmtDuration(n.TimeNs))
+	}
+	if analyzed {
+		if ce, re := n.CostErr(), n.RowsErr(); ce > 0 || re > 0 {
+			b.WriteString(" err=")
+			if ce > 0 {
+				fmt.Fprintf(&b, "cost×%.2f", ce)
+			}
+			if re > 0 {
+				if ce > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "rows×%.2f", re)
+			}
+		}
 	}
 	return b.String()
 }
@@ -137,18 +197,25 @@ func renderNode(b *strings.Builder, n *Node, prefix string, last, analyzed bool)
 // tree order — the compact summary tests and the EXPLAIN endpoint assert on.
 func (p *Plan) Strategies() []string {
 	var out []string
+	p.Walk(func(n *Node) {
+		if n.Strategy != "" {
+			out = append(out, n.Op+"="+n.Strategy)
+		}
+	})
+	return out
+}
+
+// Walk visits every plan node in tree order.
+func (p *Plan) Walk(fn func(*Node)) {
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if n == nil {
 			return
 		}
-		if n.Strategy != "" {
-			out = append(out, n.Op+"="+n.Strategy)
-		}
+		fn(n)
 		for _, c := range n.Children {
 			walk(c)
 		}
 	}
 	walk(p.Root)
-	return out
 }

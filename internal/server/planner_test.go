@@ -1,0 +1,178 @@
+package server
+
+import (
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// plannerEnvelope mirrors the GET /stats/planner response.
+type plannerEnvelope struct {
+	Role         string             `json:"role"`
+	Sort         string             `json:"sort"`
+	Count        int                `json:"count"`
+	Constants    map[string]any     `json:"constants"`
+	Fingerprints []stats.PlannerRow `json:"fingerprints"`
+}
+
+func findPlannerRow(rows []stats.PlannerRow, fp string) *stats.PlannerRow {
+	for i := range rows {
+		if rows[i].Fingerprint == fp {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+// TestPlannerSheetAggregatesAndResets drives strategy-bearing queries through
+// the live HTTP stack and asserts the misprediction sheet aggregates them per
+// fingerprint with error ratios, margins and decision history, honors its
+// sort params, and resets through the shared POST /stats/reset.
+func TestPlannerSheetAggregatesAndResets(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+
+	for _, q := range []string{
+		"Q(x, z) :- R(x, y), S(y, z)",
+		"Q(x) :- R(x, y), S(y, 5)", // different fingerprint family
+		"Q(x, z) :- R(x, y), S(y, z)",
+	} {
+		if code := post(t, ts, "/query", map[string]any{"query": q}, nil); code != http.StatusOK {
+			t.Fatalf("query %q: status %d", q, code)
+		}
+	}
+
+	var env plannerEnvelope
+	if code := get(t, ts, "/stats/planner", &env); code != http.StatusOK {
+		t.Fatalf("planner: status %d", code)
+	}
+	if env.Role != "primary" || env.Sort != stats.PlannerSortScore {
+		t.Fatalf("envelope role=%q sort=%q", env.Role, env.Sort)
+	}
+	row := findPlannerRow(env.Fingerprints, "Q($0, $1) :- R($0, $2), S($2, $1)")
+	if row == nil {
+		t.Fatalf("no planner row for the chain query in %+v", env.Fingerprints)
+	}
+	if row.Calls != 2 || row.Nodes < 2 {
+		t.Fatalf("chain row calls=%d nodes=%d, want 2 calls with audited nodes", row.Calls, row.Nodes)
+	}
+	if len(row.Decisions) == 0 {
+		t.Fatal("decision history empty")
+	}
+	d := row.Decisions[0]
+	if d.Strategy == "" || d.Margin <= 0 {
+		t.Fatalf("decision record missing strategy/margin: %+v", d)
+	}
+	if len(row.Strategies) == 0 {
+		t.Fatal("per-strategy error aggregates missing")
+	}
+	for s, se := range row.Strategies {
+		if se.Nodes == 0 {
+			t.Fatalf("strategy %q with zero nodes", s)
+		}
+	}
+	// The tiny fold runs in well under a predicted-cost-comparable time, but
+	// both sides of the ratio exist, so the error aggregates must be there.
+	if row.Score <= 0 {
+		t.Fatalf("score = %v, want > 0 (cost-error mass)", row.Score)
+	}
+
+	// The constants/drift report rides along.
+	if env.Constants == nil {
+		t.Fatal("constants report missing")
+	}
+	for _, k := range []string{"probed", "current", "observed", "drift_light", "near_margin_band"} {
+		if _, ok := env.Constants[k]; !ok {
+			t.Fatalf("constants report missing %q: %v", k, env.Constants)
+		}
+	}
+
+	// Sort params: unknown key 400, valid keys + limit work.
+	if code := get(t, ts, "/stats/planner?sort=nope", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad sort key: status %d", code)
+	}
+	if code := get(t, ts, "/stats/planner?sort=calls&limit=1", &env); code != http.StatusOK || env.Count != 1 {
+		t.Fatalf("sorted+limited: status %d count %d", code, env.Count)
+	}
+	if code := get(t, ts, "/stats/planner?limit=zap", nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed limit: status %d", code)
+	}
+
+	// POST /stats/reset clears the planner sheet alongside the statement one.
+	var reset struct {
+		Reset          bool `json:"reset"`
+		Dropped        int  `json:"dropped"`
+		DroppedPlanner int  `json:"dropped_planner"`
+	}
+	if code := post(t, ts, "/stats/reset", map[string]any{}, &reset); code != http.StatusOK || !reset.Reset || reset.DroppedPlanner == 0 {
+		t.Fatalf("reset: status %d %+v", code, reset)
+	}
+	if code := get(t, ts, "/stats/planner", &env); code != http.StatusOK || env.Count != 0 {
+		t.Fatalf("after reset: status %d count %d", code, env.Count)
+	}
+}
+
+// TestPlannerSheetOnReplica runs queries on a read-only follower and asserts
+// the planner sheet serves there with role=replica — a follower's plan
+// quality is exactly what the sheet exists to audit.
+func TestPlannerSheetOnReplica(t *testing.T) {
+	primary, follower, rep := newPrimaryFollower(t)
+	registerChain(t, primary)
+	waitFollower(t, rep, 2)
+
+	if code := post(t, follower, "/query", map[string]any{"query": "Q(x, z) :- R(x, y), S(y, z)"}, nil); code != http.StatusOK {
+		t.Fatalf("query on follower: status %d", code)
+	}
+	var env plannerEnvelope
+	if code := get(t, follower, "/stats/planner", &env); code != http.StatusOK {
+		t.Fatalf("planner on follower: status %d", code)
+	}
+	if env.Role != "replica" {
+		t.Fatalf("role = %q, want replica", env.Role)
+	}
+	if env.Count == 0 {
+		t.Fatal("follower planner sheet empty after a query")
+	}
+}
+
+// TestExplainAnalyzeErrColumn asserts EXPLAIN ANALYZE renders the per-node
+// err= column (predicted-vs-actual ratios) and plain EXPLAIN does not, while
+// predicted-only plans still surface the optimizer's estimates and margin
+// (the reason a strategy was picked).
+func TestExplainAnalyzeErrColumn(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	registerChain(t, ts)
+
+	const q = "Q(x, z) :- R(x, y), S(y, z)"
+	var analyzed struct {
+		Plan string `json:"plan"`
+	}
+	if code := post(t, ts, "/explain", map[string]any{"query": q, "analyze": true}, &analyzed); code != http.StatusOK {
+		t.Fatalf("explain analyze: status %d", code)
+	}
+	if !regexp.MustCompile(`err=cost×\d+(\.\d+)?`).MatchString(analyzed.Plan) {
+		t.Fatalf("EXPLAIN ANALYZE missing err= column:\n%s", analyzed.Plan)
+	}
+	if !strings.Contains(analyzed.Plan, "margin=") {
+		t.Fatalf("EXPLAIN ANALYZE missing decision margin:\n%s", analyzed.Plan)
+	}
+
+	var plain struct {
+		Plan string `json:"plan"`
+	}
+	if code := post(t, ts, "/explain", map[string]any{"query": q}, &plain); code != http.StatusOK {
+		t.Fatalf("explain: status %d", code)
+	}
+	if strings.Contains(plain.Plan, "err=") {
+		t.Fatalf("plain EXPLAIN leaks err= column:\n%s", plain.Plan)
+	}
+	// The predicted-only bugfix: estimates and margin show without analyze.
+	for _, want := range []string{"est|OUT|=", "|OUT⋈|=", "margin="} {
+		if !strings.Contains(plain.Plan, want) {
+			t.Fatalf("predicted plan missing %q:\n%s", want, plain.Plan)
+		}
+	}
+}

@@ -24,7 +24,8 @@
 //	POST   /admin/resume                     → re-arm a degraded engine
 //	GET    /healthz                          → ok|degraded + WAL/recovery stats
 //	GET    /stats/statements?sort=K&limit=N  → per-fingerprint statement stats
-//	POST   /stats/reset                      → clear the statement sheet
+//	GET    /stats/planner?sort=K&limit=N     → planner accuracy + decision audit
+//	POST   /stats/reset                      → clear the statement + planner sheets
 //	GET    /stats/activity                   → in-flight queries (live view)
 //	POST   /stats/activity/{id}/cancel       → kill a running query
 //	GET    /debug/flight?limit=N             → recently completed query traces
@@ -212,6 +213,7 @@ func (s *Server) Handler() http.Handler {
 	// Workload introspection serves identically on primaries and replicas:
 	// these are read-only views of this node's own workload.
 	mux.HandleFunc("GET /stats/statements", s.instrument("/stats/statements", s.handleStatements))
+	mux.HandleFunc("GET /stats/planner", s.instrument("/stats/planner", s.handlePlanner))
 	mux.HandleFunc("POST /stats/reset", s.instrument("/stats/reset", s.handleStatsReset))
 	mux.HandleFunc("GET /stats/activity", s.instrument("/stats/activity", s.handleActivity))
 	mux.HandleFunc("POST /stats/activity/{id}/cancel", s.instrument("/stats/activity/{id}/cancel", s.handleActivityCancel))

@@ -61,11 +61,46 @@ func orDefault(v, def string) string {
 	return v
 }
 
-// handleStatsReset serves POST /stats/reset: drop every statement aggregate
-// and start a fresh sheet. Cumulative /metrics counters are unaffected.
+// handlePlanner serves GET /stats/planner?sort=K&limit=N: the planner-
+// accuracy misprediction sheet, ranked by call-weighted error magnitude by
+// default, with per-fingerprint decision history and the optimizer's
+// constant/drift report.
+func (s *Server) handlePlanner(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sortBy := q.Get("sort")
+	switch sortBy {
+	case "", stats.PlannerSortScore, stats.PlannerSortCalls, stats.PlannerSortNodes,
+		stats.PlannerSortNearMargin, stats.PlannerSortWorst:
+	default:
+		s.error(w, r, http.StatusBadRequest, "unknown sort key %q", sortBy)
+		return
+	}
+	limit := 0
+	if lq := q.Get("limit"); lq != "" {
+		n, err := strconv.Atoi(lq)
+		if err != nil || n < 0 {
+			s.error(w, r, http.StatusBadRequest, "malformed limit %q", lq)
+			return
+		}
+		limit = n
+	}
+	rows := s.eng.PlannerStats().Snapshot(sortBy, limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":         s.role(),
+		"sort":         orDefault(sortBy, stats.PlannerSortScore),
+		"count":        len(rows),
+		"constants":    s.eng.Optimizer().ConstantsInfo(),
+		"fingerprints": rows,
+	})
+}
+
+// handleStatsReset serves POST /stats/reset: drop every statement and
+// planner-accuracy aggregate and start fresh sheets. Cumulative /metrics
+// counters are unaffected.
 func (s *Server) handleStatsReset(w http.ResponseWriter, r *http.Request) {
 	n := s.eng.StatementStats().Reset()
-	writeJSON(w, http.StatusOK, map[string]any{"reset": true, "dropped": n})
+	np := s.eng.PlannerStats().Reset()
+	writeJSON(w, http.StatusOK, map[string]any{"reset": true, "dropped": n, "dropped_planner": np})
 }
 
 // handleActivity serves GET /stats/activity: every in-flight query with its

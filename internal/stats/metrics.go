@@ -37,4 +37,9 @@ var (
 	flightSampledOut = obs.Default().Counter(
 		"joinmm_flight_sampled_out_total",
 		"Unremarkable query completions the flight recorder sampled out.")
+
+	plannerNodes = obs.Default().CounterVec(
+		"joinmm_planner_nodes_total",
+		"Optimizer-priced plan nodes folded into the planner-accuracy sheet, by chosen strategy.",
+		"strategy")
 )

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func obsNode(strategy string, predicted float64, actual int64) NodeObservation {
+	return NodeObservation{Op: "fold", Strategy: strategy, PredictedNs: predicted, ActualNs: actual}
+}
+
+func TestPlannerAggregation(t *testing.T) {
+	p := NewPlanner(0)
+	// Fingerprint A: one accurate mm node, one 4×-slow wcoj node.
+	p.Record("A", []NodeObservation{
+		obsNode("mm", 1e6, 1e6),
+		obsNode("wcoj", 1e6, 4e6),
+	})
+	// Fingerprint B: called twice, mildly off.
+	p.Record("B", []NodeObservation{obsNode("mm", 1e6, 2e6)})
+	p.Record("B", []NodeObservation{obsNode("mm", 1e6, 2e6)})
+
+	rows := p.Snapshot("", 0)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	// Default sort is score = Σ|ln ratio|: A has ln4 ≈ 1.39, B has 2·ln2 ≈ 1.39.
+	// They tie-break by fingerprint, so just check both are present with the
+	// right aggregates.
+	byFP := map[string]PlannerRow{}
+	for _, r := range rows {
+		byFP[r.Fingerprint] = r
+	}
+	a := byFP["A"]
+	if a.Calls != 1 || a.Nodes != 2 {
+		t.Fatalf("A calls/nodes = %d/%d, want 1/2", a.Calls, a.Nodes)
+	}
+	wcoj := a.Strategies["wcoj"]
+	if wcoj.Nodes != 1 {
+		t.Fatalf("A wcoj nodes = %d, want 1", wcoj.Nodes)
+	}
+	if math.Abs(wcoj.CostErrGeomean-4) > 1e-9 {
+		t.Errorf("A wcoj geomean = %.3f, want 4", wcoj.CostErrGeomean)
+	}
+	if wcoj.CostErrHist["4"] != 1 {
+		t.Errorf("A wcoj histogram = %v, want one node in the 4 bucket", wcoj.CostErrHist)
+	}
+	if a.Worst == nil || math.Abs(a.Worst.CostErr-4) > 1e-9 {
+		t.Errorf("A worst = %+v, want the 4× wcoj node", a.Worst)
+	}
+	b := byFP["B"]
+	if b.Calls != 2 || b.Nodes != 2 {
+		t.Fatalf("B calls/nodes = %d/%d, want 2/2", b.Calls, b.Nodes)
+	}
+	if want := 2 * math.Log(2); math.Abs(b.Score-want) > 1e-9 {
+		t.Errorf("B score = %.3f, want %.3f (call-weighted)", b.Score, want)
+	}
+
+	// Sort by calls puts B first.
+	rows = p.Snapshot(PlannerSortCalls, 0)
+	if rows[0].Fingerprint != "B" {
+		t.Errorf("sort=calls: first = %s, want B", rows[0].Fingerprint)
+	}
+	// Limit truncates.
+	if got := len(p.Snapshot("", 1)); got != 1 {
+		t.Errorf("limit=1 returned %d rows", got)
+	}
+
+	if n := p.Reset(); n != 2 {
+		t.Errorf("Reset dropped %d, want 2", n)
+	}
+	if got := len(p.Snapshot("", 0)); got != 0 {
+		t.Errorf("%d rows after reset", got)
+	}
+}
+
+func TestPlannerDecisionHistoryRing(t *testing.T) {
+	p := NewPlanner(0)
+	for i := 1; i <= decisionHistory+3; i++ {
+		p.Record("Q", []NodeObservation{{
+			Op: "fold", Strategy: "mm", Margin: float64(i),
+			PredictedNs: 1e6, ActualNs: 1e6,
+		}})
+	}
+	rows := p.Snapshot("", 0)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	decs := rows[0].Decisions
+	if len(decs) != decisionHistory {
+		t.Fatalf("history kept %d, want %d", len(decs), decisionHistory)
+	}
+	// Newest first: margins decisionHistory+3, decisionHistory+2, ...
+	for i, d := range decs {
+		want := float64(decisionHistory + 3 - i)
+		if d.Margin != want {
+			t.Fatalf("decision[%d].Margin = %v, want %v", i, d.Margin, want)
+		}
+	}
+}
+
+func TestPlannerOverflowAndEmpty(t *testing.T) {
+	p := NewPlanner(2)
+	p.Record("A", []NodeObservation{obsNode("mm", 1e6, 1e6)})
+	p.Record("B", []NodeObservation{obsNode("mm", 1e6, 1e6)})
+	p.Record("C", []NodeObservation{obsNode("mm", 1e6, 1e6)})
+	rows := p.Snapshot("", 0)
+	fps := map[string]bool{}
+	for _, r := range rows {
+		fps[r.Fingerprint] = true
+	}
+	if !fps[OverflowFingerprint] {
+		t.Errorf("overflow fingerprint missing: %v", fps)
+	}
+	if fps["C"] {
+		t.Errorf("C should have folded into overflow")
+	}
+	// Empty node lists carry no signal and create no row.
+	p.Reset()
+	p.Record("D", nil)
+	if got := len(p.Snapshot("", 0)); got != 0 {
+		t.Errorf("empty observation created %d rows", got)
+	}
+}
+
+func TestNodeObservationRatios(t *testing.T) {
+	n := NodeObservation{PredictedNs: 2e6, ActualNs: 1e6, EstRows: 100, Rows: 0}
+	if got := n.CostErr(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("CostErr = %v, want 0.5", got)
+	}
+	// Empty output vs estimate 100 → ratio 1/100, not 0.
+	if got := n.RowsErr(); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("RowsErr = %v, want 0.01", got)
+	}
+	if (NodeObservation{}).CostErr() != 0 {
+		t.Error("CostErr without data should be 0")
+	}
+}
